@@ -1,0 +1,52 @@
+//! Cost curves for the §VI DoS vectors: how victim-side state scales with
+//! attacker effort, per server profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2dos::{priority_churn, slow_receiver, table_thrash};
+use h2scope::Target;
+use h2server::{ServerProfile, SiteSpec};
+
+fn victim() -> Target {
+    Target::testbed(ServerProfile::rfc7540(), SiteSpec::benchmark())
+}
+
+fn bench_slow_receiver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dos_slow_receiver");
+    group.sample_size(20);
+    let v = victim();
+    for streams in [4u32, 16, 64] {
+        group.bench_function(format!("{streams}_streams"), |b| {
+            b.iter(|| slow_receiver::attack(&v, streams))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_thrash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dos_table_thrash");
+    group.sample_size(10);
+    let vulnerable = table_thrash::vulnerable_victim();
+    let capped = table_thrash::capped_victim();
+    group.bench_function("vulnerable_100_requests", |b| {
+        b.iter(|| table_thrash::attack(&vulnerable, 1 << 26, 100))
+    });
+    group.bench_function("capped_100_requests", |b| {
+        b.iter(|| table_thrash::attack(&capped, 1 << 26, 100))
+    });
+    group.finish();
+}
+
+fn bench_priority_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dos_priority_churn");
+    group.sample_size(10);
+    let v = victim();
+    for depth in [64u32, 512] {
+        group.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| priority_churn::attack(&v, depth, 10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slow_receiver, bench_table_thrash, bench_priority_churn);
+criterion_main!(benches);

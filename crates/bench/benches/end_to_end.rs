@@ -1,0 +1,41 @@
+//! End-to-end probe benchmarks: whole H2Scope probes against a simulated
+//! server, the unit of work the scan campaigns repeat tens of thousands
+//! of times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2scope::probes::{flow_control, hpack, ping, priority};
+use h2scope::testbed::Testbed;
+use h2scope::{H2Scope, Target};
+use h2server::{ServerProfile, SiteSpec};
+
+fn target() -> Target {
+    Target::testbed(ServerProfile::h2o(), SiteSpec::benchmark())
+}
+
+fn bench_probes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe");
+    group.sample_size(20);
+    let t = target();
+    group.bench_function("flow_control_suite", |b| b.iter(|| flow_control::probe(&t)));
+    group.bench_function("priority_algorithm1", |b| b.iter(|| priority::algorithm1(&t)));
+    group.bench_function("hpack_ratio_h8", |b| b.iter(|| hpack::probe(&t, 8)));
+    group.bench_function("ping_5_samples", |b| b.iter(|| ping::probe(&t, 5)));
+    group.finish();
+}
+
+fn bench_characterize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterize");
+    group.sample_size(10);
+    let scope = H2Scope::new();
+    for profile in [ServerProfile::nginx(), ServerProfile::h2o()] {
+        let name = profile.name.clone();
+        let testbed = Testbed::new(profile, SiteSpec::benchmark());
+        group.bench_function(format!("full_table_iii_column_{name}"), |b| {
+            b.iter(|| scope.characterize(&testbed))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probes, bench_characterize);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Microbenchmarks for flow-control accounting and the connection core's
+//! receive path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use h2conn::{ConnectionCore, EffectiveSettings, FlowWindow, Role};
+use h2hpack::{EncoderOptions, Header};
+use h2wire::{DataFrame, Frame, StreamId};
+
+fn bench_window_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_window");
+    group.bench_function("consume_expand_cycle", |b| {
+        b.iter_batched(
+            || FlowWindow::new(65_535),
+            |mut w| {
+                for _ in 0..64 {
+                    w.consume(512).unwrap();
+                    w.expand(512).unwrap();
+                }
+                w
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn core_pair() -> (ConnectionCore, ConnectionCore, Vec<u8>) {
+    let mut client = ConnectionCore::new(
+        Role::Client,
+        EffectiveSettings::default(),
+        EncoderOptions::default(),
+    );
+    let mut server = ConnectionCore::new(
+        Role::Server,
+        EffectiveSettings::default(),
+        EncoderOptions::default(),
+    );
+    let headers = vec![
+        Header::new(":method", "POST"),
+        Header::new(":path", "/upload"),
+        Header::new(":authority", "bench.example"),
+    ];
+    let mut wire = Vec::new();
+    for frame in client.encode_headers(StreamId::new(1), &headers, false, None) {
+        frame.encode(&mut wire);
+    }
+    server.recv_bytes(&wire).unwrap();
+    let mut data_wire = Vec::new();
+    Frame::Data(DataFrame {
+        stream_id: StreamId::new(1),
+        data: bytes::Bytes::from(vec![0u8; 16_384]),
+        end_stream: false,
+        pad_len: None,
+    })
+    .encode(&mut data_wire);
+    (client, server, data_wire)
+}
+
+fn bench_core_receive_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connection_core");
+    let (_, _, data_wire) = core_pair();
+    group.throughput(Throughput::Bytes(data_wire.len() as u64));
+    group.bench_function("recv_16k_data_and_replenish", |b| {
+        b.iter_batched(
+            || core_pair(),
+            |(_client, mut server, wire)| {
+                let events = server.recv_bytes(&wire).unwrap();
+                let updates = server.replenish_recv_windows(StreamId::new(1), 16_384);
+                (events, updates)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_ops, bench_core_receive_path);
+criterion_main!(benches);

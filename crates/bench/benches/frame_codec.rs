@@ -1,0 +1,81 @@
+//! Microbenchmarks for the h2wire frame codec.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use h2wire::{
+    decode_one, DataFrame, Frame, FrameDecoder, HeadersFrame, PrioritySpec, SettingId, Settings,
+    SettingsFrame, StreamId,
+};
+
+fn data_frame(len: usize) -> Frame {
+    Frame::Data(DataFrame {
+        stream_id: StreamId::new(1),
+        data: Bytes::from(vec![0xa5; len]),
+        end_stream: false,
+        pad_len: None,
+    })
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_encode");
+    for len in [64usize, 1_024, 16_384] {
+        let frame = data_frame(len);
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_function(format!("data_{len}"), |b| b.iter(|| frame.to_bytes()));
+    }
+    let headers = Frame::Headers(HeadersFrame {
+        stream_id: StreamId::new(1),
+        fragment: Bytes::from(vec![0x82; 128]),
+        end_stream: true,
+        end_headers: true,
+        priority: Some(PrioritySpec::default_spec()),
+        pad_len: Some(8),
+    });
+    group.bench_function("headers_with_priority_and_padding", |b| {
+        b.iter(|| headers.to_bytes())
+    });
+    let settings = Frame::Settings(SettingsFrame::from(
+        Settings::new()
+            .with(SettingId::MaxConcurrentStreams, 100)
+            .with(SettingId::InitialWindowSize, 65_535)
+            .with(SettingId::MaxFrameSize, 16_384),
+    ));
+    group.bench_function("settings", |b| b.iter(|| settings.to_bytes()));
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_decode");
+    for len in [64usize, 1_024, 16_384] {
+        let bytes = data_frame(len).to_bytes();
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_function(format!("data_{len}"), |b| {
+            b.iter(|| decode_one(&bytes, 16_384).unwrap().unwrap())
+        });
+    }
+    // A realistic mixed stream through the stateful decoder.
+    let stream: Vec<u8> = {
+        let frames = vec![
+            Frame::Settings(SettingsFrame::ack()),
+            data_frame(1_024),
+            data_frame(128),
+            Frame::Ping(h2wire::PingFrame::request([7; 8])),
+        ];
+        h2wire::encode_all(&frames)
+    };
+    group.throughput(Throughput::Bytes(stream.len() as u64));
+    group.bench_function("mixed_stream", |b| {
+        b.iter_batched(
+            FrameDecoder::new,
+            |mut dec| {
+                dec.feed(&stream);
+                dec.drain_frames().unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

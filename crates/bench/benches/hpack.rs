@@ -1,0 +1,97 @@
+//! Microbenchmarks for HPACK: encoder policies, decoder, Huffman.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use h2hpack::{huffman, Decoder, Encoder, EncoderOptions, Header, IndexingPolicy};
+
+fn request_headers() -> Vec<Header> {
+    vec![
+        Header::new(":method", "GET"),
+        Header::new(":scheme", "https"),
+        Header::new(":path", "/index.html"),
+        Header::new(":authority", "www.example.com"),
+        Header::new("user-agent", "h2scope/0.1"),
+        Header::new("accept", "*/*"),
+        Header::new("accept-encoding", "gzip, deflate"),
+        Header::new("cookie", "session=0123456789abcdef0123456789abcdef"),
+    ]
+}
+
+fn bench_encoder_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpack_encode");
+    let headers = request_headers();
+    for (name, policy) in [
+        ("always_index", IndexingPolicy::Always),
+        ("never_index", IndexingPolicy::Never),
+    ] {
+        group.bench_function(format!("first_block_{name}"), |b| {
+            b.iter_batched(
+                || Encoder::with_options(EncoderOptions { indexing: policy, ..Default::default() }),
+                |mut enc| enc.encode_block(&headers),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("repeat_block_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut enc = Encoder::with_options(EncoderOptions {
+                        indexing: policy,
+                        ..Default::default()
+                    });
+                    enc.encode_block(&headers);
+                    enc
+                },
+                |mut enc| enc.encode_block(&headers),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_decoder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpack_decode");
+    let headers = request_headers();
+    let mut enc = Encoder::new();
+    let first = enc.encode_block(&headers);
+    let repeat = enc.encode_block(&headers);
+    group.bench_function("first_block", |b| {
+        b.iter_batched(
+            Decoder::new,
+            |mut dec| dec.decode_block(&first).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("repeat_block", |b| {
+        b.iter_batched(
+            || {
+                let mut dec = Decoder::new();
+                dec.decode_block(&first).unwrap();
+                dec
+            },
+            |mut dec| dec.decode_block(&repeat).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let mut group = c.benchmark_group("huffman");
+    let text = b"www.example.com/assets/application-0123456789abcdef.js".repeat(8);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            huffman::encode(&text, &mut out);
+            out
+        })
+    });
+    let mut coded = Vec::new();
+    huffman::encode(&text, &mut coded);
+    group.throughput(Throughput::Bytes(coded.len() as u64));
+    group.bench_function("decode", |b| b.iter(|| huffman::decode(&coded).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoder_policies, bench_decoder, bench_huffman);
+criterion_main!(benches);

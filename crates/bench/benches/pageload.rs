@@ -1,0 +1,36 @@
+//! Figure 3 ablation benches: how the page-load-time advantage of server
+//! push scales with asset count, asset size and link latency — the design
+//! space the paper's discussion section points at ("server push could
+//! speed up the downloading... only a few web sites support it").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2scope::pageload::page_load;
+use h2scope::Target;
+use h2server::{ServerProfile, SiteSpec};
+use netsim::LinkSpec;
+
+fn push_target(assets: usize, asset_size: usize, delay_ms: u64) -> Target {
+    let mut target =
+        Target::testbed(ServerProfile::h2o(), SiteSpec::page_with_assets(assets, asset_size));
+    target.link = LinkSpec::wan(delay_ms);
+    target
+}
+
+fn bench_pageload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pageload");
+    group.sample_size(20);
+    for (assets, size, delay) in [(4usize, 10_000usize, 20u64), (16, 30_000, 20), (8, 20_000, 80)]
+    {
+        let target = push_target(assets, size, delay);
+        group.bench_function(format!("push_{assets}a_{size}b_{delay}ms"), |b| {
+            b.iter(|| page_load(&target, true, 1))
+        });
+        group.bench_function(format!("nopush_{assets}a_{size}b_{delay}ms"), |b| {
+            b.iter(|| page_load(&target, false, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pageload);
+criterion_main!(benches);

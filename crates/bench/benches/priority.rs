@@ -1,0 +1,69 @@
+//! Microbenchmarks for the priority dependency tree and scheduler.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use h2conn::PriorityTree;
+use h2wire::{PrioritySpec, StreamId};
+
+fn spec(dep: u32, weight: u16, exclusive: bool) -> PrioritySpec {
+    PrioritySpec { exclusive, dependency: StreamId::new(dep), weight }
+}
+
+/// A wide tree: `n` streams under the root plus chains of depth 3.
+fn build_tree(n: u32) -> PriorityTree {
+    let mut tree = PriorityTree::new();
+    for k in 0..n {
+        let id = k * 6 + 1;
+        tree.declare(StreamId::new(id), spec(0, 16, false)).unwrap();
+        tree.declare(StreamId::new(id + 2), spec(id, 8, false)).unwrap();
+        tree.declare(StreamId::new(id + 4), spec(id + 2, 4, false)).unwrap();
+    }
+    tree
+}
+
+fn bench_declare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priority_tree");
+    for n in [16u32, 128] {
+        group.bench_function(format!("build_{n}_chains"), |b| {
+            b.iter(|| build_tree(n))
+        });
+        group.bench_function(format!("reprioritize_exclusive_{n}"), |b| {
+            b.iter_batched(
+                || build_tree(n),
+                |mut tree| {
+                    // Move the deepest stream to the root exclusively —
+                    // adopts every other root child (worst case).
+                    tree.declare(StreamId::new(5), spec(0, 256, true)).unwrap();
+                    tree
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priority_schedule");
+    for n in [16u32, 128] {
+        let ready: Vec<u32> = (0..n).map(|k| k * 6 + 5).collect(); // leaves only
+        group.bench_function(format!("next_stream_{n}_ready_leaves"), |b| {
+            b.iter_batched(
+                || build_tree(n),
+                |mut tree| {
+                    let mut picks = 0;
+                    for _ in 0..64 {
+                        if tree.next_stream(|s| ready.contains(&s.value())).is_some() {
+                            picks += 1;
+                        }
+                    }
+                    picks
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_declare, bench_schedule);
+criterion_main!(benches);

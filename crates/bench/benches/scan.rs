@@ -1,0 +1,55 @@
+//! Scan-throughput benchmarks: how many sites per second the survey
+//! pipeline sustains — the number that decides whether a million-site
+//! campaign is feasible.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use h2ready_bench::scan::scan;
+use h2scope::H2Scope;
+use webpop::{ExperimentSpec, Population};
+
+fn bench_site_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("population");
+    let population = Population::new(ExperimentSpec::first(), 0.1);
+    group.bench_function("generate_one_site", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let site = population.site(i % population.headers_count());
+            i += 1;
+            site
+        })
+    });
+    group.finish();
+}
+
+fn bench_survey(c: &mut Criterion) {
+    let mut group = c.benchmark_group("survey");
+    group.sample_size(10);
+    let population = Population::new(ExperimentSpec::first(), 0.1);
+    let scope = H2Scope::new();
+    group.bench_function("single_site_full_survey", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let site = population.site(i % population.headers_count());
+            i += 1;
+            scope.survey(&site.target())
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallel_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan");
+    group.sample_size(10);
+    // 0.2% of experiment 1 ≈ 105 h2 sites per iteration.
+    let population = Population::new(ExperimentSpec::first(), 0.002);
+    group.throughput(Throughput::Elements(population.h2_count()));
+    for threads in [1usize, 4] {
+        group.bench_function(format!("campaign_0p2pct_{threads}_threads"), |b| {
+            b.iter(|| scan(&population, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_site_generation, bench_survey, bench_parallel_scan);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! `repro` — regenerates every table and figure of "Are HTTP/2 Servers
+//! Ready Yet?" (ICDCS 2017) against the simulated testbed and population.
+//!
+//! ```text
+//! repro [COMMAND] [--scale S] [--exp 1|2|both] [--threads N] [--loads L]
+//!
+//! COMMANDS
+//!   table3       Table III  testbed characterization matrix
+//!   concurrency  §V-A       MAX_CONCURRENT_STREAMS enforcement
+//!   ablation     §III-C     naive ordering check vs Algorithm 1
+//!   trend        future wk  simulated monthly adoption series
+//!   adoption     §V-B1      NPN/ALPN/HEADERS adoption counts
+//!   table4       Table IV   server families
+//!   table5       Table V    SETTINGS_INITIAL_WINDOW_SIZE
+//!   table6       Table VI   SETTINGS_MAX_FRAME_SIZE
+//!   table7       Table VII  SETTINGS_MAX_HEADER_LIST_SIZE
+//!   fig2         Figure 2   MAX_CONCURRENT_STREAMS CDF
+//!   flowcontrol  §V-D       flow-control aggregates
+//!   priority     §V-E       priority aggregates
+//!   push         §V-F       push adoption
+//!   fig3         Figure 3   page-load time with/without push
+//!   fig4         Figure 4/5 HPACK ratio CDFs per family
+//!   fig6         Figure 6   RTT by four estimators
+//!   all          everything above (default)
+//! ```
+
+use std::time::Instant;
+
+use h2ready_bench::{figures, scan, tables, wild};
+use webpop::{ExperimentSpec, Population};
+
+struct Options {
+    command: String,
+    scale: f64,
+    experiments: Vec<ExperimentSpec>,
+    threads: usize,
+    loads: usize,
+}
+
+fn parse_args() -> Options {
+    let mut command = "all".to_string();
+    let mut scale = 0.02;
+    let mut experiments = vec![ExperimentSpec::first(), ExperimentSpec::second()];
+    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut loads = 10;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scale needs a number in (0, 1]");
+                    std::process::exit(2);
+                });
+            }
+            "--exp" => match args.next().as_deref() {
+                Some("1") => experiments = vec![ExperimentSpec::first()],
+                Some("2") => experiments = vec![ExperimentSpec::second()],
+                Some("both") | None => {}
+                Some(other) => {
+                    eprintln!("unknown experiment {other}; use 1, 2 or both");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => {
+                threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(threads);
+            }
+            "--loads" => {
+                loads = args.next().and_then(|v| v.parse().ok()).unwrap_or(loads);
+            }
+            "--help" | "-h" => {
+                println!("see crate docs: repro [COMMAND] [--scale S] [--exp 1|2|both] [--threads N] [--loads L]");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => command = other.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Options { command, scale, experiments, threads, loads }
+}
+
+fn needs_scan(command: &str) -> bool {
+    matches!(
+        command,
+        "all" | "adoption" | "table4" | "table5" | "table6" | "table7" | "fig2"
+            | "flowcontrol" | "priority" | "push" | "fig4" | "fig5"
+    )
+}
+
+fn main() {
+    let options = parse_args();
+    let command = options.command.as_str();
+    println!(
+        "repro: command={command} scale={} threads={}\n",
+        options.scale, options.threads
+    );
+
+    if matches!(command, "table3" | "all") {
+        println!("{}", tables::table3());
+    }
+    if matches!(command, "concurrency" | "all") {
+        println!("{}", tables::concurrency_experiment());
+    }
+    if matches!(command, "ablation" | "all") {
+        println!("{}", tables::priority_ablation());
+    }
+    if command == "trend" {
+        println!("{}", wild::trend(options.scale, options.threads));
+    }
+
+    for spec in &options.experiments {
+        let population = Population::new(spec.clone(), options.scale);
+        let records = if needs_scan(command) {
+            let started = Instant::now();
+            let records = scan::scan(&population, options.threads);
+            eprintln!(
+                "[{}] scanned {} h2 sites in {:.1}s",
+                spec.name,
+                records.len(),
+                started.elapsed().as_secs_f64()
+            );
+            records
+        } else {
+            Vec::new()
+        };
+
+        if matches!(command, "adoption" | "all") {
+            println!("{}", wild::adoption(&records, &population));
+        }
+        if matches!(command, "table4" | "all") {
+            println!("{}", wild::table4(&records, &population));
+        }
+        if matches!(command, "table5" | "all") {
+            println!("{}", wild::table5(&records, &population));
+        }
+        if matches!(command, "table6" | "all") {
+            println!("{}", wild::table6(&records, &population));
+        }
+        if matches!(command, "table7" | "all") {
+            println!("{}", wild::table7(&records, &population));
+        }
+        if matches!(command, "fig2" | "all") {
+            println!("{}", wild::fig2(&records, &population));
+        }
+        if matches!(command, "flowcontrol" | "all") {
+            println!("{}", wild::flow_control(&records, &population));
+        }
+        if matches!(command, "priority" | "all") {
+            println!("{}", wild::priority(&records, &population));
+        }
+        if matches!(command, "push" | "all") {
+            println!("{}", wild::push_adoption(&records, &population));
+        }
+        if matches!(command, "fig4" | "fig5" | "all") {
+            println!("{}", wild::hpack_figure(&records, &population));
+        }
+        if matches!(command, "fig3" | "all") {
+            println!("{}", figures::fig3(&population, options.loads));
+        }
+        if matches!(command, "fig6" | "all") {
+            println!("{}", figures::fig6(&population, 60, 10));
+        }
+    }
+}

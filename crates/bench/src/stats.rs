@@ -1,0 +1,94 @@
+//! Small statistics helpers for the table/figure generators.
+
+/// Mean of a sample (NaN when empty).
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// The `q`-quantile (0..=1) by nearest-rank on a sorted copy.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Fraction of samples `<= x`.
+pub fn cdf_at(samples: &[f64], x: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.iter().filter(|&&v| v <= x).count() as f64 / samples.len() as f64
+}
+
+/// Renders a CDF as `(x, F(x))` pairs at the given x ticks.
+pub fn cdf_points(samples: &[f64], ticks: &[f64]) -> Vec<(f64, f64)> {
+    ticks.iter().map(|&x| (x, cdf_at(samples, x))).collect()
+}
+
+/// An ASCII sparkline of a CDF over log-spaced ticks, for terminal output.
+pub fn spark_cdf(samples: &[f64], ticks: &[f64]) -> String {
+    const LEVELS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    cdf_points(samples, ticks)
+        .into_iter()
+        .map(|(_, f)| {
+            let idx = (f * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Formats a count with thousands separators, like the paper's tables.
+pub fn fmt_count(n: u64) -> String {
+    let digits: Vec<char> = n.to_string().chars().rev().collect();
+    let mut out = String::new();
+    for (i, c) in digits.iter().enumerate() {
+        if i > 0 && i % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*c);
+    }
+    out.chars().rev().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_and_mean() {
+        let samples = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(mean(&samples), 3.0);
+        assert_eq!(quantile(&samples, 0.0), 1.0);
+        assert_eq!(quantile(&samples, 0.5), 3.0);
+        assert_eq!(quantile(&samples, 1.0), 5.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let samples = [10.0, 20.0, 20.0, 40.0];
+        assert_eq!(cdf_at(&samples, 5.0), 0.0);
+        assert_eq!(cdf_at(&samples, 20.0), 0.75);
+        assert_eq!(cdf_at(&samples, 100.0), 1.0);
+    }
+
+    #[test]
+    fn count_formatting_matches_paper_style() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(44_390), "44,390");
+        assert_eq!(fmt_count(1_000_000), "1,000,000");
+    }
+
+    #[test]
+    fn empty_samples_yield_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+}

@@ -1,0 +1,1127 @@
+//! The sans-IO connection core.
+//!
+//! [`ConnectionCore`] performs all *mechanical* HTTP/2 bookkeeping —
+//! settings application, HPACK contexts, stream lifecycle, flow-control
+//! accounting, priority-tree maintenance, CONTINUATION assembly — while
+//! deliberately leaving *policy* to the caller. Conditions that RFC 7540
+//! says an endpoint "MUST treat as an error" (zero window updates, window
+//! overflow, self-dependent streams, concurrency violations) are surfaced
+//! as [`CoreEvent`]s rather than handled internally, because the entire
+//! point of the paper is that real servers react to those conditions
+//! differently: some send RST_STREAM, some GOAWAY, some silently ignore
+//! them. The server engine in `h2server` maps events to reactions using
+//! its per-server behavior profile; the RFC-strict profile is just one
+//! particular mapping.
+
+use bytes::Bytes;
+
+use h2hpack::{Decoder as HpackDecoder, Encoder as HpackEncoder, EncoderOptions, Header};
+use h2wire::settings::{
+    DEFAULT_HEADER_TABLE_SIZE, DEFAULT_INITIAL_WINDOW_SIZE, DEFAULT_MAX_FRAME_SIZE,
+};
+use h2wire::{
+    ContinuationFrame, DataFrame, DecodeFrameError, ErrorCode, Frame, FrameDecoder, HeadersFrame,
+    PrioritySpec, PushPromiseFrame, SettingId, Settings, StreamId,
+};
+
+use crate::assembler::{AssemblyError, BlockKind, HeaderAssembler};
+use crate::priority::PriorityTree;
+use crate::stream::{StreamMap, StreamState};
+use crate::window::FlowWindow;
+
+/// Which end of the connection this core implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The request initiator.
+    Client,
+    /// The responder.
+    Server,
+}
+
+/// The effective value of every SETTINGS parameter for one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EffectiveSettings {
+    /// `SETTINGS_HEADER_TABLE_SIZE`.
+    pub header_table_size: u32,
+    /// `SETTINGS_ENABLE_PUSH`.
+    pub enable_push: bool,
+    /// `SETTINGS_MAX_CONCURRENT_STREAMS` (`None` = unlimited).
+    pub max_concurrent_streams: Option<u32>,
+    /// `SETTINGS_INITIAL_WINDOW_SIZE`.
+    pub initial_window_size: u32,
+    /// `SETTINGS_MAX_FRAME_SIZE`.
+    pub max_frame_size: u32,
+    /// `SETTINGS_MAX_HEADER_LIST_SIZE` (`None` = unlimited).
+    pub max_header_list_size: Option<u32>,
+}
+
+impl Default for EffectiveSettings {
+    fn default() -> EffectiveSettings {
+        EffectiveSettings {
+            header_table_size: DEFAULT_HEADER_TABLE_SIZE,
+            enable_push: true,
+            max_concurrent_streams: None,
+            initial_window_size: DEFAULT_INITIAL_WINDOW_SIZE,
+            max_frame_size: DEFAULT_MAX_FRAME_SIZE,
+            max_header_list_size: None,
+        }
+    }
+}
+
+impl EffectiveSettings {
+    /// Applies a received parameter list in order.
+    pub fn apply(&mut self, settings: &Settings) {
+        for (id, value) in settings.iter() {
+            match id {
+                SettingId::HeaderTableSize => self.header_table_size = value,
+                SettingId::EnablePush => self.enable_push = value == 1,
+                SettingId::MaxConcurrentStreams => self.max_concurrent_streams = Some(value),
+                SettingId::InitialWindowSize => self.initial_window_size = value,
+                SettingId::MaxFrameSize => self.max_frame_size = value,
+                SettingId::MaxHeaderListSize => self.max_header_list_size = Some(value),
+                SettingId::Unknown(_) => {}
+            }
+        }
+    }
+}
+
+/// Flow-control window scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowScope {
+    /// The connection window (stream 0).
+    Connection,
+    /// One stream's window.
+    Stream(StreamId),
+}
+
+/// Something the peer did that the policy layer must react to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreEvent {
+    /// A (non-ack) SETTINGS frame was applied; an ack should be sent.
+    RemoteSettings {
+        /// The parameters as received.
+        settings: Settings,
+    },
+    /// The peer acknowledged our SETTINGS.
+    SettingsAcked,
+    /// A complete request/response header block arrived.
+    HeadersReceived {
+        /// Stream carrying the block.
+        stream: StreamId,
+        /// Decoded header list.
+        headers: Vec<Header>,
+        /// END_STREAM was set.
+        end_stream: bool,
+        /// Priority fields on the initiating HEADERS frame.
+        priority: Option<PrioritySpec>,
+    },
+    /// A complete PUSH_PROMISE block arrived.
+    PushPromiseReceived {
+        /// Associated (client-initiated) stream.
+        stream: StreamId,
+        /// Reserved stream for the pushed response.
+        promised: StreamId,
+        /// Decoded promised-request headers.
+        headers: Vec<Header>,
+    },
+    /// DATA arrived and was charged against the receive windows.
+    DataReceived {
+        /// Stream carrying the data.
+        stream: StreamId,
+        /// Payload (padding stripped).
+        data: Bytes,
+        /// END_STREAM was set.
+        end_stream: bool,
+        /// Octets charged against flow control (includes padding).
+        flow_controlled_len: u32,
+    },
+    /// The peer sent more flow-controlled octets than the window held.
+    FlowViolation {
+        /// The violated scope.
+        scope: WindowScope,
+    },
+    /// A PING request arrived; policy should echo it with ACK.
+    PingReceived {
+        /// Opaque payload.
+        payload: [u8; 8],
+    },
+    /// A PING acknowledgement arrived.
+    PingAcked {
+        /// Opaque payload.
+        payload: [u8; 8],
+    },
+    /// The peer reset a stream.
+    RstStreamReceived {
+        /// The reset stream.
+        stream: StreamId,
+        /// Error code carried.
+        code: ErrorCode,
+    },
+    /// The peer is shutting the connection down.
+    GoawayReceived {
+        /// Highest stream the peer may have processed.
+        last_stream: StreamId,
+        /// Error code carried.
+        code: ErrorCode,
+        /// Opaque debug data.
+        debug: Bytes,
+    },
+    /// A WINDOW_UPDATE was applied successfully.
+    WindowUpdated {
+        /// Which window grew.
+        scope: WindowScope,
+        /// The increment.
+        increment: u32,
+    },
+    /// A WINDOW_UPDATE with a zero increment arrived (RFC 7540 §6.9 calls
+    /// for a stream/connection error; real servers differ — the paper's
+    /// §III-B3 probe).
+    ZeroWindowUpdate {
+        /// Which window it named.
+        scope: WindowScope,
+    },
+    /// A WINDOW_UPDATE pushed a send window past 2^31-1 (§6.9.1; the
+    /// paper's §III-B4 probe).
+    WindowOverflow {
+        /// Which window overflowed.
+        scope: WindowScope,
+    },
+    /// A PRIORITY frame (or HEADERS priority fields) changed the tree.
+    PriorityChanged {
+        /// The re-prioritized stream.
+        stream: StreamId,
+    },
+    /// A stream was declared dependent on itself (§5.3.1; the paper's
+    /// §III-C2 probe).
+    SelfDependency {
+        /// The offending stream.
+        stream: StreamId,
+    },
+    /// A new remote stream would exceed our announced
+    /// `SETTINGS_MAX_CONCURRENT_STREAMS`.
+    ConcurrencyExceeded {
+        /// The over-limit stream.
+        stream: StreamId,
+    },
+    /// An extension frame was ignored (RFC 7540 §4.1).
+    UnknownFrameIgnored {
+        /// Wire type byte.
+        kind: u8,
+    },
+}
+
+/// A fatal connection-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnError {
+    /// Malformed frame.
+    Decode(DecodeFrameError),
+    /// Header compression state lost.
+    Compression(h2hpack::HpackDecodeError),
+    /// CONTINUATION discipline violated.
+    Assembly(AssemblyError),
+}
+
+impl std::fmt::Display for ConnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnError::Decode(e) => write!(f, "frame decode error: {e}"),
+            ConnError::Compression(e) => write!(f, "header compression error: {e}"),
+            ConnError::Assembly(e) => write!(f, "header block assembly error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnError {}
+
+impl From<DecodeFrameError> for ConnError {
+    fn from(e: DecodeFrameError) -> ConnError {
+        ConnError::Decode(e)
+    }
+}
+
+impl From<h2hpack::HpackDecodeError> for ConnError {
+    fn from(e: h2hpack::HpackDecodeError) -> ConnError {
+        ConnError::Compression(e)
+    }
+}
+
+impl From<AssemblyError> for ConnError {
+    fn from(e: AssemblyError) -> ConnError {
+        ConnError::Assembly(e)
+    }
+}
+
+impl ConnError {
+    /// The error code a conforming endpoint would put in GOAWAY.
+    pub fn h2_error_code(&self) -> ErrorCode {
+        match self {
+            ConnError::Decode(e) => e.h2_error_code(),
+            ConnError::Compression(_) => ErrorCode::CompressionError,
+            ConnError::Assembly(_) => ErrorCode::ProtocolError,
+        }
+    }
+}
+
+/// The sans-IO HTTP/2 connection state machine.
+#[derive(Debug)]
+pub struct ConnectionCore {
+    role: Role,
+    local: EffectiveSettings,
+    remote: EffectiveSettings,
+    /// HPACK contexts: `encoder` compresses what we send, `decoder`
+    /// decompresses what we receive.
+    encoder: HpackEncoder,
+    decoder: HpackDecoder,
+    frame_decoder: FrameDecoder,
+    streams: StreamMap,
+    priority: PriorityTree,
+    conn_send: FlowWindow,
+    conn_recv: FlowWindow,
+    assembler: HeaderAssembler,
+    next_push_id: u32,
+    goaway_received: bool,
+    /// Ceiling applied to the peer's `SETTINGS_HEADER_TABLE_SIZE` before
+    /// resizing our encoder's dynamic table. RFC 7541 lets an encoder use
+    /// *up to* the peer's limit; a prudent implementation caps it (the
+    /// default, 4,096) while an obedient one honors any peer value — the
+    /// memory-pressure vector the paper's discussion section warns about.
+    encoder_table_cap: u32,
+}
+
+impl ConnectionCore {
+    /// Creates a core for `role` announcing `local` settings, with the
+    /// given HPACK encoder options (the `h2server` engine uses the options
+    /// to model per-server indexing policies).
+    pub fn new(role: Role, local: EffectiveSettings, encoder: EncoderOptions) -> ConnectionCore {
+        let mut frame_decoder = FrameDecoder::new();
+        frame_decoder.set_max_frame_size(local.max_frame_size);
+        ConnectionCore {
+            role,
+            local,
+            remote: EffectiveSettings::default(),
+            encoder: HpackEncoder::with_options(encoder),
+            decoder: HpackDecoder::with_table_size(local.header_table_size),
+            frame_decoder,
+            streams: StreamMap::new(),
+            priority: PriorityTree::new(),
+            conn_send: FlowWindow::new(DEFAULT_INITIAL_WINDOW_SIZE),
+            conn_recv: FlowWindow::new(DEFAULT_INITIAL_WINDOW_SIZE),
+            assembler: HeaderAssembler::new(),
+            next_push_id: 2,
+            goaway_received: false,
+            encoder_table_cap: DEFAULT_HEADER_TABLE_SIZE,
+        }
+    }
+
+    /// Sets the ceiling applied to peer-requested encoder table sizes.
+    pub fn set_encoder_table_cap(&mut self, cap: u32) {
+        self.encoder_table_cap = cap;
+    }
+
+    /// This endpoint's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Our announced settings.
+    pub fn local_settings(&self) -> &EffectiveSettings {
+        &self.local
+    }
+
+    /// The peer's most recent settings.
+    pub fn remote_settings(&self) -> &EffectiveSettings {
+        &self.remote
+    }
+
+    /// The stream table.
+    pub fn streams(&self) -> &StreamMap {
+        &self.streams
+    }
+
+    /// The stream table, mutably.
+    pub fn streams_mut(&mut self) -> &mut StreamMap {
+        &mut self.streams
+    }
+
+    /// The priority tree.
+    pub fn priority(&self) -> &PriorityTree {
+        &self.priority
+    }
+
+    /// The priority tree, mutably (the server engine schedules from it).
+    pub fn priority_mut(&mut self) -> &mut PriorityTree {
+        &mut self.priority
+    }
+
+    /// Octets we may still send at connection scope.
+    pub fn connection_send_window(&self) -> i64 {
+        self.conn_send.available()
+    }
+
+    /// Octets the peer may still send at connection scope.
+    pub fn connection_recv_window(&self) -> i64 {
+        self.conn_recv.available()
+    }
+
+    /// `true` after GOAWAY arrived.
+    pub fn goaway_received(&self) -> bool {
+        self.goaway_received
+    }
+
+    /// Feeds raw transport bytes, yielding events for every complete
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConnError`] encountered; callers should tear down the
+    /// connection with the code from [`ConnError::h2_error_code`].
+    pub fn recv_bytes(&mut self, bytes: &[u8]) -> Result<Vec<CoreEvent>, ConnError> {
+        self.frame_decoder.feed(bytes);
+        let mut events = Vec::new();
+        loop {
+            match self.frame_decoder.next_frame() {
+                Ok(Some(frame)) => events.extend(self.handle_frame(frame)?),
+                Ok(None) => break,
+                Err(e) => return Err(ConnError::Decode(e)),
+            }
+        }
+        Ok(events)
+    }
+
+    /// Applies one received frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConnectionCore::recv_bytes`].
+    pub fn handle_frame(&mut self, frame: Frame) -> Result<Vec<CoreEvent>, ConnError> {
+        // CONTINUATION discipline: while a header block is open, only
+        // CONTINUATION for the same stream is legal.
+        if !matches!(frame, Frame::Continuation(_)) {
+            self.assembler.check_interleave()?;
+        }
+        let mut events = Vec::new();
+        match frame {
+            Frame::Settings(f) => {
+                if f.ack {
+                    events.push(CoreEvent::SettingsAcked);
+                } else {
+                    self.apply_remote_settings(&f.settings, &mut events);
+                    events.push(CoreEvent::RemoteSettings { settings: f.settings });
+                }
+            }
+            Frame::WindowUpdate(f) => {
+                if f.increment == 0 {
+                    let scope = if f.stream_id.is_connection() {
+                        WindowScope::Connection
+                    } else {
+                        WindowScope::Stream(f.stream_id)
+                    };
+                    events.push(CoreEvent::ZeroWindowUpdate { scope });
+                } else if f.stream_id.is_connection() {
+                    match self.conn_send.expand(f.increment) {
+                        Ok(()) => events.push(CoreEvent::WindowUpdated {
+                            scope: WindowScope::Connection,
+                            increment: f.increment,
+                        }),
+                        Err(_) => events
+                            .push(CoreEvent::WindowOverflow { scope: WindowScope::Connection }),
+                    }
+                } else {
+                    let (send_init, recv_init) =
+                        (self.remote.initial_window_size, self.local.initial_window_size);
+                    let stream =
+                        self.streams.get_or_create(f.stream_id, send_init, recv_init);
+                    match stream.send_window.expand(f.increment) {
+                        Ok(()) => events.push(CoreEvent::WindowUpdated {
+                            scope: WindowScope::Stream(f.stream_id),
+                            increment: f.increment,
+                        }),
+                        Err(_) => events.push(CoreEvent::WindowOverflow {
+                            scope: WindowScope::Stream(f.stream_id),
+                        }),
+                    }
+                }
+            }
+            Frame::Ping(f) => {
+                if f.ack {
+                    events.push(CoreEvent::PingAcked { payload: f.payload });
+                } else {
+                    events.push(CoreEvent::PingReceived { payload: f.payload });
+                }
+            }
+            Frame::Headers(f) => {
+                if let Some(block) = self.assembler.start(
+                    f.stream_id,
+                    BlockKind::Headers,
+                    &f.fragment,
+                    f.end_stream,
+                    f.end_headers,
+                    f.priority,
+                )? {
+                    self.finish_block(block, &mut events)?;
+                }
+            }
+            Frame::PushPromise(f) => {
+                if let Some(block) = self.assembler.start(
+                    f.stream_id,
+                    BlockKind::PushPromise { promised: f.promised_stream_id },
+                    &f.fragment,
+                    false,
+                    f.end_headers,
+                    None,
+                )? {
+                    self.finish_block(block, &mut events)?;
+                }
+            }
+            Frame::Continuation(f) => {
+                if let Some(block) = self.assembler.continuation(&f)? {
+                    self.finish_block(block, &mut events)?;
+                }
+            }
+            Frame::Data(f) => {
+                let fcl = f.flow_controlled_len();
+                if self.conn_recv.consume(fcl).is_err() {
+                    events.push(CoreEvent::FlowViolation { scope: WindowScope::Connection });
+                    return Ok(events);
+                }
+                let (send_init, recv_init) =
+                    (self.remote.initial_window_size, self.local.initial_window_size);
+                let stream = self.streams.get_or_create(f.stream_id, send_init, recv_init);
+                if stream.recv_window.consume(fcl).is_err() {
+                    events
+                        .push(CoreEvent::FlowViolation { scope: WindowScope::Stream(f.stream_id) });
+                    return Ok(events);
+                }
+                if f.end_stream {
+                    stream.recv_end_stream();
+                }
+                events.push(CoreEvent::DataReceived {
+                    stream: f.stream_id,
+                    data: f.data,
+                    end_stream: f.end_stream,
+                    flow_controlled_len: fcl,
+                });
+            }
+            Frame::Priority(f) => match self.priority.declare(f.stream_id, f.spec) {
+                Ok(()) => events.push(CoreEvent::PriorityChanged { stream: f.stream_id }),
+                Err(_) => events.push(CoreEvent::SelfDependency { stream: f.stream_id }),
+            },
+            Frame::RstStream(f) => {
+                let (send_init, recv_init) =
+                    (self.remote.initial_window_size, self.local.initial_window_size);
+                let stream = self.streams.get_or_create(f.stream_id, send_init, recv_init);
+                stream.recv_reset(f.code);
+                events.push(CoreEvent::RstStreamReceived { stream: f.stream_id, code: f.code });
+            }
+            Frame::Goaway(f) => {
+                self.goaway_received = true;
+                events.push(CoreEvent::GoawayReceived {
+                    last_stream: f.last_stream_id,
+                    code: f.code,
+                    debug: f.debug_data,
+                });
+            }
+            Frame::Unknown(f) => events.push(CoreEvent::UnknownFrameIgnored { kind: f.kind }),
+        }
+        Ok(events)
+    }
+
+    fn apply_remote_settings(&mut self, settings: &Settings, events: &mut Vec<CoreEvent>) {
+        let old_window = self.remote.initial_window_size;
+        self.remote.apply(settings);
+        // §6.9.2: an INITIAL_WINDOW_SIZE change retroactively adjusts every
+        // stream send window by the delta (the connection window is NOT
+        // affected — the paper's Algorithm 1 relies on this asymmetry).
+        if let Some(new_window) = settings.get(SettingId::InitialWindowSize) {
+            let delta = i64::from(new_window) - i64::from(old_window);
+            let overflowed: Vec<StreamId> = self
+                .streams
+                .iter_mut()
+                .filter_map(
+                    |s| {
+                        if s.send_window.adjust(delta).is_err() {
+                            Some(s.id)
+                        } else {
+                            None
+                        }
+                    },
+                )
+                .collect();
+            for id in overflowed {
+                events.push(CoreEvent::WindowOverflow { scope: WindowScope::Stream(id) });
+            }
+        }
+        // The peer's header-table limit bounds our encoder's dynamic
+        // table, subject to our own prudence cap.
+        if let Some(size) = settings.get(SettingId::HeaderTableSize) {
+            let target = size.min(self.encoder_table_cap);
+            if target != self.encoder.table().max_size() {
+                self.encoder.resize_table(target);
+            }
+        }
+    }
+
+    fn finish_block(
+        &mut self,
+        block: crate::assembler::CompleteBlock,
+        events: &mut Vec<CoreEvent>,
+    ) -> Result<(), ConnError> {
+        let headers = self.decoder.decode_block(&block.fragment)?;
+        let (send_init, recv_init) =
+            (self.remote.initial_window_size, self.local.initial_window_size);
+        match block.kind {
+            BlockKind::Headers => {
+                let is_new = self.streams.get(block.stream).is_none();
+                if is_new && self.role == Role::Server {
+                    if let Some(max) = self.local.max_concurrent_streams {
+                        if self.streams.active_count() as u32 >= max {
+                            events.push(CoreEvent::ConcurrencyExceeded { stream: block.stream });
+                        }
+                    }
+                }
+                if let Some(spec) = block.priority {
+                    match self.priority.declare(block.stream, spec) {
+                        Ok(()) => {}
+                        Err(_) => events.push(CoreEvent::SelfDependency { stream: block.stream }),
+                    }
+                } else if !self.priority.contains(block.stream) {
+                    let _ = self.priority.declare(block.stream, PrioritySpec::default_spec());
+                }
+                let stream = self.streams.get_or_create(block.stream, send_init, recv_init);
+                stream.recv_headers(block.end_stream);
+                events.push(CoreEvent::HeadersReceived {
+                    stream: block.stream,
+                    headers,
+                    end_stream: block.end_stream,
+                    priority: block.priority,
+                });
+            }
+            BlockKind::PushPromise { promised } => {
+                let stream = self.streams.get_or_create(promised, send_init, recv_init);
+                stream.state = StreamState::ReservedRemote;
+                events.push(CoreEvent::PushPromiseReceived {
+                    stream: block.stream,
+                    promised,
+                    headers,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ----- send-side helpers -------------------------------------------
+
+    /// Encodes a header list into HEADERS (+ CONTINUATION) frames sized to
+    /// the peer's `SETTINGS_MAX_FRAME_SIZE`, applying the local stream
+    /// state transition.
+    pub fn encode_headers(
+        &mut self,
+        stream_id: StreamId,
+        headers: &[Header],
+        end_stream: bool,
+        priority: Option<PrioritySpec>,
+    ) -> Vec<Frame> {
+        let block = self.encoder.encode_block(headers);
+        let max = self.remote.max_frame_size as usize;
+        let stream = self.streams.get_or_create(
+            stream_id,
+            self.remote.initial_window_size,
+            self.local.initial_window_size,
+        );
+        stream.send_headers(end_stream);
+        let mut frames = Vec::new();
+        if block.len() <= max {
+            frames.push(Frame::Headers(HeadersFrame {
+                stream_id,
+                fragment: Bytes::from(block),
+                end_stream,
+                end_headers: true,
+                priority,
+                pad_len: None,
+            }));
+            return frames;
+        }
+        let mut chunks = block.chunks(max);
+        let first = chunks.next().expect("block longer than max");
+        frames.push(Frame::Headers(HeadersFrame {
+            stream_id,
+            fragment: Bytes::copy_from_slice(first),
+            end_stream,
+            end_headers: false,
+            priority,
+            pad_len: None,
+        }));
+        let rest: Vec<&[u8]> = chunks.collect();
+        for (i, chunk) in rest.iter().enumerate() {
+            frames.push(Frame::Continuation(ContinuationFrame {
+                stream_id,
+                fragment: Bytes::copy_from_slice(chunk),
+                end_headers: i == rest.len() - 1,
+            }));
+        }
+        frames
+    }
+
+    /// Reserves the next even stream id and encodes a PUSH_PROMISE frame
+    /// for it.
+    pub fn encode_push_promise(
+        &mut self,
+        assoc_stream: StreamId,
+        request_headers: &[Header],
+    ) -> (StreamId, Frame) {
+        let promised = StreamId::new(self.next_push_id);
+        self.next_push_id += 2;
+        let block = self.encoder.encode_block(request_headers);
+        let stream = self.streams.get_or_create(
+            promised,
+            self.remote.initial_window_size,
+            self.local.initial_window_size,
+        );
+        stream.state = StreamState::ReservedLocal;
+        (
+            promised,
+            Frame::PushPromise(PushPromiseFrame {
+                stream_id: assoc_stream,
+                promised_stream_id: promised,
+                fragment: Bytes::from(block),
+                end_headers: true,
+                pad_len: None,
+            }),
+        )
+    }
+
+    /// Octets that may be sent as DATA on `stream` right now: the minimum
+    /// of the connection window, the stream window, and the peer's max
+    /// frame size.
+    pub fn sendable_on(&self, stream_id: StreamId) -> u32 {
+        let Some(stream) = self.streams.get(stream_id) else { return 0 };
+        if !stream.state.can_send() {
+            return 0;
+        }
+        let cap = self.remote.max_frame_size;
+        let by_stream = stream.send_window.sendable(cap);
+        self.conn_send.sendable(by_stream)
+    }
+
+    /// Builds a DATA frame and charges both send windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds [`ConnectionCore::sendable_on`]; callers
+    /// must size chunks first (the scheduler does).
+    pub fn send_data(&mut self, stream_id: StreamId, data: Bytes, end_stream: bool) -> Frame {
+        let len = data.len() as u32;
+        self.conn_send.consume(len).expect("caller respected connection window");
+        let stream = self.streams.get_mut(stream_id).expect("stream exists");
+        stream.send_window.consume(len).expect("caller respected stream window");
+        if end_stream {
+            stream.send_end_stream();
+        }
+        Frame::Data(DataFrame { stream_id, data, end_stream, pad_len: None })
+    }
+
+    /// Charges the receive windows back up and emits WINDOW_UPDATE frames,
+    /// the standard receiver behavior after consuming data.
+    pub fn replenish_recv_windows(&mut self, stream_id: StreamId, octets: u32) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        if octets == 0 {
+            return frames;
+        }
+        if self.conn_recv.expand(octets).is_ok() {
+            frames.push(Frame::WindowUpdate(h2wire::WindowUpdateFrame {
+                stream_id: StreamId::CONNECTION,
+                increment: octets,
+            }));
+        }
+        if let Some(stream) = self.streams.get_mut(stream_id) {
+            if stream.recv_window.expand(octets).is_ok() {
+                frames.push(Frame::WindowUpdate(h2wire::WindowUpdateFrame {
+                    stream_id,
+                    increment: octets,
+                }));
+            }
+        }
+        frames
+    }
+
+    /// Marks a stream reset locally (caller emits the RST_STREAM frame).
+    pub fn reset_stream(&mut self, stream_id: StreamId, code: ErrorCode) {
+        if let Some(stream) = self.streams.get_mut(stream_id) {
+            stream.send_reset(code);
+        }
+    }
+
+    /// Updates our announced settings (affects decode limits and the
+    /// initial window applied to *newly created* streams, plus a
+    /// retroactive delta on existing receive windows per §6.9.2).
+    pub fn set_local_settings(&mut self, settings: EffectiveSettings) {
+        let delta = i64::from(settings.initial_window_size)
+            - i64::from(self.local.initial_window_size);
+        if delta != 0 {
+            for stream in self.streams.iter_mut() {
+                let _ = stream.recv_window.adjust(delta);
+            }
+        }
+        self.frame_decoder.set_max_frame_size(settings.max_frame_size);
+        self.decoder.set_protocol_max_table_size(settings.header_table_size);
+        self.local = settings;
+    }
+
+    /// Direct access to the HPACK encoder (the HPACK probe inspects it).
+    pub fn hpack_encoder(&self) -> &HpackEncoder {
+        &self.encoder
+    }
+
+    /// Direct mutable access to the HPACK encoder.
+    pub fn hpack_encoder_mut(&mut self) -> &mut HpackEncoder {
+        &mut self.encoder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2wire::{PingFrame, SettingsFrame, WindowUpdateFrame};
+
+    fn sid(v: u32) -> StreamId {
+        StreamId::new(v)
+    }
+
+    fn server() -> ConnectionCore {
+        ConnectionCore::new(Role::Server, EffectiveSettings::default(), EncoderOptions::default())
+    }
+
+    fn client_headers() -> Vec<Header> {
+        vec![
+            Header::new(":method", "GET"),
+            Header::new(":scheme", "https"),
+            Header::new(":path", "/"),
+            Header::new(":authority", "example.com"),
+        ]
+    }
+
+    fn feed(core: &mut ConnectionCore, frame: Frame) -> Vec<CoreEvent> {
+        core.recv_bytes(&frame.to_bytes()).expect("no connection error")
+    }
+
+    #[test]
+    fn settings_round_trip_updates_remote_view() {
+        let mut core = server();
+        let settings = Settings::new()
+            .with(SettingId::InitialWindowSize, 1)
+            .with(SettingId::MaxConcurrentStreams, 7);
+        let events = feed(&mut core, Frame::Settings(SettingsFrame::from(settings)));
+        assert!(matches!(events[0], CoreEvent::RemoteSettings { .. }));
+        assert_eq!(core.remote_settings().initial_window_size, 1);
+        assert_eq!(core.remote_settings().max_concurrent_streams, Some(7));
+    }
+
+    #[test]
+    fn initial_window_change_adjusts_existing_stream_send_windows() {
+        let mut core = server();
+        // Open a stream first.
+        let mut client = ConnectionCore::new(
+            Role::Client,
+            EffectiveSettings::default(),
+            EncoderOptions::default(),
+        );
+        for frame in client.encode_headers(sid(1), &client_headers(), true, None) {
+            feed(&mut core, frame);
+        }
+        assert_eq!(core.streams().get(sid(1)).unwrap().send_window.available(), 65_535);
+        let settings = Settings::new().with(SettingId::InitialWindowSize, 10);
+        feed(&mut core, Frame::Settings(SettingsFrame::from(settings)));
+        assert_eq!(core.streams().get(sid(1)).unwrap().send_window.available(), 10);
+        // The connection window is untouched (Algorithm 1 exploits this).
+        assert_eq!(core.connection_send_window(), 65_535);
+    }
+
+    #[test]
+    fn zero_window_update_is_reported_not_applied() {
+        let mut core = server();
+        let events = feed(
+            &mut core,
+            Frame::WindowUpdate(WindowUpdateFrame { stream_id: sid(0), increment: 0 }),
+        );
+        assert_eq!(events, vec![CoreEvent::ZeroWindowUpdate { scope: WindowScope::Connection }]);
+        assert_eq!(core.connection_send_window(), 65_535);
+    }
+
+    #[test]
+    fn window_overflow_is_reported() {
+        let mut core = server();
+        let events = feed(
+            &mut core,
+            Frame::WindowUpdate(WindowUpdateFrame {
+                stream_id: sid(0),
+                increment: 0x7fff_ffff,
+            }),
+        );
+        assert_eq!(events, vec![CoreEvent::WindowOverflow { scope: WindowScope::Connection }]);
+    }
+
+    #[test]
+    fn ping_request_and_ack_events() {
+        let mut core = server();
+        let events = feed(&mut core, Frame::Ping(PingFrame::request(*b"h2scope!")));
+        assert_eq!(events, vec![CoreEvent::PingReceived { payload: *b"h2scope!" }]);
+        let events = feed(&mut core, Frame::Ping(PingFrame { ack: true, payload: [0; 8] }));
+        assert_eq!(events, vec![CoreEvent::PingAcked { payload: [0; 8] }]);
+    }
+
+    #[test]
+    fn headers_decode_and_open_stream() {
+        let mut core = server();
+        let mut client = ConnectionCore::new(
+            Role::Client,
+            EffectiveSettings::default(),
+            EncoderOptions::default(),
+        );
+        let frames = client.encode_headers(sid(1), &client_headers(), true, None);
+        let mut all = Vec::new();
+        for frame in frames {
+            all.extend(feed(&mut core, frame));
+        }
+        match &all[0] {
+            CoreEvent::HeadersReceived { stream, headers, end_stream, .. } => {
+                assert_eq!(*stream, sid(1));
+                assert!(end_stream);
+                assert_eq!(headers[0], Header::new(":method", "GET"));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(
+            core.streams().get(sid(1)).unwrap().state,
+            StreamState::HalfClosedRemote
+        );
+    }
+
+    #[test]
+    fn oversized_header_block_splits_into_continuations() {
+        let mut client = ConnectionCore::new(
+            Role::Client,
+            EffectiveSettings::default(),
+            EncoderOptions::default(),
+        );
+        // Shrink what the peer accepts to force splitting.
+        let settings = Settings::new().with(SettingId::MaxFrameSize, 16_384);
+        client.remote.apply(&settings);
+        client.remote.max_frame_size = 30; // direct for test purposes
+        let mut headers = client_headers();
+        headers.push(Header::new("x-long", "v".repeat(200)));
+        let frames = client.encode_headers(sid(1), &headers, true, None);
+        assert!(frames.len() > 1);
+        assert!(matches!(frames[0], Frame::Headers(ref h) if !h.end_headers));
+        assert!(matches!(frames.last().unwrap(), Frame::Continuation(c) if c.end_headers));
+
+        // And the server reassembles them.
+        let mut core = server();
+        let mut events = Vec::new();
+        for frame in frames {
+            events.extend(feed(&mut core, frame));
+        }
+        assert!(matches!(events[0], CoreEvent::HeadersReceived { .. }));
+    }
+
+    #[test]
+    fn interleaved_frame_during_block_is_fatal() {
+        let mut core = server();
+        let frame = Frame::Headers(HeadersFrame {
+            stream_id: sid(1),
+            fragment: Bytes::from_static(&[0x82]),
+            end_stream: false,
+            end_headers: false, // block left open
+            priority: None,
+            pad_len: None,
+        });
+        feed(&mut core, frame);
+        let err = core
+            .recv_bytes(&Frame::Ping(PingFrame::request([0; 8])).to_bytes())
+            .unwrap_err();
+        assert!(matches!(err, ConnError::Assembly(AssemblyError::InterleavedFrame)));
+    }
+
+    #[test]
+    fn data_charges_both_recv_windows() {
+        let mut core = server();
+        let mut client = ConnectionCore::new(
+            Role::Client,
+            EffectiveSettings::default(),
+            EncoderOptions::default(),
+        );
+        for frame in client.encode_headers(sid(1), &client_headers(), false, None) {
+            feed(&mut core, frame);
+        }
+        let data = Frame::Data(DataFrame {
+            stream_id: sid(1),
+            data: Bytes::from(vec![0u8; 1_000]),
+            end_stream: true,
+            pad_len: None,
+        });
+        let events = feed(&mut core, data);
+        assert!(matches!(events[0], CoreEvent::DataReceived { flow_controlled_len: 1_000, .. }));
+        assert_eq!(core.connection_recv_window(), 65_535 - 1_000);
+        assert_eq!(
+            core.streams().get(sid(1)).unwrap().recv_window.available(),
+            65_535 - 1_000
+        );
+    }
+
+    #[test]
+    fn flow_violation_is_reported() {
+        let mut core = server();
+        let mut local = EffectiveSettings::default();
+        local.initial_window_size = 10;
+        core.set_local_settings(local);
+        let mut client = ConnectionCore::new(
+            Role::Client,
+            EffectiveSettings::default(),
+            EncoderOptions::default(),
+        );
+        for frame in client.encode_headers(sid(1), &client_headers(), false, None) {
+            feed(&mut core, frame);
+        }
+        let data = Frame::Data(DataFrame {
+            stream_id: sid(1),
+            data: Bytes::from(vec![0u8; 11]),
+            end_stream: false,
+            pad_len: None,
+        });
+        let events = feed(&mut core, data);
+        assert_eq!(
+            events,
+            vec![CoreEvent::FlowViolation { scope: WindowScope::Stream(sid(1)) }]
+        );
+    }
+
+    #[test]
+    fn concurrency_limit_is_reported_for_new_streams() {
+        let mut core = server();
+        let mut local = EffectiveSettings::default();
+        local.max_concurrent_streams = Some(1);
+        core.set_local_settings(local);
+        let mut client = ConnectionCore::new(
+            Role::Client,
+            EffectiveSettings::default(),
+            EncoderOptions::default(),
+        );
+        for frame in client.encode_headers(sid(1), &client_headers(), false, None) {
+            feed(&mut core, frame);
+        }
+        let mut events = Vec::new();
+        for frame in client.encode_headers(sid(3), &client_headers(), false, None) {
+            events.extend(feed(&mut core, frame));
+        }
+        assert!(events.contains(&CoreEvent::ConcurrencyExceeded { stream: sid(3) }));
+    }
+
+    #[test]
+    fn send_data_respects_windows() {
+        let mut core = server();
+        let mut client = ConnectionCore::new(
+            Role::Client,
+            EffectiveSettings::default(),
+            EncoderOptions::default(),
+        );
+        for frame in client.encode_headers(sid(1), &client_headers(), true, None) {
+            feed(&mut core, frame);
+        }
+        core.encode_headers(sid(1), &[Header::new(":status", "200")], false, None);
+        // Peer announced a 1-octet initial window (the paper's §III-B1
+        // small-window probe).
+        let settings = Settings::new().with(SettingId::InitialWindowSize, 1);
+        feed(&mut core, Frame::Settings(SettingsFrame::from(settings)));
+        assert_eq!(core.sendable_on(sid(1)), 1);
+        let frame = core.send_data(sid(1), Bytes::from_static(b"x"), false);
+        assert!(matches!(frame, Frame::Data(ref d) if d.data.len() == 1));
+        assert_eq!(core.sendable_on(sid(1)), 0);
+    }
+
+    #[test]
+    fn push_promise_reserves_even_stream() {
+        let mut core = server();
+        let (promised, frame) =
+            core.encode_push_promise(sid(1), &[Header::new(":path", "/style.css")]);
+        assert_eq!(promised, sid(2));
+        assert!(matches!(frame, Frame::PushPromise(_)));
+        assert_eq!(core.streams().get(sid(2)).unwrap().state, StreamState::ReservedLocal);
+        let (next, _) = core.encode_push_promise(sid(1), &[Header::new(":path", "/app.js")]);
+        assert_eq!(next, sid(4));
+    }
+
+    #[test]
+    fn client_receives_push_promise() {
+        let mut server_core = server();
+        let mut client = ConnectionCore::new(
+            Role::Client,
+            EffectiveSettings::default(),
+            EncoderOptions::default(),
+        );
+        let (_, frame) =
+            server_core.encode_push_promise(sid(1), &[Header::new(":path", "/style.css")]);
+        let events = feed(&mut client, frame);
+        match &events[0] {
+            CoreEvent::PushPromiseReceived { stream, promised, headers } => {
+                assert_eq!(*stream, sid(1));
+                assert_eq!(*promised, sid(2));
+                assert_eq!(headers[0], Header::new(":path", "/style.css"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            client.streams().get(sid(2)).unwrap().state,
+            StreamState::ReservedRemote
+        );
+    }
+
+    #[test]
+    fn self_dependent_priority_frame_is_reported() {
+        let mut core = server();
+        let events = feed(
+            &mut core,
+            Frame::Priority(h2wire::PriorityFrame {
+                stream_id: sid(5),
+                spec: PrioritySpec { exclusive: false, dependency: sid(5), weight: 16 },
+            }),
+        );
+        assert_eq!(events, vec![CoreEvent::SelfDependency { stream: sid(5) }]);
+    }
+
+    #[test]
+    fn goaway_sets_flag() {
+        let mut core = server();
+        let events = feed(
+            &mut core,
+            Frame::Goaway(h2wire::GoawayFrame {
+                last_stream_id: sid(0),
+                code: ErrorCode::NoError,
+                debug_data: Bytes::new(),
+            }),
+        );
+        assert!(matches!(events[0], CoreEvent::GoawayReceived { .. }));
+        assert!(core.goaway_received());
+    }
+
+    #[test]
+    fn replenish_emits_window_updates() {
+        let mut core = server();
+        let mut client = ConnectionCore::new(
+            Role::Client,
+            EffectiveSettings::default(),
+            EncoderOptions::default(),
+        );
+        for frame in client.encode_headers(sid(1), &client_headers(), false, None) {
+            feed(&mut core, frame);
+        }
+        let data = Frame::Data(DataFrame {
+            stream_id: sid(1),
+            data: Bytes::from(vec![0u8; 100]),
+            end_stream: false,
+            pad_len: None,
+        });
+        feed(&mut core, data);
+        let updates = core.replenish_recv_windows(sid(1), 100);
+        assert_eq!(updates.len(), 2);
+        assert_eq!(core.connection_recv_window(), 65_535);
+    }
+}

@@ -1,0 +1,340 @@
+//! Per-stream state (RFC 7540 §5.1) and the stream table.
+
+use std::collections::HashMap;
+
+use h2wire::{ErrorCode, StreamId};
+
+use crate::window::FlowWindow;
+
+/// The RFC 7540 §5.1 stream lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamState {
+    /// Not yet used.
+    Idle,
+    /// Promised by us via PUSH_PROMISE.
+    ReservedLocal,
+    /// Promised by the peer via PUSH_PROMISE.
+    ReservedRemote,
+    /// Both directions open.
+    Open,
+    /// We sent END_STREAM; the peer may still send.
+    HalfClosedLocal,
+    /// The peer sent END_STREAM; we may still send.
+    HalfClosedRemote,
+    /// Fully closed.
+    Closed,
+}
+
+impl StreamState {
+    /// `true` when the local endpoint may still send DATA/HEADERS.
+    pub fn can_send(self) -> bool {
+        matches!(
+            self,
+            StreamState::Open | StreamState::HalfClosedRemote | StreamState::ReservedLocal
+        )
+    }
+
+    /// `true` when frames from the peer are still expected.
+    pub fn can_recv(self) -> bool {
+        matches!(
+            self,
+            StreamState::Open | StreamState::HalfClosedLocal | StreamState::ReservedRemote
+        )
+    }
+}
+
+/// Why a stream reached [`StreamState::Closed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// Both sides finished normally.
+    EndStream,
+    /// We sent RST_STREAM.
+    ResetLocal(ErrorCode),
+    /// The peer sent RST_STREAM.
+    ResetRemote(ErrorCode),
+}
+
+/// One stream's bookkeeping: state plus both flow-control windows.
+#[derive(Debug, Clone)]
+pub struct Stream {
+    /// Stream identifier.
+    pub id: StreamId,
+    /// Lifecycle state.
+    pub state: StreamState,
+    /// Window limiting what *we* may send on this stream.
+    pub send_window: FlowWindow,
+    /// Window limiting what the peer may send to us.
+    pub recv_window: FlowWindow,
+    /// Set once the stream closes.
+    pub close_reason: Option<CloseReason>,
+}
+
+impl Stream {
+    /// Creates an idle stream with the given initial window sizes.
+    pub fn new(id: StreamId, send_initial: u32, recv_initial: u32) -> Stream {
+        Stream {
+            id,
+            state: StreamState::Idle,
+            send_window: FlowWindow::new(send_initial),
+            recv_window: FlowWindow::new(recv_initial),
+            close_reason: None,
+        }
+    }
+
+    /// Transition for sending HEADERS opening the stream.
+    pub fn send_headers(&mut self, end_stream: bool) {
+        self.state = match (self.state, end_stream) {
+            (StreamState::Idle, false) => StreamState::Open,
+            (StreamState::Idle, true) => StreamState::HalfClosedLocal,
+            (StreamState::ReservedLocal, false) => StreamState::HalfClosedRemote,
+            (StreamState::ReservedLocal, true) => StreamState::Closed,
+            (state, false) => state,
+            (StreamState::Open, true) => StreamState::HalfClosedLocal,
+            (StreamState::HalfClosedRemote, true) => StreamState::Closed,
+            (state, true) => state,
+        };
+        if self.state == StreamState::Closed && self.close_reason.is_none() {
+            self.close_reason = Some(CloseReason::EndStream);
+        }
+    }
+
+    /// Transition for receiving HEADERS.
+    pub fn recv_headers(&mut self, end_stream: bool) {
+        self.state = match (self.state, end_stream) {
+            (StreamState::Idle, false) => StreamState::Open,
+            (StreamState::Idle, true) => StreamState::HalfClosedRemote,
+            (StreamState::ReservedRemote, false) => StreamState::HalfClosedLocal,
+            (StreamState::ReservedRemote, true) => StreamState::Closed,
+            (state, false) => state,
+            (StreamState::Open, true) => StreamState::HalfClosedRemote,
+            (StreamState::HalfClosedLocal, true) => StreamState::Closed,
+            (state, true) => state,
+        };
+        if self.state == StreamState::Closed && self.close_reason.is_none() {
+            self.close_reason = Some(CloseReason::EndStream);
+        }
+    }
+
+    /// Transition for a locally sent END_STREAM on DATA.
+    pub fn send_end_stream(&mut self) {
+        self.state = match self.state {
+            StreamState::Open => StreamState::HalfClosedLocal,
+            StreamState::HalfClosedRemote => StreamState::Closed,
+            other => other,
+        };
+        if self.state == StreamState::Closed && self.close_reason.is_none() {
+            self.close_reason = Some(CloseReason::EndStream);
+        }
+    }
+
+    /// Transition for a received END_STREAM on DATA.
+    pub fn recv_end_stream(&mut self) {
+        self.state = match self.state {
+            StreamState::Open => StreamState::HalfClosedRemote,
+            StreamState::HalfClosedLocal => StreamState::Closed,
+            other => other,
+        };
+        if self.state == StreamState::Closed && self.close_reason.is_none() {
+            self.close_reason = Some(CloseReason::EndStream);
+        }
+    }
+
+    /// Transition for sending RST_STREAM.
+    pub fn send_reset(&mut self, code: ErrorCode) {
+        self.state = StreamState::Closed;
+        self.close_reason = Some(CloseReason::ResetLocal(code));
+    }
+
+    /// Transition for receiving RST_STREAM.
+    pub fn recv_reset(&mut self, code: ErrorCode) {
+        self.state = StreamState::Closed;
+        self.close_reason = Some(CloseReason::ResetRemote(code));
+    }
+
+    /// `true` once the stream is closed.
+    pub fn is_closed(&self) -> bool {
+        self.state == StreamState::Closed
+    }
+}
+
+/// The set of streams on one connection.
+#[derive(Debug, Clone, Default)]
+pub struct StreamMap {
+    streams: HashMap<u32, Stream>,
+    highest_client: u32,
+    highest_server: u32,
+}
+
+impl StreamMap {
+    /// Creates an empty map.
+    pub fn new() -> StreamMap {
+        StreamMap::default()
+    }
+
+    /// Gets a stream.
+    pub fn get(&self, id: StreamId) -> Option<&Stream> {
+        self.streams.get(&id.value())
+    }
+
+    /// Gets a stream mutably.
+    pub fn get_mut(&mut self, id: StreamId) -> Option<&mut Stream> {
+        self.streams.get_mut(&id.value())
+    }
+
+    /// Inserts a stream, tracking the highest id seen per initiator.
+    pub fn insert(&mut self, stream: Stream) -> &mut Stream {
+        let id = stream.id;
+        if id.is_client_initiated() {
+            self.highest_client = self.highest_client.max(id.value());
+        } else if id.is_server_initiated() {
+            self.highest_server = self.highest_server.max(id.value());
+        }
+        self.streams.entry(id.value()).or_insert(stream)
+    }
+
+    /// Gets or creates a stream with the given initial windows.
+    pub fn get_or_create(
+        &mut self,
+        id: StreamId,
+        send_initial: u32,
+        recv_initial: u32,
+    ) -> &mut Stream {
+        if id.is_client_initiated() {
+            self.highest_client = self.highest_client.max(id.value());
+        } else if id.is_server_initiated() {
+            self.highest_server = self.highest_server.max(id.value());
+        }
+        self.streams
+            .entry(id.value())
+            .or_insert_with(|| Stream::new(id, send_initial, recv_initial))
+    }
+
+    /// Highest client-initiated stream id seen.
+    pub fn highest_client_id(&self) -> StreamId {
+        StreamId::new(self.highest_client)
+    }
+
+    /// Highest server-initiated stream id seen.
+    pub fn highest_server_id(&self) -> StreamId {
+        StreamId::new(self.highest_server)
+    }
+
+    /// Number of streams currently tracked.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// `true` when no streams exist.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Number of streams counted against `SETTINGS_MAX_CONCURRENT_STREAMS`
+    /// (open or half-closed; RFC 7540 §5.1.2).
+    pub fn active_count(&self) -> usize {
+        self.streams
+            .values()
+            .filter(|s| {
+                matches!(
+                    s.state,
+                    StreamState::Open
+                        | StreamState::HalfClosedLocal
+                        | StreamState::HalfClosedRemote
+                )
+            })
+            .count()
+    }
+
+    /// Iterates all streams in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Stream> {
+        self.streams.values()
+    }
+
+    /// Iterates all streams mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Stream> {
+        self.streams.values_mut()
+    }
+
+    /// Drops a stream entirely (after both sides have seen it close).
+    pub fn remove(&mut self, id: StreamId) -> Option<Stream> {
+        self.streams.remove(&id.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(v: u32) -> StreamId {
+        StreamId::new(v)
+    }
+
+    #[test]
+    fn request_response_lifecycle() {
+        // Client side of a GET: HEADERS(ES) out, HEADERS+DATA(ES) in.
+        let mut s = Stream::new(sid(1), 65_535, 65_535);
+        assert_eq!(s.state, StreamState::Idle);
+        s.send_headers(true);
+        assert_eq!(s.state, StreamState::HalfClosedLocal);
+        assert!(!s.state.can_send());
+        assert!(s.state.can_recv());
+        s.recv_headers(false);
+        assert_eq!(s.state, StreamState::HalfClosedLocal);
+        s.recv_end_stream();
+        assert_eq!(s.state, StreamState::Closed);
+        assert_eq!(s.close_reason, Some(CloseReason::EndStream));
+    }
+
+    #[test]
+    fn server_side_lifecycle() {
+        let mut s = Stream::new(sid(1), 65_535, 65_535);
+        s.recv_headers(true); // complete request
+        assert_eq!(s.state, StreamState::HalfClosedRemote);
+        assert!(s.state.can_send());
+        s.send_headers(false); // response headers
+        s.send_end_stream(); // final DATA
+        assert_eq!(s.state, StreamState::Closed);
+    }
+
+    #[test]
+    fn push_promise_lifecycle() {
+        // Server reserves, then fulfills.
+        let mut s = Stream::new(sid(2), 65_535, 65_535);
+        s.state = StreamState::ReservedLocal;
+        assert!(s.state.can_send());
+        assert!(!s.state.can_recv());
+        s.send_headers(false);
+        assert_eq!(s.state, StreamState::HalfClosedRemote);
+        s.send_end_stream();
+        assert_eq!(s.state, StreamState::Closed);
+    }
+
+    #[test]
+    fn reset_closes_immediately() {
+        let mut s = Stream::new(sid(1), 65_535, 65_535);
+        s.recv_headers(false);
+        s.recv_reset(ErrorCode::RefusedStream);
+        assert!(s.is_closed());
+        assert_eq!(s.close_reason, Some(CloseReason::ResetRemote(ErrorCode::RefusedStream)));
+    }
+
+    #[test]
+    fn map_tracks_highest_ids_and_active_count() {
+        let mut map = StreamMap::new();
+        map.get_or_create(sid(5), 100, 100).recv_headers(false);
+        map.get_or_create(sid(3), 100, 100).recv_headers(true);
+        map.get_or_create(sid(2), 100, 100);
+        assert_eq!(map.highest_client_id(), sid(5));
+        assert_eq!(map.highest_server_id(), sid(2));
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.active_count(), 2, "idle pushed stream not counted");
+    }
+
+    #[test]
+    fn get_or_create_is_idempotent() {
+        let mut map = StreamMap::new();
+        map.get_or_create(sid(1), 10, 10).send_headers(false);
+        let again = map.get_or_create(sid(1), 10, 10);
+        assert_eq!(again.state, StreamState::Open, "existing stream returned");
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based invariants for the priority dependency tree and the
+//! flow-control windows.
+
+use h2conn::{FlowWindow, PriorityTree, MAX_WINDOW};
+use h2wire::{PrioritySpec, StreamId};
+use proptest::prelude::*;
+
+/// One random priority operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Declare { stream: u32, dep: u32, weight: u16, exclusive: bool },
+    Remove { stream: u32 },
+}
+
+fn arb_op(max_stream: u32) -> impl Strategy<Value = Op> {
+    let ids = 0..max_stream;
+    prop_oneof![
+        4 => (1..max_stream, ids.clone(), 1u16..=256, any::<bool>()).prop_map(
+            |(stream, dep, weight, exclusive)| Op::Declare {
+                stream: stream * 2 + 1,
+                dep: dep * 2 + 1,
+                weight,
+                exclusive,
+            }
+        ),
+        1 => (1..max_stream).prop_map(|stream| Op::Remove { stream: stream * 2 + 1 }),
+    ]
+}
+
+/// Walks the tree from every node to the root; a cycle would loop forever,
+/// so bound the walk by the node count.
+fn assert_tree_invariants(tree: &PriorityTree, streams: &[u32]) {
+    for &s in streams {
+        let sid = StreamId::new(s);
+        if !tree.contains(sid) {
+            continue;
+        }
+        // Acyclic: the parent chain reaches the root within len() hops.
+        let mut cursor = sid;
+        let mut hops = 0;
+        while cursor != StreamId::CONNECTION {
+            cursor = tree.parent_of(cursor).expect("parent exists");
+            hops += 1;
+            assert!(hops <= tree.len() + 1, "cycle detected via stream {s}");
+        }
+        // Parent/child link symmetry.
+        let parent = tree.parent_of(sid).unwrap();
+        assert!(
+            tree.children_of(parent).contains(&sid),
+            "stream {s} missing from its parent's child list"
+        );
+        // Weight bounds.
+        let w = tree.weight_of(sid).unwrap();
+        assert!((1..=256).contains(&w), "weight {w} out of range");
+    }
+}
+
+proptest! {
+    /// Arbitrary interleavings of declare/remove never produce cycles,
+    /// broken parent links, or out-of-range weights.
+    #[test]
+    fn priority_tree_stays_consistent(ops in prop::collection::vec(arb_op(24), 1..60)) {
+        let mut tree = PriorityTree::new();
+        let mut touched = Vec::new();
+        for op in ops {
+            match op {
+                Op::Declare { stream, dep, weight, exclusive } => {
+                    let spec = PrioritySpec {
+                        exclusive,
+                        dependency: StreamId::new(dep),
+                        weight,
+                    };
+                    let result = tree.declare(StreamId::new(stream), spec);
+                    if stream == dep {
+                        prop_assert!(result.is_err(), "self-dependency must be reported");
+                    } else {
+                        prop_assert!(result.is_ok());
+                    }
+                    touched.push(stream);
+                    touched.push(dep);
+                }
+                Op::Remove { stream } => {
+                    tree.remove(StreamId::new(stream));
+                }
+            }
+            assert_tree_invariants(&tree, &touched);
+        }
+    }
+
+    /// The scheduler always returns a ready stream when one exists, and
+    /// never returns a stream that is not ready.
+    #[test]
+    fn scheduler_soundness(
+        ops in prop::collection::vec(arb_op(16), 1..40),
+        ready_mask in any::<u32>(),
+    ) {
+        let mut tree = PriorityTree::new();
+        for op in ops {
+            if let Op::Declare { stream, dep, weight, exclusive } = op {
+                let _ = tree.declare(
+                    StreamId::new(stream),
+                    PrioritySpec { exclusive, dependency: StreamId::new(dep), weight },
+                );
+            }
+        }
+        let ready: std::collections::HashSet<u32> = (1..64)
+            .step_by(2)
+            .filter(|&v| tree.contains(StreamId::new(v)) && (ready_mask >> (v % 32)) & 1 == 1)
+            .collect();
+        let any_ready = !ready.is_empty();
+        match tree.next_stream(|s| ready.contains(&s.value())) {
+            Some(s) => prop_assert!(
+                ready.contains(&s.value()),
+                "scheduler returned a non-ready stream"
+            ),
+            None => prop_assert!(!any_ready, "scheduler starved a ready stream"),
+        }
+    }
+
+    /// A ready ancestor is always scheduled before its ready descendants.
+    #[test]
+    fn parent_precedes_descendants(depth in 2usize..10) {
+        let mut tree = PriorityTree::new();
+        // A chain 1 <- 3 <- 5 <- ...
+        let ids: Vec<u32> = (0..depth as u32).map(|i| i * 2 + 1).collect();
+        for w in ids.windows(2) {
+            tree.declare(
+                StreamId::new(w[1]),
+                PrioritySpec { exclusive: false, dependency: StreamId::new(w[0]), weight: 16 },
+            ).unwrap();
+        }
+        let ready: Vec<u32> = ids.clone();
+        let first = tree.next_stream(|s| ready.contains(&s.value())).unwrap();
+        prop_assert_eq!(first.value(), ids[0], "chain head served first");
+    }
+
+    /// Window consume/expand never exceeds MAX_WINDOW or loses octets.
+    #[test]
+    fn window_accounting_is_exact(
+        initial in 0u32..=0x7fff_ffff,
+        ops in prop::collection::vec((any::<bool>(), 0u32..100_000), 0..100),
+    ) {
+        let mut w = FlowWindow::new(initial);
+        let mut model = i64::from(initial);
+        for (grow, n) in ops {
+            if grow {
+                if model + i64::from(n) <= MAX_WINDOW {
+                    w.expand(n).unwrap();
+                    model += i64::from(n);
+                } else {
+                    prop_assert!(w.expand(n).is_err());
+                }
+            } else if i64::from(n) <= model {
+                w.consume(n).unwrap();
+                model -= i64::from(n);
+            } else {
+                prop_assert!(w.consume(n).is_err());
+            }
+            prop_assert_eq!(w.available(), model);
+        }
+    }
+}

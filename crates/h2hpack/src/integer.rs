@@ -1,0 +1,133 @@
+//! HPACK prefix-integer representation (RFC 7541 §5.1).
+
+use crate::error::HpackDecodeError;
+
+/// Encodes `value` with an N-bit prefix, OR-ing `first_byte_flags` into the
+/// first octet (the representation discriminator bits).
+///
+/// # Panics
+///
+/// Panics if `prefix_bits` is not in `1..=8` (a programmer error — the
+/// representations in RFC 7541 use prefixes of 4, 5, 6 and 7 bits).
+pub fn encode(value: u64, prefix_bits: u8, first_byte_flags: u8, out: &mut Vec<u8>) {
+    assert!((1..=8).contains(&prefix_bits), "prefix must be 1..=8 bits");
+    let max_prefix = (1u64 << prefix_bits) - 1;
+    if value < max_prefix {
+        out.push(first_byte_flags | value as u8);
+        return;
+    }
+    out.push(first_byte_flags | max_prefix as u8);
+    let mut rest = value - max_prefix;
+    while rest >= 128 {
+        out.push((rest % 128) as u8 | 0x80);
+        rest /= 128;
+    }
+    out.push(rest as u8);
+}
+
+/// Decodes an N-bit-prefix integer from the front of `buf`.
+///
+/// Returns the value and the number of octets consumed.
+///
+/// # Errors
+///
+/// Returns [`HpackDecodeError::Truncated`] if the continuation bytes run
+/// out, or [`HpackDecodeError::IntegerOverflow`] if the value exceeds
+/// `u32::MAX` (far beyond any legal HPACK field; RFC 7541 §5.1 lets
+/// implementations set limits).
+pub fn decode(buf: &[u8], prefix_bits: u8) -> Result<(u64, usize), HpackDecodeError> {
+    assert!((1..=8).contains(&prefix_bits), "prefix must be 1..=8 bits");
+    let (&first, rest) = buf.split_first().ok_or(HpackDecodeError::Truncated)?;
+    let max_prefix = (1u64 << prefix_bits) - 1;
+    let mut value = u64::from(first) & max_prefix;
+    if value < max_prefix {
+        return Ok((value, 1));
+    }
+    let mut shift = 0u32;
+    for (i, &byte) in rest.iter().enumerate() {
+        let chunk = u64::from(byte & 0x7f);
+        value = value
+            .checked_add(chunk.checked_shl(shift).ok_or(HpackDecodeError::IntegerOverflow)?)
+            .ok_or(HpackDecodeError::IntegerOverflow)?;
+        if value > u64::from(u32::MAX) {
+            return Err(HpackDecodeError::IntegerOverflow);
+        }
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 2));
+        }
+        shift += 7;
+    }
+    Err(HpackDecodeError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc_example_10_with_5_bit_prefix() {
+        // RFC 7541 §C.1.1: encoding 10 with a 5-bit prefix gives 0b01010.
+        let mut out = Vec::new();
+        encode(10, 5, 0, &mut out);
+        assert_eq!(out, vec![0b01010]);
+        assert_eq!(decode(&out, 5).unwrap(), (10, 1));
+    }
+
+    #[test]
+    fn rfc_example_1337_with_5_bit_prefix() {
+        // RFC 7541 §C.1.2.
+        let mut out = Vec::new();
+        encode(1337, 5, 0, &mut out);
+        assert_eq!(out, vec![0b11111, 0b1001_1010, 0b0000_1010]);
+        assert_eq!(decode(&out, 5).unwrap(), (1337, 3));
+    }
+
+    #[test]
+    fn rfc_example_42_with_8_bit_prefix() {
+        // RFC 7541 §C.1.3: 42 fits directly into one octet.
+        let mut out = Vec::new();
+        encode(42, 8, 0, &mut out);
+        assert_eq!(out, vec![42]);
+        assert_eq!(decode(&out, 8).unwrap(), (42, 1));
+    }
+
+    #[test]
+    fn flags_are_preserved_in_first_octet() {
+        let mut out = Vec::new();
+        encode(3, 6, 0b0100_0000, &mut out);
+        assert_eq!(out, vec![0b0100_0011]);
+    }
+
+    #[test]
+    fn boundary_values_round_trip() {
+        for prefix in 1u8..=8 {
+            let max_prefix = (1u64 << prefix) - 1;
+            for value in [0, 1, max_prefix - 1, max_prefix, max_prefix + 1, 127, 128, 16_383,
+                          u64::from(u32::MAX)] {
+                if value == 0 && max_prefix == 0 {
+                    continue;
+                }
+                let mut out = Vec::new();
+                encode(value, prefix, 0, &mut out);
+                let (decoded, used) = decode(&out, prefix).unwrap();
+                assert_eq!(decoded, value, "prefix {prefix} value {value}");
+                assert_eq!(used, out.len());
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_continuation_is_detected() {
+        let mut out = Vec::new();
+        encode(1337, 5, 0, &mut out);
+        assert_eq!(decode(&out[..2], 5), Err(HpackDecodeError::Truncated));
+        assert_eq!(decode(&[], 5), Err(HpackDecodeError::Truncated));
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        // 0x1f then endless 0xff continuations overflows past u32.
+        let buf = [0x1f, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert_eq!(decode(&buf, 5), Err(HpackDecodeError::IntegerOverflow));
+    }
+}

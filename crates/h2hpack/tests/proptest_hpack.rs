@@ -1,0 +1,103 @@
+//! Property-based tests for HPACK: the decoder must invert the encoder
+//! under every policy, and the Huffman coder must round-trip arbitrary
+//! octet strings.
+
+use h2hpack::encoder::{Encoder, EncoderOptions, IndexingPolicy};
+use h2hpack::{huffman, integer, Decoder, Header};
+use proptest::prelude::*;
+
+fn arb_header() -> impl Strategy<Value = Header> {
+    let name = prop_oneof![
+        Just(":method".to_string()),
+        Just(":path".to_string()),
+        Just("content-type".to_string()),
+        Just("server".to_string()),
+        "[a-z][a-z0-9-]{0,20}",
+    ];
+    let value = prop_oneof![
+        Just("GET".to_string()),
+        Just("200".to_string()),
+        "[ -~]{0,40}", // printable ASCII
+    ];
+    (name, value).prop_map(|(n, v)| Header::new(n, v))
+}
+
+fn arb_policy() -> impl Strategy<Value = IndexingPolicy> {
+    prop_oneof![
+        Just(IndexingPolicy::Always),
+        Just(IndexingPolicy::Never),
+        Just(IndexingPolicy::NeverIndexed),
+    ]
+}
+
+proptest! {
+    /// Encoder → decoder is the identity on header lists, across multiple
+    /// blocks sharing one connection context.
+    #[test]
+    fn hpack_round_trips(
+        blocks in prop::collection::vec(prop::collection::vec(arb_header(), 0..12), 1..5),
+        policy in arb_policy(),
+        use_huffman in any::<bool>(),
+        table_size in prop_oneof![Just(0u32), Just(64), Just(4096), Just(65536)],
+    ) {
+        let mut enc = Encoder::with_options(EncoderOptions {
+            indexing: policy,
+            use_huffman,
+            max_table_size: table_size,
+        });
+        let mut dec = Decoder::with_table_size(table_size);
+        for headers in &blocks {
+            let block = enc.encode_block(headers);
+            let decoded = dec.decode_block(&block).expect("well-formed block");
+            prop_assert_eq!(&decoded, headers);
+        }
+    }
+
+    /// Huffman coding round-trips arbitrary bytes.
+    #[test]
+    fn huffman_round_trips(data in prop::collection::vec(any::<u8>(), 0..300)) {
+        let mut coded = Vec::new();
+        huffman::encode(&data, &mut coded);
+        prop_assert_eq!(coded.len(), huffman::encoded_len(&data));
+        prop_assert_eq!(huffman::decode(&coded).expect("valid"), data);
+    }
+
+    /// Huffman decoding of arbitrary noise never panics.
+    #[test]
+    fn huffman_decode_never_panics(noise in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = huffman::decode(&noise);
+    }
+
+    /// Prefix integers round-trip over the full u32 range and all prefixes.
+    #[test]
+    fn integers_round_trip(value in any::<u32>(), prefix in 1u8..=8) {
+        let mut out = Vec::new();
+        integer::encode(u64::from(value), prefix, 0, &mut out);
+        let (decoded, used) = integer::decode(&out, prefix).expect("decodes");
+        prop_assert_eq!(decoded, u64::from(value));
+        prop_assert_eq!(used, out.len());
+    }
+
+    /// Decoding arbitrary noise never panics (errors are fine).
+    #[test]
+    fn decoder_never_panics(noise in prop::collection::vec(any::<u8>(), 0..128)) {
+        let mut dec = Decoder::new();
+        let _ = dec.decode_block(&noise);
+    }
+
+    /// The dynamic table never exceeds its budget.
+    #[test]
+    fn table_size_respects_budget(
+        headers in prop::collection::vec(arb_header(), 0..64),
+        budget in 0u32..512,
+    ) {
+        let mut enc = Encoder::with_options(EncoderOptions {
+            max_table_size: budget,
+            ..EncoderOptions::default()
+        });
+        for h in &headers {
+            let _ = enc.encode_block(std::slice::from_ref(h));
+            prop_assert!(enc.table().size() <= budget);
+        }
+    }
+}

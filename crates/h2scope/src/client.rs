@@ -1,0 +1,324 @@
+//! The frame-level probe connection.
+//!
+//! This is the heart of H2Scope's methodology: a client that speaks
+//! HTTP/2 at the *frame* level, free to send protocol-violating frames
+//! (zero window updates, self-dependencies, oversized increments) that no
+//! general-purpose HTTP/2 library would emit, and to observe exactly
+//! which frames come back and in what order.
+
+use h2hpack::{Decoder as HpackDecoder, Encoder as HpackEncoder, Header};
+use h2server::H2Server;
+use h2wire::settings::MAX_MAX_FRAME_SIZE;
+use h2wire::{
+    encode_all, Frame, FrameDecoder, HeadersFrame, PrioritySpec, SettingId, Settings,
+    SettingsFrame, StreamId, WindowUpdateFrame, CONNECTION_PREFACE,
+};
+use netsim::time::SimTime;
+use netsim::Pipe;
+
+use crate::target::Target;
+
+/// A received frame with its virtual arrival time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedFrame {
+    /// When the bytes carrying this frame arrived at the client.
+    pub at: SimTime,
+    /// The decoded frame.
+    pub frame: Frame,
+    /// For HEADERS/PUSH_PROMISE frames completing a header block: the
+    /// HPACK-decoded list. Decoded eagerly, in arrival order, because
+    /// HPACK contexts are stateful — skipping a block would corrupt every
+    /// later decode.
+    pub headers: Option<Vec<Header>>,
+}
+
+/// A frame-level HTTP/2 client connection to one [`Target`].
+#[derive(Debug)]
+pub struct ProbeConn {
+    pipe: Pipe<H2Server>,
+    decoder: FrameDecoder,
+    hpack_decoder: HpackDecoder,
+    hpack_encoder: HpackEncoder,
+    assembler: h2conn::HeaderAssembler,
+    authority: String,
+    /// Every frame received so far, in arrival order.
+    pub received: Vec<TimedFrame>,
+}
+
+impl ProbeConn {
+    /// Opens a connection and performs the HTTP/2 prelude: preface plus
+    /// the client's SETTINGS (the knob most probes customize).
+    pub fn establish(target: &Target, client_settings: Settings, seed: u64) -> ProbeConn {
+        let pipe = target.connect(seed);
+        let mut decoder = FrameDecoder::new();
+        // The probe accepts any frame size: it must observe rather than
+        // police what servers send.
+        decoder.set_max_frame_size(MAX_MAX_FRAME_SIZE);
+        let mut hpack_decoder = HpackDecoder::new();
+        // Our announced SETTINGS govern what the server may do to us: a
+        // larger HEADER_TABLE_SIZE permits larger table-size updates in
+        // the server's header blocks.
+        if let Some(size) = client_settings.get(SettingId::HeaderTableSize) {
+            hpack_decoder.set_protocol_max_table_size(size);
+        }
+        let mut conn = ProbeConn {
+            pipe,
+            decoder,
+            hpack_decoder,
+            hpack_encoder: HpackEncoder::new(),
+            assembler: h2conn::HeaderAssembler::new(),
+            authority: target.site.authority.clone(),
+            received: Vec::new(),
+        };
+        let mut hello = CONNECTION_PREFACE.to_vec();
+        Frame::Settings(SettingsFrame::from(client_settings)).encode(&mut hello);
+        conn.pipe.client_send(hello);
+        conn
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.pipe.now()
+    }
+
+    /// Access to the server under probe (testbed-mode inspection).
+    pub fn server(&self) -> &H2Server {
+        self.pipe.server()
+    }
+
+    /// Sends one frame.
+    pub fn send(&mut self, frame: Frame) {
+        self.pipe.client_send(frame.to_bytes());
+    }
+
+    /// Sends several frames as one segment.
+    pub fn send_all(&mut self, frames: &[Frame]) {
+        self.pipe.client_send(encode_all(frames));
+    }
+
+    /// Sends a GET request on `stream`, optionally with priority fields,
+    /// returning the encoded HEADERS frame size for reference.
+    pub fn get(&mut self, stream: u32, path: &str, priority: Option<PrioritySpec>) -> usize {
+        let headers = self.request_headers(path);
+        let block = self.hpack_encoder.encode_block(&headers);
+        let len = block.len();
+        self.send(Frame::Headers(HeadersFrame {
+            stream_id: StreamId::new(stream),
+            fragment: block.into(),
+            end_stream: true,
+            end_headers: true,
+            priority,
+            pad_len: None,
+        }));
+        len
+    }
+
+    /// The standard request header list the probe sends.
+    pub fn request_headers(&self, path: &str) -> Vec<Header> {
+        vec![
+            Header::new(":method", "GET"),
+            Header::new(":scheme", "https"),
+            Header::new(":path", path),
+            Header::new(":authority", self.authority.clone()),
+            Header::new("user-agent", "h2scope/0.1"),
+            Header::new("accept", "*/*"),
+            Header::new("accept-encoding", "gzip, deflate"),
+        ]
+    }
+
+    /// Runs the network until quiescent; returns (and retains) the newly
+    /// received frames, with header blocks HPACK-decoded in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server emits bytes that do not parse as frames or
+    /// header blocks that do not decode — bugs in the engine, not
+    /// measurable behaviors.
+    pub fn exchange(&mut self) -> Vec<TimedFrame> {
+        let arrivals = self.pipe.run_to_quiescence();
+        let mut new_frames = Vec::new();
+        for arrival in arrivals {
+            self.decoder.feed(&arrival.bytes);
+            while let Some(frame) = self.decoder.next_frame().expect("server output parses") {
+                let headers = self.decode_block_of(&frame);
+                new_frames.push(TimedFrame { at: arrival.at, frame, headers });
+            }
+        }
+        self.received.extend(new_frames.iter().cloned());
+        new_frames
+    }
+
+    /// Decodes the header block carried by HEADERS/PUSH_PROMISE/
+    /// CONTINUATION frames, maintaining assembly state across fragments.
+    fn decode_block_of(&mut self, frame: &Frame) -> Option<Vec<Header>> {
+        use h2conn::BlockKind;
+        let complete = match frame {
+            Frame::Headers(h) => self
+                .assembler
+                .start(
+                    h.stream_id,
+                    BlockKind::Headers,
+                    &h.fragment,
+                    h.end_stream,
+                    h.end_headers,
+                    h.priority,
+                )
+                .expect("server respects continuation discipline"),
+            Frame::PushPromise(p) => self
+                .assembler
+                .start(
+                    p.stream_id,
+                    BlockKind::PushPromise { promised: p.promised_stream_id },
+                    &p.fragment,
+                    false,
+                    p.end_headers,
+                    None,
+                )
+                .expect("server respects continuation discipline"),
+            Frame::Continuation(c) => {
+                self.assembler.continuation(c).expect("server respects continuation discipline")
+            }
+            _ => None,
+        };
+        complete.map(|block| {
+            self.hpack_decoder
+                .decode_block(&block.fragment)
+                .expect("server header blocks decode")
+        })
+    }
+
+    /// Sends WINDOW_UPDATE frames replenishing both the connection window
+    /// and `stream`'s window by `octets` (the standard client reaction to
+    /// consumed DATA).
+    pub fn replenish(&mut self, stream: u32, octets: u32) {
+        if octets == 0 {
+            return;
+        }
+        self.send_all(&[
+            Frame::WindowUpdate(WindowUpdateFrame {
+                stream_id: StreamId::CONNECTION,
+                increment: octets,
+            }),
+            Frame::WindowUpdate(WindowUpdateFrame {
+                stream_id: StreamId::new(stream),
+                increment: octets,
+            }),
+        ]);
+    }
+
+    /// Fetches `path` on `stream` to completion, replenishing windows as
+    /// data arrives. Returns all frames received during the fetch and the
+    /// completion time.
+    pub fn fetch(&mut self, stream: u32, path: &str) -> (Vec<TimedFrame>, SimTime) {
+        self.get(stream, path, None);
+        let mut all = Vec::new();
+        loop {
+            let frames = self.exchange();
+            if frames.is_empty() {
+                break;
+            }
+            let mut done = false;
+            for tf in &frames {
+                match &tf.frame {
+                    Frame::Data(d) => {
+                        let octets = d.flow_controlled_len();
+                        let sid = d.stream_id.value();
+                        if d.end_stream && sid == stream {
+                            done = true;
+                        }
+                        self.replenish(sid, octets);
+                    }
+                    Frame::Headers(h) if h.end_stream && h.stream_id.value() == stream => {
+                        done = true;
+                    }
+                    _ => {}
+                }
+            }
+            all.extend(frames);
+            if done {
+                // Drain any trailing frames already in flight.
+                all.extend(self.exchange());
+                break;
+            }
+        }
+        let at = self.now();
+        (all, at)
+    }
+
+    /// Convenience: the settings frame the server announced, if received.
+    pub fn server_settings(&self) -> Option<&Settings> {
+        self.received.iter().find_map(|tf| match &tf.frame {
+            Frame::Settings(s) if !s.ack => Some(&s.settings),
+            _ => None,
+        })
+    }
+
+    /// Convenience: the announced value of one parameter.
+    pub fn announced(&self, id: SettingId) -> Option<u32> {
+        self.server_settings().and_then(|s| s.get(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2server::{ServerProfile, SiteSpec};
+
+    fn target() -> Target {
+        Target::testbed(ServerProfile::rfc7540(), SiteSpec::benchmark())
+    }
+
+    #[test]
+    fn establish_receives_server_settings() {
+        let mut conn = ProbeConn::establish(&target(), Settings::new(), 1);
+        conn.exchange();
+        assert!(conn.server_settings().is_some());
+        assert_eq!(conn.announced(SettingId::MaxConcurrentStreams), Some(100));
+    }
+
+    #[test]
+    fn fetch_completes_large_object_with_window_replenishment() {
+        let mut conn = ProbeConn::establish(&target(), Settings::new(), 1);
+        conn.exchange();
+        let (frames, _) = conn.fetch(1, "/big/0");
+        let data_octets: usize = frames
+            .iter()
+            .filter_map(|tf| match &tf.frame {
+                Frame::Data(d) => Some(d.data.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(data_octets, 256 * 1024, "entire object transferred");
+        assert!(frames.iter().any(
+            |tf| matches!(&tf.frame, Frame::Data(d) if d.end_stream)
+        ));
+    }
+
+    #[test]
+    fn header_blocks_are_decoded_eagerly_in_order() {
+        let mut conn = ProbeConn::establish(&target(), Settings::new(), 1);
+        conn.exchange();
+        let (frames1, _) = conn.fetch(1, "/");
+        let (frames2, _) = conn.fetch(3, "/");
+        let mut sizes = Vec::new();
+        for frames in [frames1, frames2] {
+            for tf in frames {
+                if let Frame::Headers(h) = &tf.frame {
+                    sizes.push(h.fragment.len());
+                    let headers = tf.headers.as_ref().expect("decoded eagerly");
+                    assert!(headers.iter().any(|hd| hd.name == ":status"));
+                }
+            }
+        }
+        assert_eq!(sizes.len(), 2);
+        assert!(sizes[1] < sizes[0], "indexed second response is smaller");
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let mut conn = ProbeConn::establish(&target(), Settings::new(), 1);
+        conn.exchange();
+        let (frames, _) = conn.fetch(1, "/big/1");
+        assert!(frames.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}

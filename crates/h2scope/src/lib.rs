@@ -1,0 +1,51 @@
+//! # h2scope — the paper's measurement tool, rebuilt
+//!
+//! H2Scope characterizes how an HTTP/2 server realizes the protocol's new
+//! features by speaking to it at the *frame* level: it sends SETTINGS,
+//! WINDOW_UPDATE, PRIORITY and PING frames a conforming client library
+//! would never emit, and classifies the server's reaction.
+//!
+//! The probe suite maps one-to-one onto the paper's Section III:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §III-A request multiplexing, MAX_CONCURRENT_STREAMS | [`probes::multiplexing`] |
+//! | §III-B flow control (4 tests) | [`probes::flow_control`] |
+//! | §III-C Algorithm 1 + self-dependency | [`probes::priority`] |
+//! | §III-D server push | [`probes::push`] |
+//! | §III-E HPACK ratio (eq. 1) | [`probes::hpack`] |
+//! | §III-F PING RTT vs ICMP/TCP/HTTP1.1 | [`probes::ping`] |
+//! | §IV-A ALPN/NPN | [`probes::negotiation`] |
+//! | §V-C SETTINGS survey | [`probes::settings`] |
+//! | §V-F page-load with/without push | [`pageload`] |
+//! | §VI lossy-link single vs multi connection | [`multi_connection`] |
+//!
+//! ```
+//! use h2scope::{H2Scope, testbed::Testbed};
+//! use h2server::{ServerProfile, SiteSpec};
+//!
+//! let scope = H2Scope::new();
+//! let report = scope.characterize(&Testbed::new(
+//!     ServerProfile::h2o(), SiteSpec::benchmark()));
+//! assert!(report.priority.passes());   // H2O honors priorities
+//! assert!(report.push.supported == false); // benchmark site has no manifest
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod multi_connection;
+pub mod pageload;
+pub mod probes;
+pub mod report;
+pub mod scope;
+pub mod storage;
+pub mod target;
+pub mod trace;
+
+pub use client::{ProbeConn, TimedFrame};
+pub use probes::Reaction;
+pub use report::{ServerCharacterization, SiteReport};
+pub use scope::{H2Scope, ScopeConfig};
+pub use target::testbed;
+pub use target::Target;

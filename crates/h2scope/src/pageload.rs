@@ -1,0 +1,151 @@
+//! Page-load-time model for the server-push experiment (Figure 3).
+//!
+//! The paper loads 15 push-enabled sites 30 times each in Firefox with
+//! push on and off. Here the "browser" knows the page's asset list (the
+//! stand-in for parsing HTML) and either receives the assets pushed
+//! alongside the page or requests them after the page arrives — the one
+//! round trip that push saves.
+
+use std::collections::{HashMap, HashSet};
+
+use h2wire::{Frame, SettingId, Settings};
+use netsim::time::SimDuration;
+
+use crate::client::ProbeConn;
+use crate::target::Target;
+
+/// One page load measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageLoad {
+    /// Time from the page request to the last byte of page + assets.
+    pub load_time: SimDuration,
+    /// Number of assets that arrived via push.
+    pub pushed_assets: usize,
+}
+
+/// Loads the front page with push enabled or disabled, returning the page
+/// load time.
+pub fn page_load(target: &Target, enable_push: bool, seed: u64) -> PageLoad {
+    let settings =
+        Settings::new().with(SettingId::EnablePush, u32::from(enable_push));
+    let mut conn = ProbeConn::establish(target, settings, seed);
+    conn.exchange();
+
+    let assets: Vec<String> =
+        target.site.push_manifest.get("/").cloned().unwrap_or_default();
+    let t0 = conn.now();
+    conn.get(1, "/", None);
+
+    let mut expected: HashSet<u32> = HashSet::from([1]);
+    let mut completed: HashSet<u32> = HashSet::new();
+    let mut promised: HashMap<String, u32> = HashMap::new();
+    let mut requested_assets = false;
+    let mut next_stream = 3u32;
+
+    loop {
+        let frames = conn.exchange();
+        let mut sent_something = false;
+        for tf in &frames {
+            match &tf.frame {
+                Frame::PushPromise(p) => {
+                    expected.insert(p.promised_stream_id.value());
+                    if let Some(headers) = &tf.headers {
+                        if let Some(path) = headers.iter().find(|h| h.name == ":path") {
+                            promised.insert(path.value.clone(), p.promised_stream_id.value());
+                        }
+                    }
+                }
+                Frame::Data(d) => {
+                    conn.replenish(d.stream_id.value(), d.flow_controlled_len());
+                    sent_something = true;
+                    if d.end_stream {
+                        completed.insert(d.stream_id.value());
+                    }
+                }
+                Frame::Headers(h) if h.end_stream => {
+                    completed.insert(h.stream_id.value());
+                }
+                _ => {}
+            }
+        }
+        // Once the page itself is down, "parse the HTML" and request any
+        // asset that was not pushed.
+        if completed.contains(&1) && !requested_assets {
+            requested_assets = true;
+            for asset in &assets {
+                if !promised.contains_key(asset) {
+                    conn.get(next_stream, asset, None);
+                    expected.insert(next_stream);
+                    next_stream += 2;
+                    sent_something = true;
+                }
+            }
+        }
+        if expected.iter().all(|s| completed.contains(s)) {
+            break;
+        }
+        if frames.is_empty() && !sent_something {
+            break; // stalled: count what we have
+        }
+    }
+
+    PageLoad { load_time: conn.now() - t0, pushed_assets: promised.len() }
+}
+
+/// Runs the paper's experiment: `loads` page loads with push enabled and
+/// disabled, returning (enabled, disabled) load-time samples in ms.
+pub fn compare(target: &Target, loads: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut enabled = Vec::with_capacity(loads);
+    let mut disabled = Vec::with_capacity(loads);
+    for i in 0..loads {
+        let seed = 0x9a6e ^ (i as u64) << 8;
+        enabled.push(page_load(target, true, seed).load_time.as_millis_f64());
+        disabled.push(page_load(target, false, seed).load_time.as_millis_f64());
+    }
+    (enabled, disabled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2server::{ServerProfile, SiteSpec};
+    use netsim::LinkSpec;
+
+    fn push_target(profile: ServerProfile) -> Target {
+        let mut target = Target::testbed(profile, SiteSpec::page_with_assets(8, 20_000));
+        target.link = LinkSpec::wan(40);
+        target
+    }
+
+    #[test]
+    fn push_reduces_page_load_time() {
+        let target = push_target(ServerProfile::h2o());
+        let with_push = page_load(&target, true, 1);
+        let without_push = page_load(&target, false, 1);
+        assert_eq!(with_push.pushed_assets, 8);
+        assert_eq!(without_push.pushed_assets, 0);
+        assert!(
+            with_push.load_time < without_push.load_time,
+            "push {} vs no-push {}",
+            with_push.load_time,
+            without_push.load_time
+        );
+    }
+
+    #[test]
+    fn push_incapable_server_shows_no_difference_in_shape() {
+        let target = push_target(ServerProfile::nginx());
+        let with_push = page_load(&target, true, 1);
+        assert_eq!(with_push.pushed_assets, 0, "nginx pushes nothing");
+    }
+
+    #[test]
+    fn compare_produces_paired_samples() {
+        let target = push_target(ServerProfile::apache());
+        let (enabled, disabled) = compare(&target, 5);
+        assert_eq!(enabled.len(), 5);
+        assert_eq!(disabled.len(), 5);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&enabled) < mean(&disabled), "Figure 3's typical case");
+    }
+}

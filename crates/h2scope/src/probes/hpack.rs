@@ -1,0 +1,102 @@
+//! HPACK probe (§III-E): send H identical requests and measure the
+//! compression ratio r = Σ Sᵢ / (S₁ · H) over the response HEADERS
+//! frames. A server that indexes response headers drives r toward 1/H; a
+//! server that never does stays at 1.
+
+use serde::{Deserialize, Serialize};
+
+use h2wire::{Frame, Settings};
+
+use crate::client::ProbeConn;
+use crate::target::Target;
+
+/// Result of the HPACK probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HpackReport {
+    /// Compression ratio r (equation 1 in the paper).
+    pub ratio: f64,
+    /// Response HEADERS frame sizes S₁..S_H (frame header + block).
+    pub sizes: Vec<usize>,
+    /// Number of identical requests sent (the paper's H).
+    pub h: usize,
+}
+
+impl HpackReport {
+    /// Whether the measurement should be discarded per §V-G (sites that
+    /// inject cookies make r exceed 1).
+    pub fn filtered(&self) -> bool {
+        self.ratio > 1.0
+    }
+}
+
+/// Sends `h` identical GETs for `/` and computes the ratio.
+pub fn probe(target: &Target, h: usize) -> HpackReport {
+    assert!(h >= 2, "the ratio needs at least two samples");
+    let mut conn = ProbeConn::establish(target, Settings::new(), 0x4bac);
+    conn.exchange();
+    let mut sizes = Vec::with_capacity(h);
+    for i in 0..h {
+        let stream = 1 + 2 * i as u32;
+        let (frames, _) = conn.fetch(stream, "/");
+        for tf in &frames {
+            if let Frame::Headers(hf) = &tf.frame {
+                if hf.stream_id.value() == stream {
+                    sizes.push(hf.fragment.len() + h2wire::FRAME_HEADER_LEN);
+                }
+            }
+        }
+    }
+    let ratio = if sizes.is_empty() || sizes[0] == 0 {
+        f64::NAN
+    } else {
+        sizes.iter().sum::<usize>() as f64 / (sizes[0] * sizes.len()) as f64
+    };
+    HpackReport { ratio, sizes, h }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2server::{ServerProfile, SiteSpec};
+
+    fn ratio_for(profile: ServerProfile) -> HpackReport {
+        probe(&Target::testbed(profile, SiteSpec::benchmark()), 8)
+    }
+
+    #[test]
+    fn indexing_servers_compress_well() {
+        // GSE/LiteSpeed territory in Figures 4/5: r < 0.3.
+        for profile in [ServerProfile::gse(), ServerProfile::litespeed(), ServerProfile::h2o()] {
+            let name = profile.name.clone();
+            let report = ratio_for(profile);
+            assert_eq!(report.sizes.len(), 8);
+            assert!(report.ratio < 0.3, "{name}: r = {}", report.ratio);
+            assert!(!report.filtered());
+        }
+    }
+
+    #[test]
+    fn non_indexing_servers_stay_at_one() {
+        // The Nginx/Tengine/IdeaWebServer population: r = 1.
+        for profile in [ServerProfile::nginx(), ServerProfile::tengine(), ServerProfile::ideaweb()]
+        {
+            let name = profile.name.clone();
+            let report = ratio_for(profile);
+            assert!((report.ratio - 1.0).abs() < 1e-9, "{name}: r = {}", report.ratio);
+        }
+    }
+
+    #[test]
+    fn cookie_injection_pushes_ratio_above_one() {
+        let report = ratio_for(ServerProfile::tengine_aserver());
+        assert!(report.ratio > 1.0, "r = {}", report.ratio);
+        assert!(report.filtered(), "§V-G filters these sites out");
+    }
+
+    #[test]
+    fn sizes_are_monotone_nonincreasing_for_indexing_servers() {
+        let report = ratio_for(ServerProfile::gse());
+        assert!(report.sizes[1] < report.sizes[0]);
+        assert!(report.sizes.windows(2).skip(1).all(|w| w[1] <= w[0]));
+    }
+}

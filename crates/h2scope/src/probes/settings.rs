@@ -1,0 +1,115 @@
+//! SETTINGS frame probe (§V-C): record every parameter the server
+//! announces, plus the "announce zero, then WINDOW_UPDATE" pattern the
+//! paper observed on Nginx (Table V).
+
+use serde::{Deserialize, Serialize};
+
+use h2wire::{Frame, SettingId, Settings};
+
+use crate::client::ProbeConn;
+use crate::target::Target;
+
+/// The server's announced SETTINGS, `None` meaning "not present in the
+/// frame" (the paper's NULL rows in Tables V–VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SettingsReport {
+    /// `SETTINGS_HEADER_TABLE_SIZE`.
+    pub header_table_size: Option<u32>,
+    /// `SETTINGS_ENABLE_PUSH`.
+    pub enable_push: Option<u32>,
+    /// `SETTINGS_MAX_CONCURRENT_STREAMS`.
+    pub max_concurrent_streams: Option<u32>,
+    /// `SETTINGS_INITIAL_WINDOW_SIZE`.
+    pub initial_window_size: Option<u32>,
+    /// `SETTINGS_MAX_FRAME_SIZE`.
+    pub max_frame_size: Option<u32>,
+    /// `SETTINGS_MAX_HEADER_LIST_SIZE`.
+    pub max_header_list_size: Option<u32>,
+    /// The server announced `INITIAL_WINDOW_SIZE = 0` and immediately sent
+    /// a WINDOW_UPDATE re-opening the window (the Nginx pattern the paper
+    /// verified in its testbed).
+    pub zero_window_then_update: bool,
+    /// A SETTINGS frame was received at all.
+    pub received: bool,
+}
+
+impl SettingsReport {
+    /// Extracts the report from a parameter list.
+    pub fn from_settings(settings: &Settings) -> SettingsReport {
+        SettingsReport {
+            header_table_size: settings.get(SettingId::HeaderTableSize),
+            enable_push: settings.get(SettingId::EnablePush),
+            max_concurrent_streams: settings.get(SettingId::MaxConcurrentStreams),
+            initial_window_size: settings.get(SettingId::InitialWindowSize),
+            max_frame_size: settings.get(SettingId::MaxFrameSize),
+            max_header_list_size: settings.get(SettingId::MaxHeaderListSize),
+            zero_window_then_update: false,
+            received: true,
+        }
+    }
+}
+
+/// Connects and records the server's announced SETTINGS.
+pub fn probe(target: &Target) -> SettingsReport {
+    let mut conn = ProbeConn::establish(target, Settings::new(), 0x5e77);
+    let frames = conn.exchange();
+    let mut report = SettingsReport::default();
+    let mut saw_settings = false;
+    for tf in &frames {
+        match &tf.frame {
+            Frame::Settings(s) if !s.ack && !saw_settings => {
+                saw_settings = true;
+                report = SettingsReport::from_settings(&s.settings);
+            }
+            Frame::WindowUpdate(wu)
+                if saw_settings
+                    && wu.stream_id.is_connection()
+                    && report.initial_window_size == Some(0) =>
+            {
+                report.zero_window_then_update = true;
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2server::{ServerProfile, SiteSpec};
+
+    fn report_for(profile: ServerProfile) -> SettingsReport {
+        probe(&Target::testbed(profile, SiteSpec::benchmark()))
+    }
+
+    #[test]
+    fn nginx_pattern_is_detected() {
+        let report = report_for(ServerProfile::nginx());
+        assert_eq!(report.initial_window_size, Some(0));
+        assert!(report.zero_window_then_update);
+        assert_eq!(report.max_concurrent_streams, Some(128));
+    }
+
+    #[test]
+    fn h2o_announces_large_window() {
+        let report = report_for(ServerProfile::h2o());
+        assert_eq!(report.initial_window_size, Some(16_777_216));
+        assert!(!report.zero_window_then_update);
+    }
+
+    #[test]
+    fn gse_announces_max_header_list_size() {
+        let report = report_for(ServerProfile::gse());
+        assert_eq!(report.max_header_list_size, Some(16_384));
+        assert_eq!(report.max_frame_size, Some(16_777_215));
+    }
+
+    #[test]
+    fn absent_parameters_read_as_null() {
+        let report = report_for(ServerProfile::nghttpd());
+        assert!(report.received);
+        assert_eq!(report.header_table_size, None, "not announced = NULL");
+        assert_eq!(report.enable_push, None);
+    }
+}

@@ -1,0 +1,117 @@
+//! Reports: the per-server characterization (Table III) and the per-site
+//! scan record (the paper's measurement "database").
+
+use serde::{Deserialize, Serialize};
+
+use h2wire::{Frame, Settings};
+
+use crate::client::ProbeConn;
+use crate::probes::flow_control::FlowControlReport;
+use crate::probes::hpack::HpackReport;
+use crate::probes::multiplexing::MultiplexingReport;
+use crate::probes::negotiation::NegotiationReport;
+use crate::probes::ping::PingReport;
+use crate::probes::priority::PriorityReport;
+use crate::probes::push::PushReport;
+use crate::probes::settings::SettingsReport;
+use crate::target::Target;
+
+/// A full characterization of one server — a column of Table III.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerCharacterization {
+    /// Profile name ("Nginx", "LiteSpeed", ...).
+    pub server: String,
+    /// Version tested.
+    pub version: String,
+    /// ALPN / NPN support.
+    pub negotiation: NegotiationReport,
+    /// Announced SETTINGS.
+    pub settings: SettingsReport,
+    /// Request multiplexing verdict.
+    pub multiplexing: MultiplexingReport,
+    /// The four flow-control probes.
+    pub flow_control: FlowControlReport,
+    /// Algorithm 1 plus self-dependency.
+    pub priority: PriorityReport,
+    /// Server push detection.
+    pub push: PushReport,
+    /// HPACK compression ratio.
+    pub hpack: HpackReport,
+    /// PING support and RTTs.
+    pub ping: PingReport,
+}
+
+/// One scanned site's record — what H2Scope stores per site during the
+/// top-1M campaigns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteReport {
+    /// The site's authority (synthetic rank-derived hostname in scans).
+    pub authority: String,
+    /// ALPN / NPN support.
+    pub negotiation: NegotiationReport,
+    /// `server` response header, when a HEADERS frame came back.
+    pub server_name: Option<String>,
+    /// `true` when a HEADERS frame was received at all (the paper's
+    /// 44,390 / 64,299 counts).
+    pub headers_received: bool,
+    /// Announced SETTINGS.
+    pub settings: SettingsReport,
+    /// Flow-control probes (only run when the site returned HEADERS).
+    pub flow_control: Option<FlowControlReport>,
+    /// Priority probes.
+    pub priority: Option<PriorityReport>,
+    /// Push probe.
+    pub push: Option<PushReport>,
+    /// HPACK probe.
+    pub hpack: Option<HpackReport>,
+}
+
+/// Result of the HEADERS-returning probe: whether any HEADERS frame came
+/// back for a front-page request, and the `server` field if present.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeadersProbe {
+    /// At least one HEADERS frame was received.
+    pub headers_received: bool,
+    /// The `server` response header.
+    pub server: Option<String>,
+}
+
+/// Fetches `/` once, recording whether HEADERS came back at all (the
+/// paper's 44,390 / 64,299 funnel) and the `server` header, mirroring how
+/// the paper identifies server families (§V-B2, with the caveat that the
+/// field can be spoofed).
+pub fn headers_probe(target: &Target) -> HeadersProbe {
+    let mut conn = ProbeConn::establish(target, Settings::new(), 0x5eb0);
+    conn.exchange();
+    let (frames, _) = conn.fetch(1, "/");
+    for tf in &frames {
+        if matches!(tf.frame, Frame::Headers(_)) {
+            let server = tf
+                .headers
+                .as_ref()
+                .and_then(|hs| hs.iter().find(|h| h.name == "server"))
+                .map(|h| h.value.clone());
+            return HeadersProbe { headers_received: true, server };
+        }
+    }
+    HeadersProbe { headers_received: false, server: None }
+}
+
+/// Convenience wrapper returning only the `server` header.
+pub fn server_name(target: &Target) -> Option<String> {
+    headers_probe(target).server
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2server::{ServerProfile, SiteSpec};
+
+    #[test]
+    fn server_name_comes_from_response_headers() {
+        let target = Target::testbed(ServerProfile::nginx(), SiteSpec::benchmark());
+        assert_eq!(server_name(&target).as_deref(), Some("nginx/1.9.15"));
+        let target = Target::testbed(ServerProfile::gse(), SiteSpec::benchmark());
+        assert_eq!(server_name(&target).as_deref(), Some("GSE"));
+    }
+}

@@ -1,0 +1,160 @@
+//! The top-level H2Scope tool: testbed characterization and site surveys.
+
+use crate::probes::{flow_control, hpack, multiplexing, negotiation, ping, priority, push,
+                    settings};
+use crate::report::{ServerCharacterization, SiteReport};
+use crate::target::testbed::Testbed;
+use crate::target::Target;
+
+/// Configuration for a probe campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopeConfig {
+    /// Parallel requests in the multiplexing probe (the paper's N).
+    pub multiplex_streams: usize,
+    /// Identical requests in the HPACK probe (the paper's H).
+    pub hpack_requests: usize,
+    /// PING samples per site.
+    pub ping_samples: usize,
+}
+
+impl Default for ScopeConfig {
+    fn default() -> ScopeConfig {
+        ScopeConfig { multiplex_streams: 4, hpack_requests: 8, ping_samples: 5 }
+    }
+}
+
+/// The measurement tool the paper contributes.
+#[derive(Debug, Clone, Default)]
+pub struct H2Scope {
+    config: ScopeConfig,
+}
+
+impl H2Scope {
+    /// A scope with default configuration.
+    pub fn new() -> H2Scope {
+        H2Scope::default()
+    }
+
+    /// A scope with explicit configuration.
+    pub fn with_config(config: ScopeConfig) -> H2Scope {
+        H2Scope { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ScopeConfig {
+        &self.config
+    }
+
+    /// Runs every probe against a testbed server — regenerating one column
+    /// of Table III.
+    pub fn characterize(&self, testbed: &Testbed) -> ServerCharacterization {
+        let target = testbed.target();
+        ServerCharacterization {
+            server: target.profile.name.clone(),
+            version: target.profile.version.clone(),
+            negotiation: negotiation::probe(target),
+            settings: settings::probe(target),
+            multiplexing: multiplexing::probe(target, self.config.multiplex_streams),
+            flow_control: flow_control::probe(target),
+            priority: priority::algorithm1(target),
+            push: push::probe(target, &["/"]),
+            hpack: hpack::probe(target, self.config.hpack_requests),
+            ping: ping::probe(target, self.config.ping_samples),
+        }
+    }
+
+    /// Surveys one site as the scan campaigns do: negotiation first, then
+    /// the follow-up probes only where HTTP/2 and HEADERS responses are
+    /// available (matching the paper's funnel: 1M sites → h2 sites →
+    /// HEADERS-returning sites → per-feature tests).
+    pub fn survey(&self, target: &Target) -> SiteReport {
+        let negotiation = negotiation::probe(target);
+        if !negotiation.h2() {
+            return SiteReport {
+                authority: target.site.authority.clone(),
+                negotiation,
+                server_name: None,
+                headers_received: false,
+                settings: Default::default(),
+                flow_control: None,
+                priority: None,
+                push: None,
+                hpack: None,
+            };
+        }
+        let settings = settings::probe(target);
+        let probe = crate::report::headers_probe(target);
+        if !probe.headers_received {
+            return SiteReport {
+                authority: target.site.authority.clone(),
+                negotiation,
+                server_name: probe.server,
+                headers_received: false,
+                settings,
+                flow_control: None,
+                priority: None,
+                push: None,
+                hpack: None,
+            };
+        }
+        SiteReport {
+            authority: target.site.authority.clone(),
+            negotiation,
+            server_name: probe.server,
+            headers_received: true,
+            settings,
+            flow_control: Some(flow_control::probe(target)),
+            priority: Some(priority::algorithm1(target)),
+            push: Some(push::probe(target, &["/"])),
+            hpack: Some(hpack::probe(target, self.config.hpack_requests)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2server::{ServerProfile, SiteSpec};
+
+    #[test]
+    fn characterize_nginx_reproduces_its_table_iii_column() {
+        let scope = H2Scope::new();
+        let testbed = Testbed::new(ServerProfile::nginx(), SiteSpec::benchmark());
+        let report = scope.characterize(&testbed);
+        assert_eq!(report.server, "Nginx");
+        assert!(report.negotiation.alpn_h2 && report.negotiation.npn_h2);
+        assert!(report.multiplexing.parallel);
+        assert_eq!(
+            report.flow_control.zero_update_stream,
+            crate::probes::Reaction::Ignored
+        );
+        assert!(!report.priority.passes());
+        assert!(!report.push.supported);
+        assert!((report.hpack.ratio - 1.0).abs() < 1e-9);
+        assert!(report.ping.supported);
+    }
+
+    #[test]
+    fn survey_funnels_non_h2_sites_out_early() {
+        let mut profile = ServerProfile::nginx();
+        profile.behavior.tls = netsim::TlsConfig::http1_only();
+        let target = Target::testbed(profile, SiteSpec::benchmark());
+        let report = H2Scope::new().survey(&target);
+        assert!(!report.negotiation.h2());
+        assert!(!report.headers_received);
+        assert!(report.flow_control.is_none());
+        assert!(report.hpack.is_none());
+    }
+
+    #[test]
+    fn survey_of_h2_site_runs_all_follow_ups() {
+        let target = Target::testbed(ServerProfile::gse(), SiteSpec::benchmark());
+        let report = H2Scope::new().survey(&target);
+        assert!(report.headers_received);
+        assert_eq!(report.server_name.as_deref(), Some("GSE"));
+        assert!(report.flow_control.is_some());
+        assert!(report.priority.is_some());
+        assert!(report.hpack.is_some());
+        assert!(report.hpack.unwrap().ratio < 0.3);
+    }
+}

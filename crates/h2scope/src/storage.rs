@@ -1,0 +1,426 @@
+//! Scan-report persistence — the paper's "database" (§IV-B: "we will
+//! store the request and the response into a database for further
+//! study").
+//!
+//! The format is a deliberately simple line-oriented `key=value` record
+//! per site: grep-able, diff-able, append-able from parallel scan
+//! shards, and with no external format dependencies. [`write_reports`]
+//! and [`read_reports`] round-trip exactly.
+
+use std::fmt::Write as _;
+
+use crate::probes::flow_control::{FlowControlReport, SmallWindowOutcome};
+use crate::probes::hpack::HpackReport;
+use crate::probes::negotiation::NegotiationReport;
+use crate::probes::priority::PriorityReport;
+use crate::probes::push::PushReport;
+use crate::probes::settings::SettingsReport;
+use crate::probes::Reaction;
+use crate::report::SiteReport;
+
+/// Error while parsing a stored report line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseReportError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseReportError {}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('|', "\\p")
+        .replace('\n', "\\n")
+        .replace('=', "\\e")
+        .replace(',', "\\c")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('p') => out.push('|'),
+            Some('n') => out.push('\n'),
+            Some('e') => out.push('='),
+            Some('c') => out.push(','),
+            other => {
+                out.push('\\');
+                if let Some(o) = other {
+                    out.push(o);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn reaction_code(r: Reaction) -> &'static str {
+    match r {
+        Reaction::Ignored => "ign",
+        Reaction::RstStream => "rst",
+        Reaction::Goaway => "ga",
+        Reaction::GoawayWithDebug => "gad",
+    }
+}
+
+fn parse_reaction(s: &str) -> Option<Reaction> {
+    Some(match s {
+        "ign" => Reaction::Ignored,
+        "rst" => Reaction::RstStream,
+        "ga" => Reaction::Goaway,
+        "gad" => Reaction::GoawayWithDebug,
+        _ => return None,
+    })
+}
+
+fn small_window_code(o: SmallWindowOutcome) -> &'static str {
+    match o {
+        SmallWindowOutcome::OneByteData => "one",
+        SmallWindowOutcome::ZeroLenData => "zero",
+        SmallWindowOutcome::HeadersOnly => "hdr",
+        SmallWindowOutcome::NoResponse => "none",
+        SmallWindowOutcome::Oversized => "over",
+    }
+}
+
+fn parse_small_window(s: &str) -> Option<SmallWindowOutcome> {
+    Some(match s {
+        "one" => SmallWindowOutcome::OneByteData,
+        "zero" => SmallWindowOutcome::ZeroLenData,
+        "hdr" => SmallWindowOutcome::HeadersOnly,
+        "none" => SmallWindowOutcome::NoResponse,
+        "over" => SmallWindowOutcome::Oversized,
+        _ => return None,
+    })
+}
+
+fn opt_u32(v: Option<u32>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
+}
+
+fn parse_opt_u32(s: &str) -> Result<Option<u32>, String> {
+    if s == "-" {
+        return Ok(None);
+    }
+    s.parse().map(Some).map_err(|_| format!("bad u32 {s:?}"))
+}
+
+/// Serializes one report as a single record line.
+pub fn write_report(report: &SiteReport) -> String {
+    let mut line = String::new();
+    write!(
+        line,
+        "site={}|alpn={}|npn={}|hdrs={}|server={}",
+        escape(&report.authority),
+        report.negotiation.alpn_h2 as u8,
+        report.negotiation.npn_h2 as u8,
+        report.headers_received as u8,
+        // A '+' prefix distinguishes a present value from the '-' absent
+        // sentinel (a site could legitimately send "server: -").
+        report
+            .server_name
+            .as_deref()
+            .map(|n| format!("+{}", escape(n)))
+            .unwrap_or_else(|| "-".into()),
+    )
+    .unwrap();
+    let s = &report.settings;
+    write!(
+        line,
+        "|st.recv={}|st.hts={}|st.push={}|st.mcs={}|st.iws={}|st.mfs={}|st.mhls={}|st.zwtu={}",
+        s.received as u8,
+        opt_u32(s.header_table_size),
+        opt_u32(s.enable_push),
+        opt_u32(s.max_concurrent_streams),
+        opt_u32(s.initial_window_size),
+        opt_u32(s.max_frame_size),
+        opt_u32(s.max_header_list_size),
+        s.zero_window_then_update as u8,
+    )
+    .unwrap();
+    if let Some(fc) = &report.flow_control {
+        write!(
+            line,
+            "|fc.small={}|fc.hzw={}|fc.zus={}|fc.zuc={}|fc.lus={}|fc.luc={}",
+            small_window_code(fc.small_window),
+            fc.headers_at_zero_window as u8,
+            reaction_code(fc.zero_update_stream),
+            reaction_code(fc.zero_update_conn),
+            reaction_code(fc.large_update_stream),
+            reaction_code(fc.large_update_conn),
+        )
+        .unwrap();
+    }
+    if let Some(p) = &report.priority {
+        write!(
+            line,
+            "|pr.last={}|pr.first={}|pr.both={}|pr.blocked={}|pr.self={}",
+            p.by_last_frame as u8,
+            p.by_first_frame as u8,
+            p.by_both as u8,
+            p.headers_blocked_at_zero_conn_window as u8,
+            reaction_code(p.self_dependency),
+        )
+        .unwrap();
+    }
+    if let Some(push) = &report.push {
+        write!(
+            line,
+            "|pu.sup={}|pu.octets={}|pu.paths={}",
+            push.supported as u8,
+            push.pushed_octets,
+            push.promised_paths.iter().map(|p| escape(p)).collect::<Vec<_>>().join(","),
+        )
+        .unwrap();
+    }
+    if let Some(h) = &report.hpack {
+        write!(
+            line,
+            "|hp.r={}|hp.h={}|hp.sizes={}",
+            h.ratio,
+            h.h,
+            h.sizes.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(","),
+        )
+        .unwrap();
+    }
+    line
+}
+
+/// Serializes a whole campaign, one record per line.
+pub fn write_reports<'a>(reports: impl IntoIterator<Item = &'a SiteReport>) -> String {
+    let mut out = String::new();
+    for report in reports {
+        out.push_str(&write_report(report));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses one record line.
+///
+/// # Errors
+///
+/// Returns [`ParseReportError`] (with `line` set to 0; [`read_reports`]
+/// fills in real line numbers) when a field is missing or malformed.
+pub fn read_report(line: &str) -> Result<SiteReport, ParseReportError> {
+    let err = |message: String| ParseReportError { line: 0, message };
+    let mut fields = std::collections::HashMap::new();
+    for part in split_fields(line) {
+        let (key, value) =
+            part.split_once('=').ok_or_else(|| err(format!("field without '=': {part:?}")))?;
+        fields.insert(key.to_string(), value.to_string());
+    }
+    let get = |key: &str| -> Result<String, ParseReportError> {
+        fields.get(key).cloned().ok_or_else(|| err(format!("missing field {key}")))
+    };
+    let get_bool = |key: &str| -> Result<bool, ParseReportError> {
+        Ok(get(key)? == "1")
+    };
+    let get_opt = |key: &str| -> Result<Option<u32>, ParseReportError> {
+        parse_opt_u32(&get(key)?).map_err(|m| err(m))
+    };
+
+    let settings = SettingsReport {
+        received: get_bool("st.recv")?,
+        header_table_size: get_opt("st.hts")?,
+        enable_push: get_opt("st.push")?,
+        max_concurrent_streams: get_opt("st.mcs")?,
+        initial_window_size: get_opt("st.iws")?,
+        max_frame_size: get_opt("st.mfs")?,
+        max_header_list_size: get_opt("st.mhls")?,
+        zero_window_then_update: get_bool("st.zwtu")?,
+    };
+    let flow_control = if fields.contains_key("fc.small") {
+        Some(FlowControlReport {
+            small_window: parse_small_window(&get("fc.small")?)
+                .ok_or_else(|| err("bad fc.small".into()))?,
+            headers_at_zero_window: get_bool("fc.hzw")?,
+            zero_update_stream: parse_reaction(&get("fc.zus")?)
+                .ok_or_else(|| err("bad fc.zus".into()))?,
+            zero_update_conn: parse_reaction(&get("fc.zuc")?)
+                .ok_or_else(|| err("bad fc.zuc".into()))?,
+            large_update_stream: parse_reaction(&get("fc.lus")?)
+                .ok_or_else(|| err("bad fc.lus".into()))?,
+            large_update_conn: parse_reaction(&get("fc.luc")?)
+                .ok_or_else(|| err("bad fc.luc".into()))?,
+        })
+    } else {
+        None
+    };
+    let priority = if fields.contains_key("pr.last") {
+        Some(PriorityReport {
+            by_last_frame: get_bool("pr.last")?,
+            by_first_frame: get_bool("pr.first")?,
+            by_both: get_bool("pr.both")?,
+            headers_blocked_at_zero_conn_window: get_bool("pr.blocked")?,
+            self_dependency: parse_reaction(&get("pr.self")?)
+                .ok_or_else(|| err("bad pr.self".into()))?,
+        })
+    } else {
+        None
+    };
+    let push = if fields.contains_key("pu.sup") {
+        let paths = get("pu.paths")?;
+        Some(PushReport {
+            supported: get_bool("pu.sup")?,
+            pushed_octets: get("pu.octets")?
+                .parse()
+                .map_err(|_| err("bad pu.octets".into()))?,
+            promised_paths: if paths.is_empty() {
+                Vec::new()
+            } else {
+                paths.split(',').map(unescape).collect()
+            },
+        })
+    } else {
+        None
+    };
+    let hpack = if fields.contains_key("hp.r") {
+        let sizes = get("hp.sizes")?;
+        Some(HpackReport {
+            ratio: get("hp.r")?.parse().map_err(|_| err("bad hp.r".into()))?,
+            h: get("hp.h")?.parse().map_err(|_| err("bad hp.h".into()))?,
+            sizes: if sizes.is_empty() {
+                Vec::new()
+            } else {
+                sizes
+                    .split(',')
+                    .map(|s| s.parse().map_err(|_| err("bad hp.sizes".into())))
+                    .collect::<Result<_, _>>()?
+            },
+        })
+    } else {
+        None
+    };
+    let server = get("server")?;
+    Ok(SiteReport {
+        authority: unescape(&get("site")?),
+        negotiation: NegotiationReport {
+            alpn_h2: get_bool("alpn")?,
+            npn_h2: get_bool("npn")?,
+        },
+        server_name: server.strip_prefix('+').map(unescape),
+        headers_received: get_bool("hdrs")?,
+        settings,
+        flow_control,
+        priority,
+        push,
+        hpack,
+    })
+}
+
+/// Splits on unescaped `|` separators.
+fn split_fields(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut escaped = false;
+    for c in line.chars() {
+        if escaped {
+            current.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            current.push(c);
+            escaped = true;
+        } else if c == '|' {
+            fields.push(std::mem::take(&mut current));
+        } else {
+            current.push(c);
+        }
+    }
+    if !current.is_empty() {
+        fields.push(current);
+    }
+    fields
+}
+
+/// Parses a whole stored campaign.
+///
+/// # Errors
+///
+/// Returns the first malformed line with its 1-based number.
+pub fn read_reports(data: &str) -> Result<Vec<SiteReport>, ParseReportError> {
+    data.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| read_report(l).map_err(|mut e| {
+            e.line = i + 1;
+            e
+        }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{H2Scope, Target};
+    use h2server::{ServerProfile, SiteSpec};
+
+    fn sample_reports() -> Vec<SiteReport> {
+        let scope = H2Scope::new();
+        vec![
+            scope.survey(&Target::testbed(ServerProfile::gse(), SiteSpec::benchmark())),
+            scope.survey(&Target::testbed(ServerProfile::nginx(), SiteSpec::benchmark())),
+            scope.survey(&Target::testbed(
+                ServerProfile::h2o(),
+                SiteSpec::page_with_assets(2, 1_000),
+            )),
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let reports = sample_reports();
+        let stored = write_reports(&reports);
+        let loaded = read_reports(&stored).unwrap();
+        assert_eq!(loaded, reports);
+    }
+
+    #[test]
+    fn special_characters_survive() {
+        let mut report = sample_reports().remove(0);
+        report.authority = "we|rd=site\nname\\x".into();
+        report.server_name = Some("srv|1=2".into());
+        let loaded = read_report(&write_report(&report)).unwrap();
+        assert_eq!(loaded, report);
+    }
+
+    #[test]
+    fn optional_sections_stay_optional() {
+        let mut report = sample_reports().remove(0);
+        report.flow_control = None;
+        report.hpack = None;
+        let loaded = read_report(&write_report(&report)).unwrap();
+        assert_eq!(loaded.flow_control, None);
+        assert_eq!(loaded.hpack, None);
+        assert!(loaded.priority.is_some());
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_numbers() {
+        let reports = sample_reports();
+        let mut stored = write_reports(&reports[..1]);
+        stored.push_str("this is not a record\n");
+        let err = read_reports(&stored).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn empty_input_yields_no_reports() {
+        assert_eq!(read_reports("").unwrap(), Vec::new());
+        assert_eq!(read_reports("\n\n").unwrap(), Vec::new());
+    }
+}

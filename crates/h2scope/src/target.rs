@@ -1,0 +1,85 @@
+//! Probe targets: something H2Scope can open HTTP/2 connections to.
+
+use h2server::{H2Server, ServerProfile, SiteSpec};
+use netsim::{LinkSpec, Pipe, TlsConfig};
+
+/// A probe target: a server profile, its site content, and the network
+/// path to it. In testbed mode the link is a clean LAN; in scan mode
+/// `webpop` fills in per-site WAN characteristics.
+#[derive(Debug, Clone)]
+pub struct Target {
+    /// The server implementation behind this site.
+    pub profile: ServerProfile,
+    /// The content it serves.
+    pub site: SiteSpec,
+    /// Path characteristics from the vantage point to the site.
+    pub link: LinkSpec,
+    /// Base seed; each probe connection derives its own stream of
+    /// randomness from it so campaigns replay deterministically.
+    pub seed: u64,
+}
+
+impl Target {
+    /// A testbed target: `profile` serving `site` over a clean LAN.
+    pub fn testbed(profile: ServerProfile, site: SiteSpec) -> Target {
+        Target { profile, site, link: LinkSpec::lan(), seed: 0x5eed }
+    }
+
+    /// The server's TLS negotiation configuration.
+    pub fn tls(&self) -> &TlsConfig {
+        &self.profile.behavior.tls
+    }
+
+    /// Opens a fresh transport connection (new server instance, new pipe),
+    /// as every probe in the paper does.
+    pub fn connect(&self, conn_seed: u64) -> Pipe<H2Server> {
+        let server = H2Server::new(self.profile.clone(), self.site.clone());
+        Pipe::connect(server, self.link, self.seed ^ conn_seed)
+    }
+}
+
+/// Convenience namespace mirroring the paper's testbed setup.
+pub mod testbed {
+    use super::*;
+
+    /// A testbed wrapper so examples read like the paper: install a
+    /// server, point H2Scope at it.
+    #[derive(Debug, Clone)]
+    pub struct Testbed {
+        target: Target,
+    }
+
+    impl Testbed {
+        /// Installs `profile` serving `site` in the testbed.
+        pub fn new(profile: ServerProfile, site: SiteSpec) -> Testbed {
+            Testbed { target: Target::testbed(profile, site) }
+        }
+
+        /// The probe target.
+        pub fn target(&self) -> &Target {
+            &self.target
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_creates_independent_connections() {
+        let target = Target::testbed(ServerProfile::nginx(), SiteSpec::benchmark());
+        let mut a = target.connect(1);
+        let mut b = target.connect(2);
+        // Each connection gets its own greeting.
+        assert!(!a.run_to_quiescence().is_empty());
+        assert!(!b.run_to_quiescence().is_empty());
+    }
+
+    #[test]
+    fn tls_reflects_profile() {
+        let target = Target::testbed(ServerProfile::apache(), SiteSpec::benchmark());
+        assert!(target.tls().npn.is_none());
+        assert!(target.tls().alpn.is_some());
+    }
+}

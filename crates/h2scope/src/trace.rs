@@ -1,0 +1,177 @@
+//! Human-readable frame timelines — the `nghttp -v`-style view of a probe
+//! session, for debugging probes and demonstrating server behavior.
+
+use h2wire::Frame;
+
+use crate::client::TimedFrame;
+
+/// One-line summary of a frame, in the style HTTP/2 debugging tools use.
+pub fn summarize(frame: &Frame) -> String {
+    match frame {
+        Frame::Data(f) => format!(
+            "DATA stream={} len={}{}",
+            f.stream_id,
+            f.data.len(),
+            if f.end_stream { " END_STREAM" } else { "" }
+        ),
+        Frame::Headers(f) => format!(
+            "HEADERS stream={} block={}B{}{}{}",
+            f.stream_id,
+            f.fragment.len(),
+            if f.end_headers { " END_HEADERS" } else { "" },
+            if f.end_stream { " END_STREAM" } else { "" },
+            f.priority
+                .map(|p| format!(
+                    " prio(dep={} w={}{})",
+                    p.dependency,
+                    p.weight,
+                    if p.exclusive { " excl" } else { "" }
+                ))
+                .unwrap_or_default()
+        ),
+        Frame::Priority(f) => format!(
+            "PRIORITY stream={} dep={} weight={}{}",
+            f.stream_id,
+            f.spec.dependency,
+            f.spec.weight,
+            if f.spec.exclusive { " exclusive" } else { "" }
+        ),
+        Frame::RstStream(f) => format!("RST_STREAM stream={} {}", f.stream_id, f.code),
+        Frame::Settings(f) => {
+            if f.ack {
+                "SETTINGS ACK".to_string()
+            } else {
+                let params: Vec<String> =
+                    f.settings.iter().map(|(id, v)| format!("{:?}={v}", id)).collect();
+                format!("SETTINGS [{}]", params.join(", "))
+            }
+        }
+        Frame::PushPromise(f) => format!(
+            "PUSH_PROMISE stream={} promised={} block={}B",
+            f.stream_id,
+            f.promised_stream_id,
+            f.fragment.len()
+        ),
+        Frame::Ping(f) => {
+            format!("PING{} {:02x?}", if f.ack { " ACK" } else { "" }, f.payload)
+        }
+        Frame::Goaway(f) => format!(
+            "GOAWAY last={} {}{}",
+            f.last_stream_id,
+            f.code,
+            if f.debug_data.is_empty() {
+                String::new()
+            } else {
+                format!(" debug={:?}", String::from_utf8_lossy(&f.debug_data))
+            }
+        ),
+        Frame::WindowUpdate(f) => {
+            format!("WINDOW_UPDATE stream={} increment={}", f.stream_id, f.increment)
+        }
+        Frame::Continuation(f) => format!(
+            "CONTINUATION stream={} block={}B{}",
+            f.stream_id,
+            f.fragment.len(),
+            if f.end_headers { " END_HEADERS" } else { "" }
+        ),
+        Frame::Unknown(f) => {
+            format!("UNKNOWN(0x{:02x}) stream={} len={}", f.kind, f.stream_id, f.payload.len())
+        }
+    }
+}
+
+/// Renders a received-frame timeline with arrival timestamps and decoded
+/// header lists where available.
+pub fn render(frames: &[TimedFrame]) -> String {
+    let mut out = String::new();
+    for tf in frames {
+        out.push_str(&format!("[{:>12}] recv {}\n", tf.at.to_string(), summarize(&tf.frame)));
+        if let Some(headers) = &tf.headers {
+            for h in headers {
+                out.push_str(&format!("                 {}: {}\n", h.name, h.value));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProbeConn, Target};
+    use h2server::{ServerProfile, SiteSpec};
+    use h2wire::Settings;
+
+    #[test]
+    fn summaries_name_every_frame_type() {
+        use bytes::Bytes;
+        use h2wire::*;
+        let frames = [
+            Frame::Data(DataFrame {
+                stream_id: StreamId::new(1),
+                data: Bytes::from_static(b"xy"),
+                end_stream: true,
+                pad_len: None,
+            }),
+            Frame::Priority(PriorityFrame {
+                stream_id: StreamId::new(3),
+                spec: PrioritySpec {
+                    exclusive: true,
+                    dependency: StreamId::new(1),
+                    weight: 256,
+                },
+            }),
+            Frame::RstStream(RstStreamFrame {
+                stream_id: StreamId::new(1),
+                code: ErrorCode::Cancel,
+            }),
+            Frame::Ping(PingFrame::request([1; 8])),
+            Frame::WindowUpdate(WindowUpdateFrame {
+                stream_id: StreamId::CONNECTION,
+                increment: 0,
+            }),
+            Frame::Unknown(UnknownFrame {
+                kind: 0xfa,
+                flags: 0,
+                stream_id: StreamId::new(9),
+                payload: Bytes::new(),
+            }),
+        ];
+        let expected = ["DATA", "PRIORITY", "RST_STREAM", "PING", "WINDOW_UPDATE", "UNKNOWN"];
+        for (frame, tag) in frames.iter().zip(expected) {
+            assert!(summarize(frame).starts_with(tag), "{}", summarize(frame));
+        }
+    }
+
+    #[test]
+    fn rendered_session_shows_headers_and_timestamps() {
+        let target = Target::testbed(ServerProfile::gse(), SiteSpec::benchmark());
+        let mut conn = ProbeConn::establish(&target, Settings::new(), 1);
+        conn.exchange();
+        conn.fetch(1, "/");
+        let rendered = render(&conn.received);
+        assert!(rendered.contains("SETTINGS ["));
+        assert!(rendered.contains("HEADERS stream=1"));
+        assert!(rendered.contains(":status: 200"));
+        assert!(rendered.contains("server: GSE"));
+        assert!(rendered.contains("DATA stream=1"));
+        assert!(rendered.lines().count() > 5);
+    }
+
+    #[test]
+    fn goaway_debug_text_is_shown() {
+        let mut profile = ServerProfile::nghttpd();
+        profile.behavior.zero_window_debug = Some("the window update shouldn't be zero".into());
+        let target = Target::testbed(profile, SiteSpec::benchmark());
+        let mut conn = ProbeConn::establish(&target, Settings::new(), 1);
+        conn.exchange();
+        conn.send(h2wire::Frame::WindowUpdate(h2wire::WindowUpdateFrame {
+            stream_id: h2wire::StreamId::CONNECTION,
+            increment: 0,
+        }));
+        conn.exchange();
+        let rendered = render(&conn.received);
+        assert!(rendered.contains("GOAWAY"), "{rendered}");
+        assert!(rendered.contains("shouldn't be zero"), "{rendered}");
+    }
+}

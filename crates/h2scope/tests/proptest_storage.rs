@@ -1,0 +1,136 @@
+//! Property-based round-trip tests for the scan-report storage format.
+
+use h2scope::probes::flow_control::{FlowControlReport, SmallWindowOutcome};
+use h2scope::probes::hpack::HpackReport;
+use h2scope::probes::negotiation::NegotiationReport;
+use h2scope::probes::priority::PriorityReport;
+use h2scope::probes::push::PushReport;
+use h2scope::probes::settings::SettingsReport;
+use h2scope::probes::Reaction;
+use h2scope::storage::{read_report, read_reports, write_report, write_reports};
+use h2scope::SiteReport;
+use proptest::prelude::*;
+
+fn arb_reaction() -> impl Strategy<Value = Reaction> {
+    prop_oneof![
+        Just(Reaction::Ignored),
+        Just(Reaction::RstStream),
+        Just(Reaction::Goaway),
+        Just(Reaction::GoawayWithDebug),
+    ]
+}
+
+fn arb_small_window() -> impl Strategy<Value = SmallWindowOutcome> {
+    prop_oneof![
+        Just(SmallWindowOutcome::OneByteData),
+        Just(SmallWindowOutcome::ZeroLenData),
+        Just(SmallWindowOutcome::HeadersOnly),
+        Just(SmallWindowOutcome::NoResponse),
+        Just(SmallWindowOutcome::Oversized),
+    ]
+}
+
+prop_compose! {
+    fn arb_settings()(
+        received in any::<bool>(),
+        hts in prop::option::of(any::<u32>()),
+        push in prop::option::of(0u32..2),
+        mcs in prop::option::of(any::<u32>()),
+        iws in prop::option::of(any::<u32>()),
+        mfs in prop::option::of(any::<u32>()),
+        mhls in prop::option::of(any::<u32>()),
+        zwtu in any::<bool>(),
+    ) -> SettingsReport {
+        SettingsReport {
+            received,
+            header_table_size: hts,
+            enable_push: push,
+            max_concurrent_streams: mcs,
+            initial_window_size: iws,
+            max_frame_size: mfs,
+            max_header_list_size: mhls,
+            zero_window_then_update: zwtu,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_report()(
+        authority in "[ -~]{1,40}",
+        alpn in any::<bool>(),
+        npn in any::<bool>(),
+        headers_received in any::<bool>(),
+        server_name in prop::option::of("[ -~]{1,24}"),
+        settings in arb_settings(),
+        fc in prop::option::of((
+            arb_small_window(), any::<bool>(), arb_reaction(), arb_reaction(),
+            arb_reaction(), arb_reaction(),
+        )),
+        pr in prop::option::of((
+            any::<bool>(), any::<bool>(), any::<bool>(), arb_reaction(),
+        )),
+        push in prop::option::of((
+            any::<bool>(), any::<u64>(),
+            prop::collection::vec("[!-~]{1,12}", 0..4),
+        )),
+        hpack in prop::option::of((
+            0.0f64..2.0, 2usize..10,
+            prop::collection::vec(1usize..500, 1..8),
+        )),
+    ) -> SiteReport {
+        SiteReport {
+            authority,
+            negotiation: NegotiationReport { alpn_h2: alpn, npn_h2: npn },
+            server_name,
+            headers_received,
+            settings,
+            flow_control: fc.map(|(sw, hzw, zus, zuc, lus, luc)| FlowControlReport {
+                small_window: sw,
+                headers_at_zero_window: hzw,
+                zero_update_stream: zus,
+                zero_update_conn: zuc,
+                large_update_stream: lus,
+                large_update_conn: luc,
+            }),
+            priority: pr.map(|(last, first, blocked, self_dep)| PriorityReport {
+                by_last_frame: last,
+                by_first_frame: first,
+                by_both: last && first,
+                headers_blocked_at_zero_conn_window: blocked,
+                self_dependency: self_dep,
+            }),
+            push: push.map(|(supported, octets, paths)| PushReport {
+                supported,
+                pushed_octets: octets,
+                promised_paths: paths,
+            }),
+            hpack: hpack.map(|(ratio, h, sizes)| HpackReport { ratio, h, sizes }),
+        }
+    }
+}
+
+proptest! {
+    /// Every representable report round-trips exactly.
+    #[test]
+    fn storage_round_trips(report in arb_report()) {
+        let line = write_report(&report);
+        prop_assert!(!line.contains('\n'), "records are single lines");
+        let loaded = read_report(&line).expect("parses");
+        prop_assert_eq!(loaded, report);
+    }
+
+    /// Campaign files round-trip with ordering preserved.
+    #[test]
+    fn campaigns_round_trip(reports in prop::collection::vec(arb_report(), 0..12)) {
+        let data = write_reports(&reports);
+        let loaded = read_reports(&data).expect("parses");
+        prop_assert_eq!(loaded, reports);
+    }
+
+    /// Arbitrary garbage never panics the parser.
+    #[test]
+    fn parser_never_panics(noise in "[ -~|=\\\\]{0,120}") {
+        let _ = read_report(&noise);
+        let _ = read_reports(&noise);
+    }
+}

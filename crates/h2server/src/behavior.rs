@@ -1,0 +1,213 @@
+//! The server behavior quirk matrix.
+//!
+//! Every row of the paper's Table III that distinguishes real servers is a
+//! field here. A profile (see [`crate::profiles`]) is just a filled-in
+//! matrix; the engine consults it at each policy decision point. This is
+//! the core modeling idea of the reproduction: RFC 7540 fixes the
+//! *mechanics* (implemented in `h2conn`) but leaves the *reactions* to
+//! violations open, and the paper's finding is precisely that deployed
+//! servers chose different reactions.
+
+use h2wire::settings::{DEFAULT_INITIAL_WINDOW_SIZE, DEFAULT_MAX_FRAME_SIZE};
+use h2wire::{SettingId, Settings};
+use netsim::time::SimDuration;
+use netsim::TlsConfig;
+
+/// How a server reacts to a protocol condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuirkAction {
+    /// Silently ignore the offending frame (Nginx/Tengine on zero window
+    /// updates).
+    Ignore,
+    /// Reset the affected stream.
+    RstStream,
+    /// Tear down the whole connection.
+    Goaway,
+}
+
+/// How (and whether) the server's DATA scheduler honors the priority
+/// tree.
+///
+/// The paper's wild scan (§V-E) found that sites fall into *four* groups,
+/// not two: 1,147/2,187 sites order stream *completion* by priority,
+/// only 46/117 order the *first* DATA frames, and just 38/111 do both —
+/// so the reproduction needs the partial modes, not a boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityMode {
+    /// Ignore priorities entirely; serve ready streams round-robin.
+    None,
+    /// Strict tree scheduling: a ready stream is always served before its
+    /// descendants (passes both of H2Scope's ordering rules). This is
+    /// what H2O, nghttpd and Apache do in the testbed.
+    Strict,
+    /// Each response's first chunk goes out in FCFS order (e.g. an
+    /// eagerly-flushing front buffer), after which scheduling is strict —
+    /// completion order follows priority but first-frame order does not.
+    CompletionOrder,
+    /// The first chunks are priority-ordered but the remainder is served
+    /// round-robin — first-frame order follows priority, completion does
+    /// not.
+    FirstFrameOnly,
+}
+
+impl PriorityMode {
+    /// Whether this mode would pass the paper's Table III priority test
+    /// (which uses the last-DATA-frame rule).
+    pub fn passes_table_iii(self) -> bool {
+        matches!(self, PriorityMode::Strict | PriorityMode::CompletionOrder)
+    }
+}
+
+/// The full behavior matrix for one server implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerBehavior {
+    /// `Server:` response header value, e.g. `"nginx/1.9.15"`.
+    pub server_name: String,
+    /// TLS negotiation support (ALPN and/or NPN lists).
+    pub tls: TlsConfig,
+    /// Processes concurrent streams in parallel; `false` means strictly
+    /// sequential request handling (responses never interleave).
+    pub multiplexing: bool,
+    /// Applies flow control to HEADERS frames as well as DATA — the
+    /// LiteSpeed deviation (Table III row 5): response HEADERS are
+    /// withheld until the stream window can cover the header block.
+    pub fc_on_headers: bool,
+    /// A weaker variant seen in the wild (§V-D2): HEADERS are withheld
+    /// only while the stream window is exactly zero. Such sites answer the
+    /// 1-octet-window probe normally but fail the zero-initial-window
+    /// compliance test — the reason the paper's two flow-control tests
+    /// disagree on counts.
+    pub headers_gated_at_zero_window: bool,
+    /// Negotiates h2 but never answers requests — the gap between the
+    /// paper's negotiation counts (49,334 NPN / 47,966 ALPN sites) and its
+    /// HEADERS-returning count (44,390).
+    pub mute: bool,
+    /// Site-specific response headers appended to every response (drives
+    /// natural dispersion in the HPACK ratio CDFs of Figures 4/5).
+    pub extra_response_headers: Vec<(String, String)>,
+    /// Reaction to a zero-increment WINDOW_UPDATE on a stream
+    /// (RFC says RST_STREAM).
+    pub zero_window_update_stream: QuirkAction,
+    /// Reaction to a zero-increment WINDOW_UPDATE on the connection
+    /// (RFC says GOAWAY).
+    pub zero_window_update_conn: QuirkAction,
+    /// Debug text placed in GOAWAY frames for zero window updates (a few
+    /// dozen sites in the paper sent "the window update shouldn't be
+    /// zero" style messages).
+    pub zero_window_debug: Option<String>,
+    /// Reaction to a stream window exceeding 2^31-1 (RFC says RST_STREAM).
+    pub large_window_update_stream: QuirkAction,
+    /// Reaction to the connection window exceeding 2^31-1 (RFC says
+    /// GOAWAY).
+    pub large_window_update_conn: QuirkAction,
+    /// Server push implemented.
+    pub push: bool,
+    /// Scheduling discipline with respect to the priority tree.
+    pub priority_mode: PriorityMode,
+    /// Reaction to a self-dependent stream (RFC says RST_STREAM; H2O,
+    /// nghttpd and Apache send GOAWAY; LiteSpeed ignores).
+    pub self_dependency: QuirkAction,
+    /// Inserts *response* header fields into the HPACK dynamic table.
+    /// `false` models Nginx/Tengine, whose repeated response header
+    /// blocks never shrink (compression ratio 1 in Figures 4/5).
+    pub hpack_index_responses: bool,
+    /// Responds to PING (all measured servers do).
+    pub ping: bool,
+    /// The SETTINGS parameters announced at connection start.
+    pub announced: Settings,
+    /// Announce `INITIAL_WINDOW_SIZE = 0` and immediately re-open windows
+    /// with WINDOW_UPDATE frames — the Nginx pattern behind the 3,072 /
+    /// 7,499 zero entries in Table V.
+    pub zero_window_then_update: Option<u32>,
+    /// Sends zero-length DATA frames when flow-control-blocked instead of
+    /// staying silent (a small population in §V-D1 did this).
+    pub zero_len_data_when_blocked: bool,
+    /// Adds a fresh `set-cookie` to every response, which makes the HPACK
+    /// ratio exceed 1 (the paper filters r > 1; we must generate them to
+    /// exercise that filter).
+    pub cookie_injection: bool,
+    /// Per-request application processing time (drives the HTTP/1.1 RTT
+    /// estimator gap in Figure 6; PING replies skip it).
+    pub processing_delay: SimDuration,
+    /// Accept the HTTP/1.1 `Upgrade: h2c` cleartext upgrade (§IV-A of the
+    /// paper; RFC 7540 §3.2). Browsers never use it, but H2Scope probes
+    /// it on port 80.
+    pub h2c_upgrade: bool,
+    /// Honor any `SETTINGS_HEADER_TABLE_SIZE` the peer announces when
+    /// sizing the response-header encoder table, instead of capping it at
+    /// the 4,096-octet default. Obedient servers expose the HPACK
+    /// memory-pressure vector sketched in the paper's discussion (§VI).
+    pub honor_peer_header_table_size: bool,
+}
+
+impl ServerBehavior {
+    /// The RFC 7540 reference behavior — the last column of Table III.
+    pub fn rfc7540() -> ServerBehavior {
+        ServerBehavior {
+            server_name: "rfc7540-reference".into(),
+            tls: TlsConfig::h2_full(),
+            multiplexing: true,
+            fc_on_headers: false,
+            headers_gated_at_zero_window: false,
+            mute: false,
+            extra_response_headers: Vec::new(),
+            zero_window_update_stream: QuirkAction::RstStream,
+            zero_window_update_conn: QuirkAction::Goaway,
+            zero_window_debug: None,
+            large_window_update_stream: QuirkAction::RstStream,
+            large_window_update_conn: QuirkAction::Goaway,
+            push: true,
+            priority_mode: PriorityMode::Strict,
+            self_dependency: QuirkAction::RstStream,
+            hpack_index_responses: true,
+            ping: true,
+            announced: Settings::new()
+                .with(SettingId::MaxConcurrentStreams, 100)
+                .with(SettingId::InitialWindowSize, DEFAULT_INITIAL_WINDOW_SIZE)
+                .with(SettingId::MaxFrameSize, DEFAULT_MAX_FRAME_SIZE),
+            zero_window_then_update: None,
+            zero_len_data_when_blocked: false,
+            cookie_injection: false,
+            processing_delay: SimDuration::from_micros(500),
+            h2c_upgrade: true,
+            honor_peer_header_table_size: false,
+        }
+    }
+
+    /// The announced value of a SETTINGS parameter, if present.
+    pub fn announced_value(&self, id: SettingId) -> Option<u32> {
+        self.announced.get(id)
+    }
+
+    /// Announced `SETTINGS_MAX_CONCURRENT_STREAMS` (None = unlimited).
+    pub fn max_concurrent_streams(&self) -> Option<u32> {
+        self.announced_value(SettingId::MaxConcurrentStreams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc_reference_matches_table_iii_last_column() {
+        let b = ServerBehavior::rfc7540();
+        assert!(!b.fc_on_headers, "flow control must not gate HEADERS");
+        assert_eq!(b.zero_window_update_stream, QuirkAction::RstStream);
+        assert_eq!(b.zero_window_update_conn, QuirkAction::Goaway);
+        assert_eq!(b.large_window_update_stream, QuirkAction::RstStream);
+        assert_eq!(b.large_window_update_conn, QuirkAction::Goaway);
+        assert!(b.push);
+        assert_eq!(b.priority_mode, PriorityMode::Strict);
+        assert_eq!(b.self_dependency, QuirkAction::RstStream);
+        assert!(b.hpack_index_responses);
+        assert!(b.ping);
+    }
+
+    #[test]
+    fn announced_values_are_queryable() {
+        let b = ServerBehavior::rfc7540();
+        assert_eq!(b.max_concurrent_streams(), Some(100));
+        assert_eq!(b.announced_value(SettingId::HeaderTableSize), None);
+    }
+}

@@ -1,0 +1,1159 @@
+//! The HTTP/2 server engine: one implementation, parameterized by a
+//! [`ServerBehavior`] matrix, able to impersonate every server in the
+//! paper's testbed (plus the RFC reference).
+
+use std::collections::HashSet;
+
+use bytes::Bytes;
+
+use h2conn::{ConnectionCore, CoreEvent, EffectiveSettings, Role, WindowScope};
+use h2hpack::{EncoderOptions, Header, IndexingPolicy};
+use h2wire::{
+    encode_all, ErrorCode, Frame, GoawayFrame, PingFrame, RstStreamFrame, SettingsFrame,
+    StreamId, WindowUpdateFrame, CONNECTION_PREFACE,
+};
+use netsim::pipe::ByteEndpoint;
+use netsim::time::{SimDuration, SimTime};
+
+use crate::behavior::{QuirkAction, ServerBehavior};
+use crate::profiles::ServerProfile;
+use crate::site::SiteSpec;
+
+/// Fixed `date` header (virtual time has no calendar).
+const DATE_HEADER: &str = "Tue, 05 Jul 2016 12:00:00 GMT";
+
+/// Index of the first `\r\n\r\n` in `buf`, if complete.
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[derive(Debug)]
+struct QueuedResponse {
+    stream: StreamId,
+    /// Response headers not yet sent (None once on the wire).
+    headers: Option<Vec<Header>>,
+    body: Bytes,
+    offset: usize,
+    /// FIFO arrival order for non-priority scheduling.
+    seq: u64,
+    /// A zero-length DATA marker has been emitted while blocked.
+    sent_zero_marker: bool,
+}
+
+impl QueuedResponse {
+    fn remaining(&self) -> usize {
+        self.body.len() - self.offset
+    }
+    fn body_ready(&self) -> bool {
+        self.headers.is_none() && self.remaining() > 0
+    }
+}
+
+/// The behavior-driven HTTP/2 server endpoint.
+///
+/// Implements [`ByteEndpoint`], so it plugs directly into a
+/// [`netsim::Pipe`]. All protocol mechanics live in
+/// [`h2conn::ConnectionCore`]; this engine only decides *policy* — what to
+/// do at each condition the core reports — by consulting its
+/// [`ServerBehavior`].
+#[derive(Debug)]
+pub struct H2Server {
+    profile: ServerProfile,
+    site: SiteSpec,
+    core: ConnectionCore,
+    preface: Vec<u8>,
+    preface_done: bool,
+    queue: Vec<QueuedResponse>,
+    next_seq: u64,
+    rejected: HashSet<u32>,
+    closed: bool,
+    goaway_sent: bool,
+    last_delay: SimDuration,
+    cookie_counter: u64,
+    /// Round-robin cursor for non-priority scheduling.
+    rr_cursor: usize,
+    /// Cleartext (port-80) mode: no greeting until an h2c upgrade or a
+    /// prior-knowledge preface arrives (RFC 7540 §3.2/§3.4).
+    cleartext: bool,
+    /// Request headers carried by an accepted h2c upgrade, served on
+    /// stream 1 once the preface completes.
+    pending_upgrade: Option<Vec<Header>>,
+}
+
+impl H2Server {
+    /// Creates a server for `profile` serving `site`.
+    pub fn new(profile: ServerProfile, site: SiteSpec) -> H2Server {
+        let behavior = &profile.behavior;
+        let mut local = EffectiveSettings::default();
+        local.apply(&behavior.announced);
+        let encoder = EncoderOptions {
+            indexing: if behavior.hpack_index_responses {
+                IndexingPolicy::Always
+            } else {
+                IndexingPolicy::Never
+            },
+            ..EncoderOptions::default()
+        };
+        let mut core = ConnectionCore::new(Role::Server, local, encoder);
+        if behavior.honor_peer_header_table_size {
+            core.set_encoder_table_cap(u32::MAX);
+        }
+        H2Server {
+            profile,
+            site,
+            core,
+            preface: Vec::new(),
+            preface_done: false,
+            queue: Vec::new(),
+            next_seq: 0,
+            rejected: HashSet::new(),
+            closed: false,
+            goaway_sent: false,
+            last_delay: SimDuration::ZERO,
+            cookie_counter: 0,
+            rr_cursor: 0,
+            cleartext: false,
+            pending_upgrade: None,
+        }
+    }
+
+    /// Creates a *cleartext* server (the port-80 deployment): it stays
+    /// silent on connect and speaks HTTP/1.1 until the client either
+    /// upgrades via `Upgrade: h2c` or opens with the HTTP/2 preface
+    /// directly (prior knowledge).
+    pub fn new_cleartext(profile: ServerProfile, site: SiteSpec) -> H2Server {
+        let mut server = H2Server::new(profile, site);
+        server.cleartext = true;
+        server
+    }
+
+    /// The profile this engine impersonates.
+    pub fn profile(&self) -> &ServerProfile {
+        &self.profile
+    }
+
+    /// The behavior matrix in force.
+    pub fn behavior(&self) -> &ServerBehavior {
+        &self.profile.behavior
+    }
+
+    /// The site being served.
+    pub fn site(&self) -> &SiteSpec {
+        &self.site
+    }
+
+    /// Protocol state access for tests and probes running in testbed mode.
+    pub fn core(&self) -> &ConnectionCore {
+        &self.core
+    }
+
+    /// `true` once the engine sent GOAWAY or observed a fatal error.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Response octets queued but not yet released by flow control — the
+    /// memory an attacker pins with the slow-receiver pattern (§VI).
+    pub fn pending_response_octets(&self) -> u64 {
+        self.queue.iter().map(|q| q.remaining() as u64).sum()
+    }
+
+    /// Octets currently held by the response-header encoder's dynamic
+    /// table (the HPACK memory-pressure metric).
+    pub fn encoder_table_octets(&self) -> u64 {
+        u64::from(self.core.hpack_encoder().table().size())
+    }
+
+    fn goaway(&mut self, code: ErrorCode, debug: Option<&str>, out: &mut Vec<Frame>) {
+        if self.goaway_sent {
+            return;
+        }
+        self.goaway_sent = true;
+        self.closed = true;
+        out.push(Frame::Goaway(GoawayFrame {
+            last_stream_id: self.core.streams().highest_client_id(),
+            code,
+            debug_data: debug.map(|d| Bytes::from(d.as_bytes().to_vec())).unwrap_or_default(),
+        }));
+    }
+
+    fn rst(&mut self, stream: StreamId, code: ErrorCode, out: &mut Vec<Frame>) {
+        self.core.reset_stream(stream, code);
+        self.queue.retain(|q| q.stream != stream);
+        out.push(Frame::RstStream(RstStreamFrame { stream_id: stream, code }));
+    }
+
+    fn apply_quirk(
+        &mut self,
+        action: QuirkAction,
+        scope: WindowScope,
+        code: ErrorCode,
+        debug: Option<String>,
+        out: &mut Vec<Frame>,
+    ) {
+        match (action, scope) {
+            (QuirkAction::Ignore, _) => {}
+            (QuirkAction::RstStream, WindowScope::Stream(stream)) => self.rst(stream, code, out),
+            // A "reset" reaction at connection scope degrades to GOAWAY.
+            (QuirkAction::RstStream, WindowScope::Connection)
+            | (QuirkAction::Goaway, _) => self.goaway(code, debug.as_deref(), out),
+        }
+    }
+
+    fn handle_request(&mut self, stream: StreamId, headers: &[Header], out: &mut Vec<Frame>) {
+        if self.rejected.contains(&stream.value()) || self.behavior().mute {
+            return;
+        }
+        self.last_delay = self.behavior().processing_delay;
+        let path = headers
+            .iter()
+            .find(|h| h.name == ":path")
+            .map(|h| h.value.clone())
+            .unwrap_or_else(|| "/".to_string());
+
+        // Server push: promise before the response headers (RFC 7540
+        // §8.2.1 requires the PUSH_PROMISE to precede referencing content).
+        let mut pushes: Vec<(StreamId, Vec<Header>, Bytes, String)> = Vec::new();
+        if self.behavior().push && self.core.remote_settings().enable_push {
+            if let Some(assets) = self.site.push_manifest.get(&path).cloned() {
+                for asset in assets {
+                    let Some(resource) = self.site.resource(&asset) else { continue };
+                    let body = resource.body.clone();
+                    let content_type = resource.content_type.clone();
+                    let request_headers = vec![
+                        Header::new(":method", "GET"),
+                        Header::new(":scheme", "https"),
+                        Header::new(":path", asset.clone()),
+                        Header::new(":authority", self.site.authority.clone()),
+                    ];
+                    let (promised, frame) =
+                        self.core.encode_push_promise(stream, &request_headers);
+                    out.push(frame);
+                    pushes.push((promised, request_headers, body, content_type));
+                }
+            }
+        }
+
+        let (status, body, content_type) = match self.site.resource(&path) {
+            Some(r) => ("200", r.body.clone(), r.content_type.clone()),
+            None => ("404", Bytes::from_static(b"not found"), "text/plain".to_string()),
+        };
+        let response_headers = self.response_headers(status, &content_type, body.len());
+        self.enqueue_response(stream, response_headers, body);
+
+        for (promised, _request, body, content_type) in pushes {
+            let headers = self.response_headers("200", &content_type, body.len());
+            self.enqueue_response(promised, headers, body);
+        }
+    }
+
+    fn response_headers(
+        &mut self,
+        status: &str,
+        content_type: &str,
+        content_length: usize,
+    ) -> Vec<Header> {
+        let mut headers = vec![
+            Header::new(":status", status),
+            Header::new("server", self.behavior().server_name.clone()),
+            Header::new("date", DATE_HEADER),
+            Header::new("content-type", content_type),
+            Header::new("content-length", content_length.to_string()),
+            Header::new("x-frame-options", "SAMEORIGIN"),
+            Header::new("cache-control", "max-age=3600"),
+        ];
+        for (name, value) in &self.behavior().extra_response_headers {
+            headers.push(Header::new(name.clone(), value.clone()));
+        }
+        if self.behavior().cookie_injection {
+            self.cookie_counter += 1;
+            // The paper's §V-G filter exists because some sites add cookies
+            // starting from the *second* response, making later HEADERS
+            // larger than the first and pushing the ratio above 1.
+            if self.cookie_counter > 1 {
+                headers.push(Header::new(
+                    "set-cookie",
+                    format!("session={:016x}; Path=/", self.cookie_counter * 0x9e37_79b9),
+                ));
+            }
+        }
+        headers
+    }
+
+    fn enqueue_response(&mut self, stream: StreamId, headers: Vec<Header>, body: Bytes) {
+        self.next_seq += 1;
+        self.queue.push(QueuedResponse {
+            stream,
+            headers: Some(headers),
+            body,
+            offset: 0,
+            seq: self.next_seq,
+            sent_zero_marker: false,
+        });
+        self.queue.sort_by_key(|q| q.seq);
+    }
+
+    /// Estimated wire size of a header list (upper bound, used only for
+    /// the LiteSpeed flow-control-on-HEADERS quirk).
+    fn estimate_block_size(headers: &[Header]) -> i64 {
+        headers.iter().map(|h| (h.name.len() + h.value.len() + 4) as i64).sum()
+    }
+
+    /// Sends everything currently sendable: response headers first, then
+    /// DATA according to the scheduling discipline. A sequential
+    /// (non-multiplexing) server repeats the cycle: finishing one response
+    /// unblocks the head-of-line for the next.
+    fn pump(&mut self, out: &mut Vec<Frame>) {
+        loop {
+            let before = out.len();
+            self.pump_once(out);
+            let progressed = out.len() > before;
+            if !(progressed && !self.behavior().multiplexing) {
+                return;
+            }
+        }
+    }
+
+    fn pump_once(&mut self, out: &mut Vec<Frame>) {
+        if self.closed {
+            return;
+        }
+        // Phase 1: release response HEADERS.
+        let fc_on_headers = self.behavior().fc_on_headers;
+        let sequential = !self.behavior().multiplexing;
+        let mut i = 0;
+        while i < self.queue.len() {
+            if sequential && i > 0 {
+                break; // strictly one response in flight
+            }
+            if self.queue[i].headers.is_some() {
+                let stream = self.queue[i].stream;
+                let headers = self.queue[i].headers.as_ref().expect("checked");
+                let permitted = if fc_on_headers {
+                    let estimate = Self::estimate_block_size(headers);
+                    let stream_window = self
+                        .core
+                        .streams()
+                        .get(stream)
+                        .map(|s| s.send_window.available())
+                        .unwrap_or(i64::from(self.core.remote_settings().initial_window_size));
+                    let conn_window = self.core.connection_send_window();
+                    stream_window >= estimate && conn_window >= estimate
+                } else if self.behavior().headers_gated_at_zero_window {
+                    let stream_window = self
+                        .core
+                        .streams()
+                        .get(stream)
+                        .map(|s| s.send_window.available())
+                        .unwrap_or(i64::from(self.core.remote_settings().initial_window_size));
+                    stream_window > 0
+                } else {
+                    true
+                };
+                if permitted {
+                    let headers = self.queue[i].headers.take().expect("checked");
+                    let end_stream = self.queue[i].body.is_empty();
+                    out.extend(self.core.encode_headers(stream, &headers, end_stream, None));
+                    if end_stream {
+                        self.queue.remove(i);
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Phase 2: DATA, per the profile's scheduling discipline.
+        match self.behavior().priority_mode {
+            crate::behavior::PriorityMode::Strict => self.pump_priority(out),
+            crate::behavior::PriorityMode::None => self.pump_round_robin(out, sequential),
+            crate::behavior::PriorityMode::CompletionOrder => {
+                // First chunk of each response flushes FCFS...
+                self.pump_first_chunks_fifo(out);
+                // ...then strict priority governs completion order.
+                self.pump_priority(out);
+            }
+            crate::behavior::PriorityMode::FirstFrameOnly => {
+                // First chunks follow the tree...
+                self.pump_first_chunks_by_tree(out);
+                // ...then the remainder is plain round-robin.
+                self.pump_round_robin(out, sequential);
+            }
+        }
+        // Phase 3: zero-length DATA markers for blocked streams (quirk).
+        if self.behavior().zero_len_data_when_blocked {
+            for q in &mut self.queue {
+                if q.body_ready() && !q.sent_zero_marker {
+                    let stream = q.stream;
+                    let window = self
+                        .core
+                        .streams()
+                        .get(stream)
+                        .map(|s| s.send_window.available())
+                        .unwrap_or(0);
+                    if window <= 0 || self.core.connection_send_window() <= 0 {
+                        q.sent_zero_marker = true;
+                        out.push(Frame::Data(h2wire::DataFrame {
+                            stream_id: stream,
+                            data: Bytes::new(),
+                            end_stream: false,
+                            pad_len: None,
+                        }));
+                    }
+                }
+            }
+        }
+        self.queue.retain(|q| q.headers.is_some() || q.remaining() > 0);
+    }
+
+    fn send_chunk(&mut self, index: usize, out: &mut Vec<Frame>) -> bool {
+        let stream = self.queue[index].stream;
+        let sendable = self.core.sendable_on(stream);
+        let remaining = self.queue[index].remaining();
+        // The buggy population from §V-D1: instead of trickling data
+        // through a *small* window, emit one zero-length DATA and stall
+        // until the window grows. A window big enough for a useful chunk
+        // (or the whole remainder) is used normally.
+        const TRICKLE_THRESHOLD: usize = 1_024;
+        if self.behavior().zero_len_data_when_blocked
+            && (sendable as usize) < remaining.min(TRICKLE_THRESHOLD)
+        {
+            if !self.queue[index].sent_zero_marker {
+                self.queue[index].sent_zero_marker = true;
+                out.push(Frame::Data(h2wire::DataFrame {
+                    stream_id: stream,
+                    data: Bytes::new(),
+                    end_stream: false,
+                    pad_len: None,
+                }));
+            }
+            return false;
+        }
+        if sendable == 0 {
+            return false;
+        }
+        let chunk = (sendable as usize).min(remaining);
+        let offset = self.queue[index].offset;
+        let data = self.queue[index].body.slice(offset..offset + chunk);
+        let end_stream = chunk == remaining;
+        out.push(self.core.send_data(stream, data, end_stream));
+        self.queue[index].offset += chunk;
+        true
+    }
+
+    /// Sends exactly one chunk for every ready response that has not yet
+    /// sent any body, in FCFS order.
+    fn pump_first_chunks_fifo(&mut self, out: &mut Vec<Frame>) {
+        loop {
+            let Some(index) = self
+                .queue
+                .iter()
+                .position(|q| q.body_ready() && q.offset == 0 && self.core.sendable_on(q.stream) > 0)
+            else {
+                return;
+            };
+            if !self.send_chunk(index, out) {
+                return;
+            }
+        }
+    }
+
+    /// Sends one chunk for every ready zero-offset response, ordered by
+    /// the priority tree.
+    fn pump_first_chunks_by_tree(&mut self, out: &mut Vec<Frame>) {
+        loop {
+            let fresh: HashSet<u32> = self
+                .queue
+                .iter()
+                .filter(|q| q.body_ready() && q.offset == 0)
+                .filter(|q| self.core.sendable_on(q.stream) > 0)
+                .map(|q| q.stream.value())
+                .collect();
+            if fresh.is_empty() {
+                return;
+            }
+            let next = self
+                .core
+                .priority_mut()
+                .next_stream(|s| fresh.contains(&s.value()))
+                .or_else(|| fresh.iter().min().copied().map(StreamId::new));
+            let Some(next) = next else { return };
+            let Some(index) = self.queue.iter().position(|q| q.stream == next) else { return };
+            if !self.send_chunk(index, out) {
+                return;
+            }
+        }
+    }
+
+    fn pump_priority(&mut self, out: &mut Vec<Frame>) {
+        loop {
+            let ready: HashSet<u32> = self
+                .queue
+                .iter()
+                .filter(|q| q.body_ready())
+                .filter(|q| self.core.sendable_on(q.stream) > 0)
+                .map(|q| q.stream.value())
+                .collect();
+            if ready.is_empty() {
+                return;
+            }
+            let Some(next) = self.core.priority_mut().next_stream(|s| ready.contains(&s.value()))
+            else {
+                // Streams with queued data but absent from the tree (e.g.
+                // pushed streams): fall back to FIFO for those.
+                let Some(index) = self
+                    .queue
+                    .iter()
+                    .position(|q| ready.contains(&q.stream.value()))
+                else {
+                    return;
+                };
+                if !self.send_chunk(index, out) {
+                    return;
+                }
+                continue;
+            };
+            let Some(index) = self.queue.iter().position(|q| q.stream == next) else { return };
+            if !self.send_chunk(index, out) {
+                return;
+            }
+        }
+    }
+
+    fn pump_round_robin(&mut self, out: &mut Vec<Frame>, sequential: bool) {
+        loop {
+            let ready: Vec<usize> = self
+                .queue
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| q.body_ready() && self.core.sendable_on(q.stream) > 0)
+                .map(|(i, _)| i)
+                .collect();
+            if ready.is_empty() {
+                return;
+            }
+            if sequential {
+                // Head-of-line only.
+                let head = ready[0];
+                if !self.send_chunk(head, out) {
+                    return;
+                }
+                continue;
+            }
+            self.rr_cursor = (self.rr_cursor + 1) % ready.len();
+            let index = ready[self.rr_cursor % ready.len()];
+            if !self.send_chunk(index, out) {
+                return;
+            }
+        }
+    }
+
+    fn react(&mut self, events: Vec<CoreEvent>, out: &mut Vec<Frame>) {
+        for event in events {
+            match event {
+                CoreEvent::RemoteSettings { .. } => {
+                    out.push(Frame::Settings(SettingsFrame::ack()));
+                }
+                CoreEvent::ConcurrencyExceeded { stream } => {
+                    self.rejected.insert(stream.value());
+                    self.rst(stream, ErrorCode::RefusedStream, out);
+                }
+                CoreEvent::HeadersReceived { stream, headers, .. } => {
+                    self.handle_request(stream, &headers, out);
+                }
+                CoreEvent::PingReceived { payload } => {
+                    if self.behavior().ping {
+                        out.push(Frame::Ping(PingFrame { ack: true, payload }));
+                    }
+                }
+                CoreEvent::ZeroWindowUpdate { scope } => {
+                    let (action, debug) = match scope {
+                        WindowScope::Connection => (
+                            self.behavior().zero_window_update_conn,
+                            self.behavior().zero_window_debug.clone(),
+                        ),
+                        WindowScope::Stream(_) => (
+                            self.behavior().zero_window_update_stream,
+                            self.behavior().zero_window_debug.clone(),
+                        ),
+                    };
+                    self.apply_quirk(action, scope, ErrorCode::ProtocolError, debug, out);
+                }
+                CoreEvent::WindowOverflow { scope } => {
+                    let action = match scope {
+                        WindowScope::Connection => self.behavior().large_window_update_conn,
+                        WindowScope::Stream(_) => self.behavior().large_window_update_stream,
+                    };
+                    self.apply_quirk(action, scope, ErrorCode::FlowControlError, None, out);
+                }
+                CoreEvent::SelfDependency { stream } => {
+                    self.apply_quirk(
+                        self.behavior().self_dependency,
+                        WindowScope::Stream(stream),
+                        ErrorCode::ProtocolError,
+                        None,
+                        out,
+                    );
+                }
+                CoreEvent::RstStreamReceived { stream, .. } => {
+                    self.queue.retain(|q| q.stream != stream);
+                }
+                CoreEvent::GoawayReceived { .. } => {
+                    self.closed = true;
+                }
+                CoreEvent::DataReceived { stream, flow_controlled_len, .. } => {
+                    out.extend(self.core.replenish_recv_windows(stream, flow_controlled_len));
+                }
+                CoreEvent::FlowViolation { .. } => {
+                    self.goaway(ErrorCode::FlowControlError, None, out);
+                }
+                CoreEvent::SettingsAcked
+                | CoreEvent::PingAcked { .. }
+                | CoreEvent::WindowUpdated { .. }
+                | CoreEvent::PriorityChanged { .. }
+                | CoreEvent::PushPromiseReceived { .. }
+                | CoreEvent::UnknownFrameIgnored { .. } => {}
+            }
+        }
+    }
+}
+
+impl ByteEndpoint for H2Server {
+    fn on_connect(&mut self, _now: SimTime) -> Vec<u8> {
+        if self.cleartext {
+            // Nothing to say until the client upgrades (§3.2) or sends
+            // the prior-knowledge preface (§3.4).
+            return Vec::new();
+        }
+        self.announce_bytes()
+    }
+
+    fn on_bytes(&mut self, _now: SimTime, bytes: &[u8]) -> Vec<u8> {
+        self.last_delay = SimDuration::ZERO;
+        if self.closed {
+            return Vec::new();
+        }
+        if !self.preface_done {
+            self.preface.extend_from_slice(bytes);
+            let n = self.preface.len().min(CONNECTION_PREFACE.len());
+            if self.preface[..n] == CONNECTION_PREFACE[..n] {
+                if self.preface.len() < CONNECTION_PREFACE.len() {
+                    return Vec::new();
+                }
+                self.preface_done = true;
+                let leftover = self.preface.split_off(CONNECTION_PREFACE.len());
+                self.preface.clear();
+                let mut out = Vec::new();
+                if self.cleartext {
+                    // Prior-knowledge or post-upgrade h2: announce now.
+                    out.extend(self.announce_bytes());
+                }
+                if let Some(headers) = self.pending_upgrade.take() {
+                    out.extend(self.serve_upgraded_request(&headers));
+                }
+                out.extend(self.ingest(&leftover));
+                return out;
+            }
+            if self.cleartext {
+                return self.try_h1(_now);
+            }
+            // TLS-negotiated h2 with a bad preface: drop the connection.
+            self.closed = true;
+            return Vec::new();
+        }
+        if bytes.is_empty() {
+            return Vec::new();
+        }
+        let owned = bytes.to_vec();
+        self.ingest(&owned)
+    }
+
+    fn processing_delay(&self) -> SimDuration {
+        self.last_delay
+    }
+}
+
+impl H2Server {
+    /// The connection-start frames (announced SETTINGS plus the Nginx
+    /// zero-window-then-update pattern).
+    fn announce_bytes(&self) -> Vec<u8> {
+        let mut frames = vec![Frame::Settings(SettingsFrame::from(
+            self.behavior().announced.clone(),
+        ))];
+        if let Some(increment) = self.behavior().zero_window_then_update {
+            frames.push(Frame::WindowUpdate(WindowUpdateFrame {
+                stream_id: StreamId::CONNECTION,
+                increment,
+            }));
+        }
+        encode_all(&frames)
+    }
+
+    /// RFC 7540 §3.2: the request that carried the upgrade is served as
+    /// HTTP/2 stream 1, already half-closed from the client side.
+    fn serve_upgraded_request(&mut self, headers: &[Header]) -> Vec<u8> {
+        let stream = StreamId::new(1);
+        let (send_init, recv_init) = (
+            self.core.remote_settings().initial_window_size,
+            self.core.local_settings().initial_window_size,
+        );
+        self.core.streams_mut().get_or_create(stream, send_init, recv_init).recv_headers(true);
+        let mut frames = Vec::new();
+        self.handle_request(stream, headers, &mut frames);
+        self.pump(&mut frames);
+        encode_all(&frames)
+    }
+
+    /// Speaks just enough HTTP/1.1 to run the §IV-A upgrade dance: a
+    /// request with `Upgrade: h2c` gets `101 Switching Protocols` when the
+    /// profile supports it; anything else gets a plain HTTP/1.1 response.
+    fn try_h1(&mut self, _now: SimTime) -> Vec<u8> {
+        let Some(end) = find_double_crlf(&self.preface) else {
+            // Wait for the rest of the request head — unless this cannot
+            // be HTTP at all.
+            if self.preface.len() > 16_384 {
+                self.closed = true;
+            }
+            return Vec::new();
+        };
+        let head = String::from_utf8_lossy(&self.preface[..end]).to_string();
+        let leftover = self.preface.split_off(end + 4);
+        self.preface.clear();
+        let mut lines = head.lines();
+        let request_line = lines.next().unwrap_or_default().to_string();
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("GET").to_string();
+        let path = parts.next().unwrap_or("/").to_string();
+        let mut wants_h2c = false;
+        let mut host = self.site.authority.clone();
+        for line in lines {
+            let lower = line.to_ascii_lowercase();
+            if lower.starts_with("upgrade:") && lower.contains("h2c") {
+                wants_h2c = true;
+            }
+            if let Some(value) = lower.strip_prefix("host:") {
+                host = value.trim().to_string();
+            }
+        }
+        if wants_h2c && self.behavior().h2c_upgrade {
+            self.pending_upgrade = Some(vec![
+                Header::new(":method", method),
+                Header::new(":scheme", "http"),
+                Header::new(":path", path),
+                Header::new(":authority", host),
+            ]);
+            self.preface = leftover; // may already hold the preface
+            let mut out =
+                b"HTTP/1.1 101 Switching Protocols
+Connection: Upgrade
+Upgrade: h2c
+
+"
+                    .to_vec();
+            if !self.preface.is_empty() {
+                let buffered = std::mem::take(&mut self.preface);
+                out.extend(self.on_bytes(_now, &buffered));
+            }
+            return out;
+        }
+        // No upgrade: serve it as ordinary HTTP/1.1 and close.
+        self.last_delay = self.behavior().processing_delay;
+        let (status, body) = match self.site.resource(&path) {
+            Some(r) => ("200 OK", r.body.clone()),
+            None => ("404 Not Found", Bytes::from_static(b"not found")),
+        };
+        self.closed = true;
+        let mut response = format!(
+            "HTTP/1.1 {status}
+Server: {}
+Content-Length: {}
+Connection: close
+
+",
+            self.behavior().server_name,
+            body.len()
+        )
+        .into_bytes();
+        response.extend_from_slice(&body);
+        response
+    }
+
+    fn ingest(&mut self, bytes: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self.core.recv_bytes(bytes) {
+            Ok(events) => self.react(events, &mut out),
+            Err(err) => {
+                let detail = err.to_string();
+                self.goaway(err.h2_error_code(), Some(&detail), &mut out);
+            }
+        }
+        self.pump(&mut out);
+        encode_all(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2conn::{ConnectionCore, EffectiveSettings};
+    use h2wire::{FrameDecoder, SettingId, Settings};
+
+    /// A minimal hand-rolled client for exercising the engine directly.
+    struct TestClient {
+        core: ConnectionCore,
+        decoder: FrameDecoder,
+    }
+
+    impl TestClient {
+        fn new() -> TestClient {
+            TestClient {
+                core: ConnectionCore::new(
+                    Role::Client,
+                    EffectiveSettings::default(),
+                    EncoderOptions::default(),
+                ),
+                decoder: FrameDecoder::new(),
+            }
+        }
+
+        fn preface_and_settings(&self) -> Vec<u8> {
+            let mut bytes = CONNECTION_PREFACE.to_vec();
+            Frame::Settings(SettingsFrame::from(Settings::new())).encode(&mut bytes);
+            bytes
+        }
+
+        fn request(&mut self, stream: u32, path: &str) -> Vec<u8> {
+            let headers = vec![
+                Header::new(":method", "GET"),
+                Header::new(":scheme", "https"),
+                Header::new(":path", path),
+                Header::new(":authority", "testbed.example"),
+            ];
+            let frames =
+                self.core.encode_headers(StreamId::new(stream), &headers, true, None);
+            encode_all(&frames)
+        }
+
+        fn parse(&mut self, bytes: &[u8]) -> Vec<Frame> {
+            self.decoder.set_max_frame_size(h2wire::settings::MAX_MAX_FRAME_SIZE);
+            self.decoder.feed(bytes);
+            self.decoder.drain_frames().expect("server output parses")
+        }
+    }
+
+    fn serve(profile: ServerProfile) -> (H2Server, TestClient) {
+        (H2Server::new(profile, SiteSpec::benchmark()), TestClient::new())
+    }
+
+    #[test]
+    fn greeting_carries_announced_settings() {
+        let (mut server, mut client) = serve(ServerProfile::nghttpd());
+        let greeting = server.on_connect(SimTime::ZERO);
+        let frames = client.parse(&greeting);
+        match &frames[0] {
+            Frame::Settings(s) => {
+                assert!(!s.ack);
+                assert_eq!(s.settings.get(SettingId::MaxConcurrentStreams), Some(100));
+            }
+            other => panic!("expected settings, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nginx_greeting_includes_window_update_after_zero_announcement() {
+        let (mut server, mut client) = serve(ServerProfile::nginx());
+        let frames = client.parse(&server.on_connect(SimTime::ZERO));
+        assert!(matches!(&frames[0], Frame::Settings(s)
+            if s.settings.get(SettingId::InitialWindowSize) == Some(0)));
+        assert!(matches!(&frames[1], Frame::WindowUpdate(wu)
+            if wu.stream_id.is_connection() && wu.increment == 65_535));
+    }
+
+    #[test]
+    fn get_returns_headers_then_data() {
+        let (mut server, mut client) = serve(ServerProfile::rfc7540());
+        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        let req = client.request(1, "/");
+        let reply = server.on_bytes(SimTime::ZERO, &req);
+        let frames = client.parse(&reply);
+        let kinds: Vec<_> = frames.iter().map(|f| f.kind()).collect();
+        assert!(kinds.contains(&h2wire::FrameKind::Headers));
+        assert!(kinds.contains(&h2wire::FrameKind::Data));
+        // Body fits in one window; last DATA ends the stream.
+        let last_data = frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Data(d) => Some(d),
+                _ => None,
+            })
+            .last()
+            .unwrap();
+        assert!(last_data.end_stream);
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let (mut server, mut client) = serve(ServerProfile::rfc7540());
+        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/missing"));
+        let frames = client.parse(&reply);
+        let mut saw_404 = false;
+        for frame in &frames {
+            if let Frame::Headers(h) = frame {
+                let headers = client.core.recv_bytes(&frame.to_bytes());
+                let _ = headers; // decoded below via event
+                let mut dec = h2hpack::Decoder::new();
+                // Decode against a fresh context is wrong in general, but
+                // this is the first header block on the connection.
+                let list = dec.decode_block(&h.fragment).unwrap();
+                saw_404 = list.iter().any(|h| h.name == ":status" && h.value == "404");
+            }
+        }
+        assert!(saw_404);
+    }
+
+    #[test]
+    fn ping_is_acked_without_processing_delay() {
+        let (mut server, mut client) = serve(ServerProfile::apache());
+        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        let ping = Frame::Ping(PingFrame::request(*b"RTTprobe")).to_bytes();
+        let reply = server.on_bytes(SimTime::ZERO, &ping);
+        assert_eq!(server.processing_delay(), SimDuration::ZERO);
+        let frames = client.parse(&reply);
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, Frame::Ping(p) if p.ack && p.payload == *b"RTTprobe")));
+    }
+
+    #[test]
+    fn request_sets_processing_delay() {
+        let (mut server, mut client) = serve(ServerProfile::apache());
+        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        assert!(server.processing_delay() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_window_update_quirks_differ_by_profile() {
+        for (profile, expect_rst, expect_goaway) in [
+            (ServerProfile::nginx(), false, false),
+            (ServerProfile::h2o(), true, false),
+            (ServerProfile::nghttpd(), false, true),
+        ] {
+            let (mut server, mut client) = serve(profile.clone());
+            server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+            server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+            let zero = Frame::WindowUpdate(WindowUpdateFrame {
+                stream_id: StreamId::new(1),
+                increment: 0,
+            })
+            .to_bytes();
+            let reply = server.on_bytes(SimTime::ZERO, &zero);
+            let frames = client.parse(&reply);
+            let got_rst = frames.iter().any(|f| matches!(f, Frame::RstStream(_)));
+            let got_goaway = frames.iter().any(|f| matches!(f, Frame::Goaway(_)));
+            assert_eq!(got_rst, expect_rst, "{} rst", profile.name);
+            assert_eq!(got_goaway, expect_goaway, "{} goaway", profile.name);
+        }
+    }
+
+    #[test]
+    fn large_window_update_overflow_triggers_goaway_on_connection() {
+        let (mut server, mut client) = serve(ServerProfile::nginx());
+        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        let wu = |inc: u32| {
+            Frame::WindowUpdate(WindowUpdateFrame {
+                stream_id: StreamId::CONNECTION,
+                increment: inc,
+            })
+            .to_bytes()
+        };
+        server.on_bytes(SimTime::ZERO, &wu(0x4000_0000));
+        let reply = server.on_bytes(SimTime::ZERO, &wu(0x4000_0000));
+        let frames = client.parse(&reply);
+        assert!(
+            frames.iter().any(|f| matches!(f, Frame::Goaway(g)
+                if g.code == ErrorCode::FlowControlError)),
+            "even Nginx GOAWAYs on overflow (Table III)"
+        );
+    }
+
+    #[test]
+    fn self_dependency_quirks() {
+        for (profile, expect) in [
+            (ServerProfile::nginx(), "rst"),
+            (ServerProfile::litespeed(), "ignore"),
+            (ServerProfile::h2o(), "goaway"),
+        ] {
+            let (mut server, mut client) = serve(profile.clone());
+            server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+            let frame = Frame::Priority(h2wire::PriorityFrame {
+                stream_id: StreamId::new(5),
+                spec: h2wire::PrioritySpec {
+                    exclusive: false,
+                    dependency: StreamId::new(5),
+                    weight: 16,
+                },
+            })
+            .to_bytes();
+            let reply = server.on_bytes(SimTime::ZERO, &frame);
+            let frames = client.parse(&reply);
+            match expect {
+                "rst" => assert!(frames.iter().any(|f| matches!(f, Frame::RstStream(_)))),
+                "goaway" => assert!(frames.iter().any(|f| matches!(f, Frame::Goaway(_)))),
+                _ => assert!(frames.is_empty(), "{}: {frames:?}", profile.name),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrency_zero_refuses_all_requests() {
+        // §V-A: with MAX_CONCURRENT_STREAMS=0, any request gets RST.
+        let mut profile = ServerProfile::nginx();
+        profile.behavior.announced = Settings::new()
+            .with(SettingId::MaxConcurrentStreams, 0)
+            .with(SettingId::InitialWindowSize, 65_535);
+        profile.behavior.zero_window_then_update = None;
+        let (mut server, mut client) = serve(profile);
+        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        let frames = client.parse(&reply);
+        assert!(frames.iter().any(|f| matches!(f, Frame::RstStream(r)
+            if r.code == ErrorCode::RefusedStream)));
+        assert!(!frames.iter().any(|f| matches!(f, Frame::Headers(_))));
+    }
+
+    #[test]
+    fn concurrency_one_refuses_second_parallel_request() {
+        let mut profile = ServerProfile::tengine();
+        profile.behavior.announced = Settings::new()
+            .with(SettingId::MaxConcurrentStreams, 1)
+            .with(SettingId::InitialWindowSize, 65_535);
+        profile.behavior.zero_window_then_update = None;
+        let (mut server, mut client) = serve(profile);
+        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        // Two requests in one segment; /big/0 keeps stream 1 active.
+        let mut bytes = client.request(1, "/big/0");
+        bytes.extend(client.request(3, "/big/1"));
+        let reply = server.on_bytes(SimTime::ZERO, &bytes);
+        let frames = client.parse(&reply);
+        let rsts: Vec<&RstStreamFrame> = frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::RstStream(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rsts.len(), 1);
+        assert_eq!(rsts[0].stream_id, StreamId::new(3));
+        assert_eq!(rsts[0].code, ErrorCode::RefusedStream);
+    }
+
+    #[test]
+    fn flow_control_limits_data_frame_size_to_window() {
+        // §III-B1: SETTINGS_INITIAL_WINDOW_SIZE=1 must yield 1-byte DATA.
+        let (mut server, mut client) = serve(ServerProfile::h2o());
+        let mut hello = CONNECTION_PREFACE.to_vec();
+        Frame::Settings(SettingsFrame::from(
+            Settings::new().with(SettingId::InitialWindowSize, 1),
+        ))
+        .encode(&mut hello);
+        server.on_bytes(SimTime::ZERO, &hello);
+        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/big/0"));
+        let frames = client.parse(&reply);
+        let data: Vec<&h2wire::DataFrame> = frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Data(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(data.len(), 1);
+        assert_eq!(data[0].data.len(), 1, "payload limited to the 1-byte window");
+        assert!(frames.iter().any(|f| matches!(f, Frame::Headers(_))),
+            "HEADERS are not flow controlled on a conforming server");
+    }
+
+    #[test]
+    fn litespeed_withholds_headers_under_zero_window() {
+        // §III-B2 / Table III row 5.
+        let (mut server, mut client) = serve(ServerProfile::litespeed());
+        let mut hello = CONNECTION_PREFACE.to_vec();
+        Frame::Settings(SettingsFrame::from(
+            Settings::new().with(SettingId::InitialWindowSize, 0),
+        ))
+        .encode(&mut hello);
+        server.on_bytes(SimTime::ZERO, &hello);
+        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        let frames = client.parse(&reply);
+        assert!(
+            !frames.iter().any(|f| matches!(f, Frame::Headers(_))),
+            "LiteSpeed applies flow control to HEADERS: {frames:?}"
+        );
+
+        // A conforming server still sends HEADERS.
+        let (mut server, mut client) = serve(ServerProfile::nghttpd());
+        let mut hello = CONNECTION_PREFACE.to_vec();
+        Frame::Settings(SettingsFrame::from(
+            Settings::new().with(SettingId::InitialWindowSize, 0),
+        ))
+        .encode(&mut hello);
+        server.on_bytes(SimTime::ZERO, &hello);
+        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        let frames = client.parse(&reply);
+        assert!(frames.iter().any(|f| matches!(f, Frame::Headers(_))));
+        assert!(!frames.iter().any(|f| matches!(f, Frame::Data(_))));
+    }
+
+    #[test]
+    fn push_capable_server_sends_push_promise() {
+        let site = SiteSpec::page_with_assets(2, 500);
+        let mut server = H2Server::new(ServerProfile::h2o(), site);
+        let mut client = TestClient::new();
+        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        let frames = client.parse(&reply);
+        let promises = frames.iter().filter(|f| matches!(f, Frame::PushPromise(_))).count();
+        assert_eq!(promises, 2);
+        // Pushed streams are even.
+        for f in &frames {
+            if let Frame::PushPromise(p) = f {
+                assert!(p.promised_stream_id.is_server_initiated());
+            }
+        }
+    }
+
+    #[test]
+    fn push_incapable_server_sends_none() {
+        let site = SiteSpec::page_with_assets(2, 500);
+        let mut server = H2Server::new(ServerProfile::nginx(), site);
+        let mut client = TestClient::new();
+        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        let frames = client.parse(&reply);
+        assert!(!frames.iter().any(|f| matches!(f, Frame::PushPromise(_))));
+    }
+
+    #[test]
+    fn client_can_disable_push_via_settings() {
+        let site = SiteSpec::page_with_assets(2, 500);
+        let mut server = H2Server::new(ServerProfile::h2o(), site);
+        let mut client = TestClient::new();
+        let mut hello = CONNECTION_PREFACE.to_vec();
+        Frame::Settings(SettingsFrame::from(
+            Settings::new().with(SettingId::EnablePush, 0),
+        ))
+        .encode(&mut hello);
+        server.on_bytes(SimTime::ZERO, &hello);
+        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        let frames = client.parse(&reply);
+        assert!(!frames.iter().any(|f| matches!(f, Frame::PushPromise(_))));
+    }
+
+    #[test]
+    fn bad_preface_closes_connection() {
+        let mut server = H2Server::new(ServerProfile::rfc7540(), SiteSpec::benchmark());
+        let reply = server.on_bytes(SimTime::ZERO, b"GET / HTTP/1.1\r\nHost: x\r\n\r\nPAD-PAD");
+        assert!(reply.is_empty());
+        assert!(server.is_closed());
+    }
+}

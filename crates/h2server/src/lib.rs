@@ -1,0 +1,34 @@
+//! # h2server — behavior-driven HTTP/2 server engine
+//!
+//! One server engine ([`H2Server`]), ten personalities. The engine
+//! implements the full HTTP/2 server role on top of
+//! [`h2conn::ConnectionCore`]; every place where RFC 7540 leaves reactions
+//! open (or where real servers deviate from it) is a knob in the
+//! [`ServerBehavior`] matrix. The [`profiles`] module fills in that matrix
+//! for the six servers the paper characterizes in its testbed (Table III)
+//! plus the wild-scan families from Table IV — and a strict
+//! [`ServerProfile::rfc7540`] reference corresponding to Table III's last
+//! column.
+//!
+//! ```
+//! use h2server::{H2Server, ServerProfile, SiteSpec};
+//! use netsim::{LinkSpec, Pipe};
+//!
+//! let server = H2Server::new(ServerProfile::nginx(), SiteSpec::benchmark());
+//! let mut pipe = Pipe::connect(server, LinkSpec::lan(), 7);
+//! pipe.client_send(h2wire::CONNECTION_PREFACE.to_vec());
+//! let greeting = pipe.run_to_quiescence();
+//! assert!(!greeting.is_empty()); // server SETTINGS (+ Nginx's WINDOW_UPDATE)
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod engine;
+pub mod profiles;
+pub mod site;
+
+pub use behavior::{QuirkAction, ServerBehavior};
+pub use engine::H2Server;
+pub use profiles::ServerProfile;
+pub use site::{Resource, SiteSpec};

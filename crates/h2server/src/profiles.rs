@@ -1,0 +1,300 @@
+//! Behavior profiles for the servers the paper examines.
+//!
+//! The six testbed profiles are filled in cell-for-cell from the paper's
+//! Table III and §V-A; the four extra profiles cover server families that
+//! only appear in the wild-scan population (Table IV, Figures 4/5). The
+//! profiles are *inputs* to the reproduction — Table III itself is then
+//! **re-measured** by running H2Scope against engines configured with
+//! these profiles, which exercises the full probe pipeline.
+
+use h2wire::{SettingId, Settings};
+use netsim::time::SimDuration;
+use netsim::TlsConfig;
+
+use crate::behavior::{PriorityMode, QuirkAction, ServerBehavior};
+
+/// A named server profile: behavior matrix plus display metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerProfile {
+    /// Family name as it appears in the paper ("Nginx", "LiteSpeed", ...).
+    pub name: String,
+    /// Version string the paper tested.
+    pub version: String,
+    /// The behavior matrix.
+    pub behavior: ServerBehavior,
+}
+
+impl ServerProfile {
+    /// All six testbed profiles in the paper's column order.
+    pub fn testbed() -> Vec<ServerProfile> {
+        vec![
+            ServerProfile::nginx(),
+            ServerProfile::litespeed(),
+            ServerProfile::h2o(),
+            ServerProfile::nghttpd(),
+            ServerProfile::tengine(),
+            ServerProfile::apache(),
+        ]
+    }
+
+    /// Nginx v1.9.15 (Table III column 1).
+    pub fn nginx() -> ServerProfile {
+        let mut b = ServerBehavior::rfc7540();
+        b.server_name = "nginx/1.9.15".into();
+        b.tls = TlsConfig::h2_full();
+        b.zero_window_update_stream = QuirkAction::Ignore;
+        b.zero_window_update_conn = QuirkAction::Ignore;
+        b.push = false;
+        b.priority_mode = PriorityMode::None;
+        b.self_dependency = QuirkAction::RstStream;
+        b.hpack_index_responses = false; // "support*" — partial HPACK
+        b.announced = Settings::new()
+            .with(SettingId::MaxConcurrentStreams, 128)
+            .with(SettingId::InitialWindowSize, 0)
+            .with(SettingId::MaxFrameSize, 16_384);
+        b.zero_window_then_update = Some(65_535);
+        b.h2c_upgrade = false; // stock nginx 1.9 had no h2c upgrade path
+        ServerProfile { name: "Nginx".into(), version: "1.9.15".into(), behavior: b }
+    }
+
+    /// LiteSpeed v5.0.11 (column 2).
+    pub fn litespeed() -> ServerProfile {
+        let mut b = ServerBehavior::rfc7540();
+        b.server_name = "LiteSpeed".into();
+        b.tls = TlsConfig::h2_full();
+        b.fc_on_headers = true; // the paper's headline LiteSpeed deviation
+        b.zero_window_update_stream = QuirkAction::RstStream;
+        b.zero_window_update_conn = QuirkAction::Goaway;
+        b.push = false;
+        b.priority_mode = PriorityMode::None;
+        b.self_dependency = QuirkAction::Ignore;
+        b.hpack_index_responses = true;
+        b.announced = Settings::new()
+            .with(SettingId::MaxConcurrentStreams, 100)
+            .with(SettingId::InitialWindowSize, 65_536)
+            .with(SettingId::MaxFrameSize, 16_384);
+        b.h2c_upgrade = false;
+        ServerProfile { name: "LiteSpeed".into(), version: "5.0.11".into(), behavior: b }
+    }
+
+    /// H2O v1.6.2 (column 3).
+    pub fn h2o() -> ServerProfile {
+        let mut b = ServerBehavior::rfc7540();
+        b.server_name = "h2o/1.6.2".into();
+        b.tls = TlsConfig::h2_full();
+        b.zero_window_update_stream = QuirkAction::RstStream;
+        b.zero_window_update_conn = QuirkAction::Goaway;
+        b.push = true;
+        b.priority_mode = PriorityMode::Strict;
+        b.self_dependency = QuirkAction::Goaway;
+        b.hpack_index_responses = true;
+        b.announced = Settings::new()
+            .with(SettingId::MaxConcurrentStreams, 100)
+            .with(SettingId::InitialWindowSize, 16_777_216)
+            .with(SettingId::MaxFrameSize, 16_384);
+        ServerProfile { name: "H2O".into(), version: "1.6.2".into(), behavior: b }
+    }
+
+    /// nghttpd v1.12.0 (column 4).
+    pub fn nghttpd() -> ServerProfile {
+        let mut b = ServerBehavior::rfc7540();
+        b.server_name = "nghttpd nghttp2/1.12.0".into();
+        b.tls = TlsConfig::h2_full();
+        b.zero_window_update_stream = QuirkAction::Goaway; // stricter than RFC
+        b.zero_window_update_conn = QuirkAction::Goaway;
+        b.push = true;
+        b.priority_mode = PriorityMode::Strict;
+        b.self_dependency = QuirkAction::Goaway;
+        b.hpack_index_responses = true;
+        b.announced = Settings::new()
+            .with(SettingId::MaxConcurrentStreams, 100)
+            .with(SettingId::InitialWindowSize, 65_535)
+            .with(SettingId::MaxFrameSize, 16_384);
+        ServerProfile { name: "nghttpd".into(), version: "1.12.0".into(), behavior: b }
+    }
+
+    /// Tengine v2.1.2 (column 5) — an Nginx derivative and it shows.
+    pub fn tengine() -> ServerProfile {
+        let mut profile = ServerProfile::nginx();
+        profile.name = "Tengine".into();
+        profile.version = "2.1.2".into();
+        profile.behavior.server_name = "Tengine/2.1.2".into();
+        ServerProfile { ..profile }
+    }
+
+    /// Apache httpd v2.4.23 with mod_http2 (column 6).
+    pub fn apache() -> ServerProfile {
+        let mut b = ServerBehavior::rfc7540();
+        b.server_name = "Apache/2.4.23".into();
+        b.tls = TlsConfig::h2_alpn_only(); // "Apache doesn't support NPN over TLS"
+        b.zero_window_update_stream = QuirkAction::Goaway;
+        b.zero_window_update_conn = QuirkAction::Goaway;
+        b.push = true;
+        b.priority_mode = PriorityMode::Strict;
+        b.self_dependency = QuirkAction::Goaway;
+        b.hpack_index_responses = true;
+        b.announced = Settings::new()
+            .with(SettingId::MaxConcurrentStreams, 100)
+            .with(SettingId::InitialWindowSize, 65_535)
+            .with(SettingId::MaxFrameSize, 16_384);
+        ServerProfile { name: "Apache".into(), version: "2.4.23".into(), behavior: b }
+    }
+
+    /// The RFC 7540 reference endpoint — Table III's final column.
+    pub fn rfc7540() -> ServerProfile {
+        ServerProfile {
+            name: "RFC 7540".into(),
+            version: "reference".into(),
+            behavior: ServerBehavior::rfc7540(),
+        }
+    }
+
+    // ----- wild-scan-only families --------------------------------------
+
+    /// GSE, Google's proprietary server: best HPACK ratios in Figures 4/5
+    /// (all below 0.3).
+    pub fn gse() -> ServerProfile {
+        let mut b = ServerBehavior::rfc7540();
+        b.server_name = "GSE".into();
+        b.tls = TlsConfig::h2_full();
+        b.push = false;
+        b.priority_mode = PriorityMode::Strict;
+        b.hpack_index_responses = true;
+        b.announced = Settings::new()
+            .with(SettingId::MaxConcurrentStreams, 100)
+            .with(SettingId::InitialWindowSize, 1_048_576)
+            .with(SettingId::MaxFrameSize, 16_777_215)
+            .with(SettingId::MaxHeaderListSize, 16_384);
+        b.h2c_upgrade = false;
+        ServerProfile { name: "GSE".into(), version: "-".into(), behavior: b }
+    }
+
+    /// cloudflare-nginx: an Nginx derivative with Cloudflare patches
+    /// (notably server push support, which stock Nginx 1.9 lacked).
+    pub fn cloudflare_nginx() -> ServerProfile {
+        let mut profile = ServerProfile::nginx();
+        profile.name = "cloudflare-nginx".into();
+        profile.version = "-".into();
+        profile.behavior.server_name = "cloudflare-nginx".into();
+        profile.behavior.push = true;
+        profile.behavior.announced = Settings::new()
+            .with(SettingId::MaxConcurrentStreams, 256)
+            .with(SettingId::InitialWindowSize, 2_147_483_647)
+            .with(SettingId::MaxFrameSize, 16_777_215);
+        profile.behavior.zero_window_then_update = None;
+        profile
+    }
+
+    /// IdeaWebServer v0.80 (a Polish hosting platform): worst HPACK
+    /// ratios alongside Nginx in Figures 4/5.
+    pub fn ideaweb() -> ServerProfile {
+        let mut b = ServerBehavior::rfc7540();
+        b.server_name = "IdeaWebServer/v0.80".into();
+        b.tls = TlsConfig::h2_npn_only();
+        b.push = false;
+        b.priority_mode = PriorityMode::None;
+        b.hpack_index_responses = false;
+        b.zero_window_update_stream = QuirkAction::Ignore;
+        b.zero_window_update_conn = QuirkAction::Ignore;
+        b.announced = Settings::new()
+            .with(SettingId::MaxConcurrentStreams, 100)
+            .with(SettingId::InitialWindowSize, 65_535)
+            .with(SettingId::MaxFrameSize, 16_384)
+            .with(SettingId::MaxHeaderListSize, 16_384);
+        ServerProfile { name: "IdeaWebServer".into(), version: "0.80".into(), behavior: b }
+    }
+
+    /// Tengine/Aserver — the tmall.com fleet that renamed itself between
+    /// the paper's two experiments.
+    pub fn tengine_aserver() -> ServerProfile {
+        let mut profile = ServerProfile::tengine();
+        profile.name = "Tengine/Aserver".into();
+        profile.behavior.server_name = "Tengine/Aserver".into();
+        profile.behavior.cookie_injection = true; // tmall sets per-response cookies
+        profile
+    }
+
+    /// A convenience: the server's processing delay, used by RTT probes.
+    pub fn processing_delay(&self) -> SimDuration {
+        self.behavior.processing_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_has_six_profiles_in_paper_order() {
+        let names: Vec<String> =
+            ServerProfile::testbed().into_iter().map(|p| p.name).collect();
+        assert_eq!(names, ["Nginx", "LiteSpeed", "H2O", "nghttpd", "Tengine", "Apache"]);
+    }
+
+    #[test]
+    fn table_iii_zero_window_update_row() {
+        use QuirkAction::*;
+        let expected_stream = [Ignore, RstStream, RstStream, Goaway, Ignore, Goaway];
+        let expected_conn = [Ignore, Goaway, Goaway, Goaway, Ignore, Goaway];
+        for (profile, (s, c)) in ServerProfile::testbed()
+            .iter()
+            .zip(expected_stream.iter().zip(expected_conn.iter()))
+        {
+            assert_eq!(&profile.behavior.zero_window_update_stream, s, "{}", profile.name);
+            assert_eq!(&profile.behavior.zero_window_update_conn, c, "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn table_iii_push_and_priority_rows() {
+        let push = [false, false, true, true, false, true];
+        let priority = [false, false, true, true, false, true];
+        for (profile, (p, pr)) in
+            ServerProfile::testbed().iter().zip(push.iter().zip(priority.iter()))
+        {
+            assert_eq!(&profile.behavior.push, p, "{} push", profile.name);
+            assert_eq!(
+                &profile.behavior.priority_mode.passes_table_iii(),
+                pr,
+                "{} priority",
+                profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn table_iii_self_dependency_row() {
+        use QuirkAction::*;
+        let expected = [RstStream, Ignore, Goaway, Goaway, RstStream, Goaway];
+        for (profile, e) in ServerProfile::testbed().iter().zip(expected.iter()) {
+            assert_eq!(&profile.behavior.self_dependency, e, "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn only_apache_lacks_npn() {
+        for profile in ServerProfile::testbed() {
+            let has_npn = profile.behavior.tls.npn.is_some();
+            assert_eq!(has_npn, profile.name != "Apache", "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn only_litespeed_flow_controls_headers() {
+        for profile in ServerProfile::testbed() {
+            assert_eq!(
+                profile.behavior.fc_on_headers,
+                profile.name == "LiteSpeed",
+                "{}",
+                profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn nginx_family_announces_zero_window_then_updates() {
+        assert_eq!(ServerProfile::nginx().behavior.zero_window_then_update, Some(65_535));
+        assert_eq!(ServerProfile::tengine().behavior.zero_window_then_update, Some(65_535));
+        assert_eq!(ServerProfile::apache().behavior.zero_window_then_update, None);
+    }
+}

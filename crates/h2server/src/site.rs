@@ -1,0 +1,147 @@
+//! Site content: the resources a simulated web site serves and its push
+//! manifest.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+/// One web object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    /// Request path, e.g. `"/index.html"`.
+    pub path: String,
+    /// `content-type` response header.
+    pub content_type: String,
+    /// Object body.
+    pub body: Bytes,
+}
+
+impl Resource {
+    /// Creates a resource with a synthetic body of `size` octets.
+    pub fn synthetic(path: impl Into<String>, content_type: impl Into<String>, size: usize) -> Resource {
+        let path = path.into();
+        // Deterministic, mildly compressible content keyed by the path.
+        let seed = path.bytes().fold(0u8, u8::wrapping_add);
+        let body: Vec<u8> = (0..size).map(|i| seed.wrapping_add((i % 251) as u8)).collect();
+        Resource { path, content_type: content_type.into(), body: Bytes::from(body) }
+    }
+}
+
+/// The content model for one simulated site.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SiteSpec {
+    /// The `:authority` this site answers as.
+    pub authority: String,
+    /// Resources by path.
+    pub resources: BTreeMap<String, Resource>,
+    /// `page path -> resources to push` when the server supports push.
+    pub push_manifest: BTreeMap<String, Vec<String>>,
+}
+
+impl SiteSpec {
+    /// An empty site for `authority`.
+    pub fn new(authority: impl Into<String>) -> SiteSpec {
+        SiteSpec { authority: authority.into(), ..SiteSpec::default() }
+    }
+
+    /// Adds a resource, replacing any previous one at the same path.
+    pub fn add(&mut self, resource: Resource) -> &mut SiteSpec {
+        self.resources.insert(resource.path.clone(), resource);
+        self
+    }
+
+    /// Builder-style [`SiteSpec::add`].
+    pub fn with(mut self, resource: Resource) -> SiteSpec {
+        self.add(resource);
+        self
+    }
+
+    /// Declares that requesting `page` should push `assets`.
+    pub fn push_on(mut self, page: impl Into<String>, assets: Vec<String>) -> SiteSpec {
+        self.push_manifest.insert(page.into(), assets);
+        self
+    }
+
+    /// Looks up a resource.
+    pub fn resource(&self, path: &str) -> Option<&Resource> {
+        self.resources.get(path)
+    }
+
+    /// The testbed site used for server characterization (Table III):
+    /// a front page plus several *large* objects, which the paper needs
+    /// because the multiplexing and priority probes only discriminate when
+    /// responses span many DATA frames (§III-A1).
+    pub fn benchmark() -> SiteSpec {
+        let mut site = SiteSpec::new("testbed.example");
+        site.add(Resource::synthetic("/", "text/html", 4_096));
+        for i in 0..8 {
+            site.add(Resource::synthetic(
+                format!("/big/{i}"),
+                "application/octet-stream",
+                256 * 1024,
+            ));
+        }
+        site.add(Resource::synthetic("/style.css", "text/css", 8_192));
+        site.add(Resource::synthetic("/app.js", "application/javascript", 16_384));
+        site.add(Resource::synthetic("/logo.png", "image/png", 32_768));
+        site
+    }
+
+    /// A front page with `assets` subresources of `asset_size` octets each
+    /// and a push manifest covering all of them — the page-load experiment
+    /// site (Figure 3).
+    pub fn page_with_assets(assets: usize, asset_size: usize) -> SiteSpec {
+        let mut site = SiteSpec::new("pageload.example");
+        site.add(Resource::synthetic("/", "text/html", 16_384));
+        let mut pushed = Vec::new();
+        for i in 0..assets {
+            let path = format!("/asset/{i}");
+            site.add(Resource::synthetic(&path, asset_kind(i), asset_size));
+            pushed.push(path);
+        }
+        site.push_on("/", pushed)
+    }
+}
+
+fn asset_kind(i: usize) -> &'static str {
+    match i % 3 {
+        0 => "application/javascript",
+        1 => "text/css",
+        _ => "image/png",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_resources_are_deterministic() {
+        let a = Resource::synthetic("/x", "text/plain", 100);
+        let b = Resource::synthetic("/x", "text/plain", 100);
+        assert_eq!(a, b);
+        assert_eq!(a.body.len(), 100);
+    }
+
+    #[test]
+    fn benchmark_site_has_large_objects() {
+        let site = SiteSpec::benchmark();
+        assert!(site.resource("/").is_some());
+        let big = site.resource("/big/0").unwrap();
+        assert!(big.body.len() >= 4 * 65_535, "must span multiple flow-control windows");
+    }
+
+    #[test]
+    fn push_manifest_lists_all_assets() {
+        let site = SiteSpec::page_with_assets(5, 1_000);
+        assert_eq!(site.push_manifest["/"].len(), 5);
+        for path in &site.push_manifest["/"] {
+            assert!(site.resource(path).is_some(), "pushed asset {path} exists");
+        }
+    }
+
+    #[test]
+    fn lookup_miss_returns_none() {
+        assert_eq!(SiteSpec::benchmark().resource("/nope"), None);
+    }
+}

@@ -1,0 +1,190 @@
+//! Streaming frame codec: turns a byte stream into frames and back.
+
+use crate::error::DecodeFrameError;
+use crate::frame::Frame;
+use crate::header::{FrameHeader, FRAME_HEADER_LEN};
+
+/// Attempts to decode a single frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed, or `Ok(Some((frame,
+/// consumed)))` on success.
+///
+/// # Errors
+///
+/// Propagates structural violations from [`Frame::decode`], and rejects
+/// frames whose declared payload length exceeds `max_frame_size` before
+/// buffering the payload (RFC 7540 §4.2).
+pub fn decode_one(
+    buf: &[u8],
+    max_frame_size: u32,
+) -> Result<Option<(Frame, usize)>, DecodeFrameError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let header = FrameHeader::decode(buf)?;
+    if header.length > max_frame_size {
+        return Err(DecodeFrameError::FrameTooLarge { length: header.length, max: max_frame_size });
+    }
+    let total = FRAME_HEADER_LEN + header.length as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let frame = Frame::decode(header, &buf[FRAME_HEADER_LEN..total])?;
+    Ok(Some((frame, total)))
+}
+
+/// A stateful decoder that accumulates bytes and yields complete frames.
+///
+/// This is the receive half every endpoint in the workspace uses; it
+/// enforces the receiver's `SETTINGS_MAX_FRAME_SIZE`.
+#[derive(Debug, Clone)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max_frame_size: u32,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> FrameDecoder {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// Creates a decoder with the protocol-default max frame size (16,384).
+    pub fn new() -> FrameDecoder {
+        FrameDecoder { buf: Vec::new(), max_frame_size: crate::settings::DEFAULT_MAX_FRAME_SIZE }
+    }
+
+    /// Adjusts the maximum frame size this decoder will accept, typically
+    /// after announcing a new `SETTINGS_MAX_FRAME_SIZE`.
+    pub fn set_max_frame_size(&mut self, max: u32) {
+        self.max_frame_size = max;
+    }
+
+    /// The limit currently enforced.
+    pub fn max_frame_size(&self) -> u32 {
+        self.max_frame_size
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural violation encountered; after an error
+    /// the decoder's buffer is cleared because RFC 7540 treats most framing
+    /// errors as connection errors.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeFrameError> {
+        match decode_one(&self.buf, self.max_frame_size) {
+            Ok(Some((frame, consumed))) => {
+                self.buf.drain(..consumed);
+                Ok(Some(frame))
+            }
+            Ok(None) => Ok(None),
+            Err(err) => {
+                self.buf.clear();
+                Err(err)
+            }
+        }
+    }
+
+    /// Drains every complete frame currently buffered.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first structural violation.
+    pub fn drain_frames(&mut self) -> Result<Vec<Frame>, DecodeFrameError> {
+        let mut frames = Vec::new();
+        while let Some(frame) = self.next_frame()? {
+            frames.push(frame);
+        }
+        Ok(frames)
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Encodes a sequence of frames into one contiguous buffer.
+pub fn encode_all<'a, I>(frames: I) -> Vec<u8>
+where
+    I: IntoIterator<Item = &'a Frame>,
+{
+    let mut out = Vec::new();
+    for frame in frames {
+        frame.encode(&mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{DataFrame, PingFrame};
+    use crate::stream_id::StreamId;
+    use bytes::Bytes;
+
+    #[test]
+    fn incremental_feed_yields_frame_only_when_complete() {
+        let frame = Frame::Ping(PingFrame::request(*b"12345678"));
+        let bytes = frame.to_bytes();
+        let mut dec = FrameDecoder::new();
+        for (i, b) in bytes.iter().enumerate() {
+            assert_eq!(dec.next_frame().unwrap(), None, "byte {i}");
+            dec.feed(&[*b]);
+        }
+        assert_eq!(dec.next_frame().unwrap(), Some(frame));
+        assert_eq!(dec.buffered_len(), 0);
+    }
+
+    #[test]
+    fn drain_frames_returns_all_buffered() {
+        let frames = vec![
+            Frame::Ping(PingFrame::request([1; 8])),
+            Frame::Data(DataFrame {
+                stream_id: StreamId::new(1),
+                data: Bytes::from_static(b"abc"),
+                end_stream: true,
+                pad_len: None,
+            }),
+        ];
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode_all(&frames));
+        assert_eq!(dec.drain_frames().unwrap(), frames);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_from_header_alone() {
+        let mut dec = FrameDecoder::new();
+        dec.set_max_frame_size(16);
+        // Header declaring a 17-byte DATA payload on stream 1.
+        dec.feed(&[0, 0, 17, 0, 0, 0, 0, 0, 1]);
+        let err = dec.next_frame().unwrap_err();
+        assert_eq!(err, DecodeFrameError::FrameTooLarge { length: 17, max: 16 });
+    }
+
+    #[test]
+    fn larger_max_frame_size_admits_large_frames() {
+        let data = vec![0xab; 20_000];
+        let frame = Frame::Data(DataFrame {
+            stream_id: StreamId::new(1),
+            data: Bytes::from(data),
+            end_stream: false,
+            pad_len: None,
+        });
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame.to_bytes());
+        assert!(dec.next_frame().is_err() || dec.buffered_len() == 0);
+
+        let mut dec = FrameDecoder::new();
+        dec.set_max_frame_size(1 << 15);
+        dec.feed(&frame.to_bytes());
+        assert_eq!(dec.next_frame().unwrap(), Some(frame));
+    }
+}

@@ -1,0 +1,179 @@
+//! The 9-octet frame header (RFC 7540 §4.1) and per-type flag bits.
+
+use crate::error::DecodeFrameError;
+use crate::stream_id::StreamId;
+
+/// Number of octets in every frame header.
+pub const FRAME_HEADER_LEN: usize = 9;
+
+/// The ten frame types defined by RFC 7540 §6, plus a catch-all for
+/// extension frames, which receivers must ignore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Carries request/response bodies; the only flow-controlled type (0x0).
+    Data,
+    /// Opens a stream and carries a header block fragment (0x1).
+    Headers,
+    /// Re-prioritizes a stream (0x2).
+    Priority,
+    /// Terminates a single stream (0x3).
+    RstStream,
+    /// Conveys configuration parameters (0x4).
+    Settings,
+    /// Announces a server-initiated stream (0x5).
+    PushPromise,
+    /// Round-trip measurement and liveness check (0x6).
+    Ping,
+    /// Initiates connection shutdown (0x7).
+    Goaway,
+    /// Increments a flow-control window (0x8).
+    WindowUpdate,
+    /// Continues a header block fragment (0x9).
+    Continuation,
+    /// An extension frame type unknown to RFC 7540.
+    Unknown(u8),
+}
+
+impl FrameKind {
+    /// The wire byte for this frame type.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Data => 0x0,
+            FrameKind::Headers => 0x1,
+            FrameKind::Priority => 0x2,
+            FrameKind::RstStream => 0x3,
+            FrameKind::Settings => 0x4,
+            FrameKind::PushPromise => 0x5,
+            FrameKind::Ping => 0x6,
+            FrameKind::Goaway => 0x7,
+            FrameKind::WindowUpdate => 0x8,
+            FrameKind::Continuation => 0x9,
+            FrameKind::Unknown(v) => v,
+        }
+    }
+}
+
+impl From<u8> for FrameKind {
+    fn from(v: u8) -> Self {
+        match v {
+            0x0 => FrameKind::Data,
+            0x1 => FrameKind::Headers,
+            0x2 => FrameKind::Priority,
+            0x3 => FrameKind::RstStream,
+            0x4 => FrameKind::Settings,
+            0x5 => FrameKind::PushPromise,
+            0x6 => FrameKind::Ping,
+            0x7 => FrameKind::Goaway,
+            0x8 => FrameKind::WindowUpdate,
+            0x9 => FrameKind::Continuation,
+            other => FrameKind::Unknown(other),
+        }
+    }
+}
+
+/// Flag bits used across frame types (RFC 7540 §6).
+pub mod flags {
+    /// DATA / HEADERS: no further frames on this stream from the sender.
+    pub const END_STREAM: u8 = 0x1;
+    /// SETTINGS / PING: acknowledgement.
+    pub const ACK: u8 = 0x1;
+    /// HEADERS / PUSH_PROMISE / CONTINUATION: header block complete.
+    pub const END_HEADERS: u8 = 0x4;
+    /// DATA / HEADERS / PUSH_PROMISE: payload is padded.
+    pub const PADDED: u8 = 0x8;
+    /// HEADERS: priority fields are present.
+    pub const PRIORITY: u8 = 0x20;
+}
+
+/// A decoded 9-octet frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Payload length (24-bit on the wire).
+    pub length: u32,
+    /// Frame type.
+    pub kind: FrameKind,
+    /// Raw flag bits.
+    pub flags: u8,
+    /// Stream identifier (reserved bit masked).
+    pub stream_id: StreamId,
+}
+
+impl FrameHeader {
+    /// Parses a frame header from exactly [`FRAME_HEADER_LEN`] octets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeFrameError::Truncated`] when fewer than nine octets
+    /// are supplied.
+    pub fn decode(buf: &[u8]) -> Result<FrameHeader, DecodeFrameError> {
+        if buf.len() < FRAME_HEADER_LEN {
+            return Err(DecodeFrameError::Truncated);
+        }
+        let length = u32::from(buf[0]) << 16 | u32::from(buf[1]) << 8 | u32::from(buf[2]);
+        let kind = FrameKind::from(buf[3]);
+        let flags = buf[4];
+        let raw_id = u32::from_be_bytes([buf[5], buf[6], buf[7], buf[8]]);
+        Ok(FrameHeader { length, kind, flags, stream_id: StreamId::new(raw_id) })
+    }
+
+    /// Serializes this header into nine octets.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push((self.length >> 16) as u8);
+        out.push((self.length >> 8) as u8);
+        out.push(self.length as u8);
+        out.push(self.kind.to_u8());
+        out.push(self.flags);
+        out.extend_from_slice(&self.stream_id.value().to_be_bytes());
+    }
+
+    /// `true` when the given flag bit is set.
+    pub fn has_flag(&self, flag: u8) -> bool {
+        self.flags & flag != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_kind_round_trips() {
+        for v in 0u8..=12 {
+            assert_eq!(FrameKind::from(v).to_u8(), v);
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let hdr = FrameHeader {
+            length: 0x01_02_03,
+            kind: FrameKind::Headers,
+            flags: flags::END_HEADERS | flags::PRIORITY,
+            stream_id: StreamId::new(77),
+        };
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), FRAME_HEADER_LEN);
+        assert_eq!(FrameHeader::decode(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn decode_rejects_short_input() {
+        assert_eq!(FrameHeader::decode(&[0; 8]), Err(DecodeFrameError::Truncated));
+    }
+
+    #[test]
+    fn reserved_stream_bit_is_ignored_on_decode() {
+        let mut buf = Vec::new();
+        FrameHeader {
+            length: 0,
+            kind: FrameKind::Ping,
+            flags: 0,
+            stream_id: StreamId::CONNECTION,
+        }
+        .encode(&mut buf);
+        buf[5] |= 0x80; // set the reserved bit
+        let hdr = FrameHeader::decode(&buf).unwrap();
+        assert_eq!(hdr.stream_id, StreamId::CONNECTION);
+    }
+}

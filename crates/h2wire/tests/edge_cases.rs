@@ -1,0 +1,154 @@
+//! Edge-case decoding tests beyond the round-trip suites: truncated
+//! priority fields, padded HEADERS with priority, oversized extension
+//! frames, and reserved-bit handling.
+
+use bytes::Bytes;
+use h2wire::settings::MAX_MAX_FRAME_SIZE;
+use h2wire::{
+    decode_one, DecodeFrameError, Frame, FrameHeader, FrameKind, HeadersFrame, PrioritySpec,
+    StreamId, UnknownFrame,
+};
+
+#[test]
+fn headers_with_priority_flag_but_short_payload_is_truncated() {
+    // HEADERS with PRIORITY flag requires >= 5 payload octets.
+    let mut bytes = Vec::new();
+    FrameHeader {
+        length: 3,
+        kind: FrameKind::Headers,
+        flags: h2wire::header::flags::PRIORITY | h2wire::header::flags::END_HEADERS,
+        stream_id: StreamId::new(1),
+    }
+    .encode(&mut bytes);
+    bytes.extend_from_slice(&[0, 0, 0]);
+    assert_eq!(decode_one(&bytes, 16_384), Err(DecodeFrameError::Truncated));
+}
+
+#[test]
+fn headers_with_priority_and_padding_round_trips() {
+    let frame = Frame::Headers(HeadersFrame {
+        stream_id: StreamId::new(7),
+        fragment: Bytes::from_static(&[0x82, 0x84, 0x86]),
+        end_stream: true,
+        end_headers: true,
+        priority: Some(PrioritySpec {
+            exclusive: true,
+            dependency: StreamId::new(3),
+            weight: 147,
+        }),
+        pad_len: Some(13),
+    });
+    let bytes = frame.to_bytes();
+    let (decoded, consumed) = decode_one(&bytes, 16_384).unwrap().unwrap();
+    assert_eq!(consumed, bytes.len());
+    assert_eq!(decoded, frame);
+    // Wire length: pad byte + 5 priority octets + 3 fragment + 13 padding.
+    assert_eq!(bytes.len(), 9 + 1 + 5 + 3 + 13);
+}
+
+#[test]
+fn priority_spec_reserved_bit_reads_as_exclusive() {
+    // The E bit is the MSB of the dependency word.
+    let frame = Frame::Priority(h2wire::PriorityFrame {
+        stream_id: StreamId::new(9),
+        spec: PrioritySpec { exclusive: true, dependency: StreamId::MAX, weight: 1 },
+    });
+    let bytes = frame.to_bytes();
+    assert_eq!(bytes[9] & 0x80, 0x80, "E bit set on the wire");
+    let (decoded, _) = decode_one(&bytes, 16_384).unwrap().unwrap();
+    assert_eq!(decoded, frame);
+}
+
+#[test]
+fn extension_frames_respect_the_frame_size_limit_too() {
+    let frame = Frame::Unknown(UnknownFrame {
+        kind: 0x42,
+        flags: 0xff,
+        stream_id: StreamId::new(5),
+        payload: Bytes::from(vec![0u8; 20_000]),
+    });
+    let bytes = frame.to_bytes();
+    assert_eq!(
+        decode_one(&bytes, 16_384),
+        Err(DecodeFrameError::FrameTooLarge { length: 20_000, max: 16_384 })
+    );
+    // ...but decode fine under a raised limit.
+    let (decoded, _) = decode_one(&bytes, MAX_MAX_FRAME_SIZE).unwrap().unwrap();
+    assert_eq!(decoded, frame);
+}
+
+#[test]
+fn goaway_shorter_than_eight_octets_is_invalid() {
+    let mut bytes = Vec::new();
+    FrameHeader {
+        length: 7,
+        kind: FrameKind::Goaway,
+        flags: 0,
+        stream_id: StreamId::CONNECTION,
+    }
+    .encode(&mut bytes);
+    bytes.extend_from_slice(&[0; 7]);
+    assert!(matches!(
+        decode_one(&bytes, 16_384),
+        Err(DecodeFrameError::InvalidLength { kind: 0x7, length: 7 })
+    ));
+}
+
+#[test]
+fn rst_stream_with_wrong_length_is_invalid() {
+    let mut bytes = Vec::new();
+    FrameHeader {
+        length: 5,
+        kind: FrameKind::RstStream,
+        flags: 0,
+        stream_id: StreamId::new(1),
+    }
+    .encode(&mut bytes);
+    bytes.extend_from_slice(&[0; 5]);
+    assert!(matches!(
+        decode_one(&bytes, 16_384),
+        Err(DecodeFrameError::InvalidLength { kind: 0x3, length: 5 })
+    ));
+}
+
+#[test]
+fn window_update_on_idle_high_stream_decodes() {
+    // WINDOW_UPDATE addressing a never-opened stream is structurally
+    // valid; stream-state policy lives above the codec.
+    let frame = Frame::WindowUpdate(h2wire::WindowUpdateFrame {
+        stream_id: StreamId::new(0x7fff_fffd),
+        increment: 1,
+    });
+    let (decoded, _) = decode_one(&frame.to_bytes(), 16_384).unwrap().unwrap();
+    assert_eq!(decoded, frame);
+}
+
+#[test]
+fn empty_data_frame_with_end_stream_round_trips() {
+    let frame = Frame::Data(h2wire::DataFrame {
+        stream_id: StreamId::new(1),
+        data: Bytes::new(),
+        end_stream: true,
+        pad_len: None,
+    });
+    let bytes = frame.to_bytes();
+    assert_eq!(bytes.len(), 9, "zero-length payload");
+    let (decoded, _) = decode_one(&bytes, 16_384).unwrap().unwrap();
+    assert_eq!(decoded, frame);
+}
+
+#[test]
+fn maximally_padded_data_frame_round_trips() {
+    let frame = Frame::Data(h2wire::DataFrame {
+        stream_id: StreamId::new(1),
+        data: Bytes::from_static(b"x"),
+        end_stream: false,
+        pad_len: Some(255),
+    });
+    let bytes = frame.to_bytes();
+    let (decoded, _) = decode_one(&bytes, 16_384).unwrap().unwrap();
+    assert_eq!(decoded, frame);
+    if let Frame::Data(d) = decoded {
+        assert_eq!(d.flow_controlled_len(), 1 + 255 + 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based round-trip tests for the frame codec.
+
+use bytes::Bytes;
+use h2wire::frame::*;
+use h2wire::settings::{SettingId, Settings, MAX_MAX_FRAME_SIZE};
+use h2wire::{decode_one, ErrorCode, Frame, FrameDecoder, StreamId};
+use proptest::prelude::*;
+
+fn arb_stream_id() -> impl Strategy<Value = StreamId> {
+    (1u32..=0x7fff_ffff).prop_map(StreamId::new)
+}
+
+fn arb_any_stream_id() -> impl Strategy<Value = StreamId> {
+    (0u32..=0x7fff_ffff).prop_map(StreamId::new)
+}
+
+fn arb_priority_spec() -> impl Strategy<Value = PrioritySpec> {
+    (any::<bool>(), arb_any_stream_id(), 1u16..=256).prop_map(|(exclusive, dependency, weight)| {
+        PrioritySpec { exclusive, dependency, weight }
+    })
+}
+
+fn arb_setting_id() -> impl Strategy<Value = SettingId> {
+    prop_oneof![
+        Just(SettingId::HeaderTableSize),
+        Just(SettingId::MaxConcurrentStreams),
+        Just(SettingId::MaxHeaderListSize),
+        (7u16..=0xffff).prop_map(SettingId::Unknown),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (arb_stream_id(), prop::collection::vec(any::<u8>(), 0..512), any::<bool>(),
+         prop::option::of(0u8..=32))
+            .prop_map(|(stream_id, data, end_stream, pad_len)| Frame::Data(DataFrame {
+                stream_id,
+                data: Bytes::from(data),
+                end_stream,
+                pad_len,
+            })),
+        (arb_stream_id(), prop::collection::vec(any::<u8>(), 0..256), any::<bool>(),
+         any::<bool>(), prop::option::of(arb_priority_spec()), prop::option::of(0u8..=16))
+            .prop_map(|(stream_id, frag, end_stream, end_headers, priority, pad_len)| {
+                Frame::Headers(HeadersFrame {
+                    stream_id,
+                    fragment: Bytes::from(frag),
+                    end_stream,
+                    end_headers,
+                    priority,
+                    pad_len,
+                })
+            }),
+        (arb_stream_id(), arb_priority_spec())
+            .prop_map(|(stream_id, spec)| Frame::Priority(PriorityFrame { stream_id, spec })),
+        (arb_stream_id(), any::<u32>()).prop_map(|(stream_id, code)| {
+            Frame::RstStream(RstStreamFrame { stream_id, code: ErrorCode::from(code) })
+        }),
+        prop::collection::vec((arb_setting_id(), any::<u32>()), 0..8).prop_map(|params| {
+            Frame::Settings(SettingsFrame::from(params.into_iter().collect::<Settings>()))
+        }),
+        (arb_stream_id(), arb_stream_id(), prop::collection::vec(any::<u8>(), 0..128),
+         any::<bool>())
+            .prop_map(|(stream_id, promised, frag, end_headers)| {
+                Frame::PushPromise(PushPromiseFrame {
+                    stream_id,
+                    promised_stream_id: promised,
+                    fragment: Bytes::from(frag),
+                    end_headers,
+                    pad_len: None,
+                })
+            }),
+        (any::<bool>(), any::<[u8; 8]>())
+            .prop_map(|(ack, payload)| Frame::Ping(PingFrame { ack, payload })),
+        (arb_any_stream_id(), any::<u32>(), prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(last, code, debug)| Frame::Goaway(GoawayFrame {
+                last_stream_id: last,
+                code: ErrorCode::from(code),
+                debug_data: Bytes::from(debug),
+            })),
+        (arb_any_stream_id(), 0u32..=0x7fff_ffff).prop_map(|(stream_id, increment)| {
+            Frame::WindowUpdate(WindowUpdateFrame { stream_id, increment })
+        }),
+        (arb_stream_id(), prop::collection::vec(any::<u8>(), 0..128), any::<bool>())
+            .prop_map(|(stream_id, frag, end_headers)| {
+                Frame::Continuation(ContinuationFrame {
+                    stream_id,
+                    fragment: Bytes::from(frag),
+                    end_headers,
+                })
+            }),
+    ]
+}
+
+proptest! {
+    /// Every encodable frame decodes back to itself, consuming exactly its
+    /// own bytes.
+    #[test]
+    fn frame_round_trips(frame in arb_frame()) {
+        let bytes = frame.to_bytes();
+        let (decoded, consumed) = decode_one(&bytes, MAX_MAX_FRAME_SIZE)
+            .expect("decode")
+            .expect("complete frame");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Splitting the byte stream arbitrarily never changes the decoded
+    /// frame sequence.
+    #[test]
+    fn arbitrary_fragmentation_is_transparent(
+        frames in prop::collection::vec(arb_frame(), 1..6),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = h2wire::encode_all(&frames);
+        let cut = cut.index(bytes.len().max(1));
+        let mut dec = FrameDecoder::new();
+        dec.set_max_frame_size(MAX_MAX_FRAME_SIZE);
+        dec.feed(&bytes[..cut]);
+        let mut got = dec.drain_frames().expect("prefix decodes");
+        dec.feed(&bytes[cut..]);
+        got.extend(dec.drain_frames().expect("suffix decodes"));
+        prop_assert_eq!(got, frames);
+    }
+
+    /// Truncated buffers never panic and never produce a frame.
+    #[test]
+    fn truncation_is_detected(frame in arb_frame(), keep in 0usize..9) {
+        let bytes = frame.to_bytes();
+        let keep = keep.min(bytes.len().saturating_sub(1));
+        let result = decode_one(&bytes[..keep], MAX_MAX_FRAME_SIZE);
+        prop_assert!(matches!(result, Ok(None) | Err(_)));
+    }
+}

@@ -1,0 +1,300 @@
+//! A bidirectional byte pipe between a driver (client) and a
+//! [`ByteEndpoint`] (server), with per-direction link models and a
+//! time-ordered delivery loop.
+
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::link::LinkSpec;
+use crate::time::{SimDuration, SimTime};
+
+/// A passive endpoint driven by byte arrivals (every server in this
+/// workspace implements it).
+pub trait ByteEndpoint {
+    /// Called once when the transport connects; returns bytes the endpoint
+    /// sends unprompted (e.g. the server's SETTINGS frame).
+    fn on_connect(&mut self, now: SimTime) -> Vec<u8> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// Called for each delivered segment; returns bytes to send back.
+    fn on_bytes(&mut self, now: SimTime, bytes: &[u8]) -> Vec<u8>;
+
+    /// Fixed per-exchange processing delay (used by the RTT experiments to
+    /// model request handling time).
+    fn processing_delay(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+#[derive(Debug)]
+struct Delivery {
+    at: SimTime,
+    seq: u64,
+    bytes: Vec<u8>,
+    to_server: bool,
+}
+
+impl PartialEq for Delivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Delivery {}
+impl PartialOrd for Delivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A segment that arrived at the client side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// Virtual arrival time.
+    pub at: SimTime,
+    /// Payload.
+    pub bytes: Vec<u8>,
+}
+
+/// The simulated transport connection between the probe (client) and a
+/// server endpoint.
+///
+/// The client side is driven externally (probes decide what to send and
+/// when); the server side is a [`ByteEndpoint`] invoked by the delivery
+/// loop. All timing — propagation, serialization, jitter, retransmission
+/// penalties, and server processing delay — accrues on the virtual clock.
+#[derive(Debug)]
+pub struct Pipe<E> {
+    server: E,
+    uplink: LinkSpec,
+    downlink: LinkSpec,
+    clock: SimTime,
+    queue: BinaryHeap<Delivery>,
+    seq: u64,
+    up_busy: SimTime,
+    down_busy: SimTime,
+    /// Reliable byte streams deliver in order: a segment delayed by jitter
+    /// or retransmission holds back everything behind it (TCP head-of-line
+    /// blocking). These clamps keep per-direction arrivals monotonic.
+    up_last_arrival: SimTime,
+    down_last_arrival: SimTime,
+    rng: StdRng,
+    inbox: Vec<Arrival>,
+    /// Total octets delivered to the client (response volume accounting).
+    pub bytes_to_client: u64,
+    /// Total octets delivered to the server.
+    pub bytes_to_server: u64,
+}
+
+impl<E: ByteEndpoint> Pipe<E> {
+    /// Connects to `server` over a symmetric `link`, invoking
+    /// [`ByteEndpoint::on_connect`].
+    pub fn connect(server: E, link: LinkSpec, seed: u64) -> Pipe<E> {
+        Pipe::connect_asymmetric(server, link, link, seed)
+    }
+
+    /// Connects with distinct uplink/downlink characteristics.
+    pub fn connect_asymmetric(
+        server: E,
+        uplink: LinkSpec,
+        downlink: LinkSpec,
+        seed: u64,
+    ) -> Pipe<E> {
+        let mut pipe = Pipe {
+            server,
+            uplink,
+            downlink,
+            clock: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            up_busy: SimTime::ZERO,
+            down_busy: SimTime::ZERO,
+            up_last_arrival: SimTime::ZERO,
+            down_last_arrival: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            inbox: Vec::new(),
+            bytes_to_client: 0,
+            bytes_to_server: 0,
+        };
+        let greeting = pipe.server.on_connect(SimTime::ZERO);
+        if !greeting.is_empty() {
+            let (arrival, busy) = pipe.downlink.schedule(
+                SimTime::ZERO,
+                pipe.down_busy,
+                greeting.len(),
+                &mut pipe.rng,
+            );
+            pipe.down_busy = busy;
+            pipe.down_last_arrival = arrival;
+            pipe.enqueue(arrival, greeting, false);
+        }
+        pipe
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Access to the server endpoint (probes inspect server state in
+    /// testbed mode).
+    pub fn server(&self) -> &E {
+        &self.server
+    }
+
+    /// Mutable access to the server endpoint.
+    pub fn server_mut(&mut self) -> &mut E {
+        &mut self.server
+    }
+
+    /// Queues client bytes for delivery to the server at the appropriate
+    /// link-modeled time.
+    pub fn client_send(&mut self, bytes: impl Into<Vec<u8>>) {
+        let bytes = bytes.into();
+        if bytes.is_empty() {
+            return;
+        }
+        let (arrival, busy) =
+            self.uplink.schedule(self.clock, self.up_busy, bytes.len(), &mut self.rng);
+        self.up_busy = busy;
+        let arrival = arrival.max(self.up_last_arrival);
+        self.up_last_arrival = arrival;
+        self.enqueue(arrival, bytes, true);
+    }
+
+    /// Runs the delivery loop until no deliveries remain, returning every
+    /// segment that reached the client (time-stamped, in arrival order).
+    /// The clock advances to the last processed event.
+    pub fn run_to_quiescence(&mut self) -> Vec<Arrival> {
+        while let Some(delivery) = self.queue.pop() {
+            self.clock = self.clock.max(delivery.at);
+            if delivery.to_server {
+                self.bytes_to_server += delivery.bytes.len() as u64;
+                let response = self.server.on_bytes(self.clock, &delivery.bytes);
+                if !response.is_empty() {
+                    let ready = self.clock + self.server.processing_delay();
+                    let (arrival, busy) = self.downlink.schedule(
+                        ready,
+                        self.down_busy,
+                        response.len(),
+                        &mut self.rng,
+                    );
+                    self.down_busy = busy;
+                    let arrival = arrival.max(self.down_last_arrival);
+                    self.down_last_arrival = arrival;
+                    self.enqueue(arrival, response, false);
+                }
+            } else {
+                self.bytes_to_client += delivery.bytes.len() as u64;
+                self.inbox.push(Arrival { at: delivery.at, bytes: delivery.bytes });
+            }
+        }
+        std::mem::take(&mut self.inbox)
+    }
+
+    /// Advances the clock without traffic (think `sleep`).
+    pub fn advance(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    fn enqueue(&mut self, at: SimTime, bytes: Vec<u8>, to_server: bool) {
+        self.seq += 1;
+        self.queue.push(Delivery { at, seq: self.seq, bytes, to_server });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every segment back verbatim.
+    struct Echo {
+        delay: SimDuration,
+    }
+
+    impl ByteEndpoint for Echo {
+        fn on_connect(&mut self, _now: SimTime) -> Vec<u8> {
+            b"hello".to_vec()
+        }
+        fn on_bytes(&mut self, _now: SimTime, bytes: &[u8]) -> Vec<u8> {
+            bytes.to_vec()
+        }
+        fn processing_delay(&self) -> SimDuration {
+            self.delay
+        }
+    }
+
+    fn clean_link(delay_ms: u64) -> LinkSpec {
+        LinkSpec {
+            delay: SimDuration::from_millis(delay_ms),
+            jitter: SimDuration::ZERO,
+            bandwidth_bps: None,
+            loss: 0.0,
+            retransmit_penalty: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn greeting_arrives_after_one_way_delay() {
+        let mut pipe = Pipe::connect(Echo { delay: SimDuration::ZERO }, clean_link(10), 1);
+        let arrivals = pipe.run_to_quiescence();
+        assert_eq!(arrivals.len(), 1);
+        assert_eq!(arrivals[0].bytes, b"hello");
+        assert_eq!(arrivals[0].at, SimTime::ZERO + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn echo_round_trip_takes_two_one_way_delays() {
+        let mut pipe = Pipe::connect(Echo { delay: SimDuration::ZERO }, clean_link(10), 1);
+        pipe.run_to_quiescence(); // drain greeting
+        let t0 = pipe.now();
+        pipe.client_send(b"ping".to_vec());
+        let arrivals = pipe.run_to_quiescence();
+        assert_eq!(arrivals.len(), 1);
+        assert_eq!(arrivals[0].at - t0, SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn processing_delay_adds_to_round_trip() {
+        let mut pipe =
+            Pipe::connect(Echo { delay: SimDuration::from_millis(7) }, clean_link(10), 1);
+        pipe.run_to_quiescence();
+        let t0 = pipe.now();
+        pipe.client_send(b"ping".to_vec());
+        let arrivals = pipe.run_to_quiescence();
+        assert_eq!(arrivals[0].at - t0, SimDuration::from_millis(27));
+    }
+
+    #[test]
+    fn deliveries_are_time_ordered() {
+        let mut pipe = Pipe::connect(Echo { delay: SimDuration::ZERO }, clean_link(5), 1);
+        pipe.run_to_quiescence();
+        pipe.client_send(b"a".to_vec());
+        pipe.client_send(b"b".to_vec());
+        pipe.client_send(b"c".to_vec());
+        let arrivals = pipe.run_to_quiescence();
+        assert_eq!(arrivals.len(), 3);
+        assert!(arrivals.windows(2).all(|w| w[0].at <= w[1].at));
+        let payloads: Vec<&[u8]> = arrivals.iter().map(|a| a.bytes.as_slice()).collect();
+        assert_eq!(payloads, vec![b"a".as_slice(), b"b", b"c"]);
+    }
+
+    #[test]
+    fn byte_counters_accumulate() {
+        let mut pipe = Pipe::connect(Echo { delay: SimDuration::ZERO }, clean_link(1), 1);
+        pipe.run_to_quiescence();
+        pipe.client_send(vec![0u8; 100]);
+        pipe.run_to_quiescence();
+        assert_eq!(pipe.bytes_to_server, 100);
+        assert_eq!(pipe.bytes_to_client, 105); // greeting + echo
+    }
+}

@@ -1,0 +1,164 @@
+//! TLS handshake model with ALPN and NPN application-protocol negotiation
+//! (RFC 7301 and the NPN draft).
+//!
+//! Cryptography is irrelevant to every measurement in the paper; what
+//! matters is the *negotiation direction*, which the paper describes:
+//! with ALPN the client offers a protocol list in ClientHello and the
+//! server selects in ServerHello; with NPN the server advertises its list
+//! and the client selects. H2Scope uses both to decide whether a site
+//! speaks HTTP/2.
+
+/// Application protocol identifiers used in negotiation.
+pub const PROTO_H2: &str = "h2";
+/// HTTP/1.1 over TLS.
+pub const PROTO_HTTP11: &str = "http/1.1";
+/// Legacy SPDY/3.1 (still advertised by some servers in 2016).
+pub const PROTO_SPDY31: &str = "spdy/3.1";
+
+/// A server's TLS negotiation configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlsConfig {
+    /// Protocols selectable via ALPN, in server preference order.
+    /// `None` disables the ALPN extension entirely (e.g. servers built
+    /// against OpenSSL < 1.0.2, which the paper calls out).
+    pub alpn: Option<Vec<String>>,
+    /// Protocols advertised via NPN, in server preference order. `None`
+    /// disables NPN (e.g. Apache in the paper's testbed).
+    pub npn: Option<Vec<String>>,
+}
+
+impl TlsConfig {
+    /// A server supporting h2 over both ALPN and NPN.
+    pub fn h2_full() -> TlsConfig {
+        TlsConfig {
+            alpn: Some(vec![PROTO_H2.into(), PROTO_HTTP11.into()]),
+            npn: Some(vec![PROTO_H2.into(), PROTO_SPDY31.into(), PROTO_HTTP11.into()]),
+        }
+    }
+
+    /// A server supporting h2 via ALPN only (like Apache in Table III).
+    pub fn h2_alpn_only() -> TlsConfig {
+        TlsConfig { alpn: Some(vec![PROTO_H2.into(), PROTO_HTTP11.into()]), npn: None }
+    }
+
+    /// A server that only speaks NPN (the paper found more than one
+    /// hundred server types that "just speak NPN").
+    pub fn h2_npn_only() -> TlsConfig {
+        TlsConfig { npn: Some(vec![PROTO_H2.into(), PROTO_HTTP11.into()]), alpn: None }
+    }
+
+    /// An HTTPS-only server with no h2 anywhere.
+    pub fn http1_only() -> TlsConfig {
+        TlsConfig {
+            alpn: Some(vec![PROTO_HTTP11.into()]),
+            npn: Some(vec![PROTO_HTTP11.into()]),
+        }
+    }
+}
+
+/// Outcome of one TLS handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlsHandshake {
+    /// Protocol agreed via ALPN, if the extension ran.
+    pub alpn_selected: Option<String>,
+    /// Protocol the client picked from the server's NPN list, if NPN ran.
+    pub npn_selected: Option<String>,
+}
+
+impl TlsHandshake {
+    /// `true` when either mechanism landed on `h2`.
+    pub fn negotiated_h2(&self) -> bool {
+        self.alpn_selected.as_deref() == Some(PROTO_H2)
+            || self.npn_selected.as_deref() == Some(PROTO_H2)
+    }
+}
+
+/// Runs the ALPN half: the client offers, the server selects the first of
+/// *its own* preferences that the client also offered.
+pub fn negotiate_alpn(server: &TlsConfig, client_offer: &[&str]) -> Option<String> {
+    let server_list = server.alpn.as_ref()?;
+    server_list.iter().find(|p| client_offer.contains(&p.as_str())).cloned()
+}
+
+/// Runs the NPN half: the server advertises, the client selects the first
+/// of *its own* preferences present in the server list.
+pub fn negotiate_npn(server: &TlsConfig, client_preference: &[&str]) -> Option<String> {
+    let server_list = server.npn.as_ref()?;
+    client_preference
+        .iter()
+        .find(|p| server_list.iter().any(|s| s == *p))
+        .map(|p| (*p).to_string())
+}
+
+/// Performs a full handshake offering/preferring the given protocols via
+/// both mechanisms, as H2Scope does.
+pub fn handshake(server: &TlsConfig, client_protos: &[&str]) -> TlsHandshake {
+    TlsHandshake {
+        alpn_selected: negotiate_alpn(server, client_protos),
+        npn_selected: negotiate_npn(server, client_protos),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_h2_server_negotiates_h2_both_ways() {
+        let hs = handshake(&TlsConfig::h2_full(), &[PROTO_H2, PROTO_HTTP11]);
+        assert_eq!(hs.alpn_selected.as_deref(), Some(PROTO_H2));
+        assert_eq!(hs.npn_selected.as_deref(), Some(PROTO_H2));
+        assert!(hs.negotiated_h2());
+    }
+
+    #[test]
+    fn alpn_only_server_has_no_npn_result() {
+        let hs = handshake(&TlsConfig::h2_alpn_only(), &[PROTO_H2]);
+        assert_eq!(hs.alpn_selected.as_deref(), Some(PROTO_H2));
+        assert_eq!(hs.npn_selected, None);
+        assert!(hs.negotiated_h2());
+    }
+
+    #[test]
+    fn npn_only_server_has_no_alpn_result() {
+        let hs = handshake(&TlsConfig::h2_npn_only(), &[PROTO_H2]);
+        assert_eq!(hs.alpn_selected, None);
+        assert_eq!(hs.npn_selected.as_deref(), Some(PROTO_H2));
+        assert!(hs.negotiated_h2());
+    }
+
+    #[test]
+    fn http1_server_never_lands_on_h2() {
+        let hs = handshake(&TlsConfig::http1_only(), &[PROTO_H2, PROTO_HTTP11]);
+        assert!(!hs.negotiated_h2());
+        assert_eq!(hs.alpn_selected.as_deref(), Some(PROTO_HTTP11));
+    }
+
+    #[test]
+    fn alpn_respects_server_preference_order() {
+        let server = TlsConfig {
+            alpn: Some(vec![PROTO_HTTP11.into(), PROTO_H2.into()]),
+            npn: None,
+        };
+        // Server prefers http/1.1 even though the client offered h2 first.
+        let selected = negotiate_alpn(&server, &[PROTO_H2, PROTO_HTTP11]);
+        assert_eq!(selected.as_deref(), Some(PROTO_HTTP11));
+    }
+
+    #[test]
+    fn npn_respects_client_preference_order() {
+        let server = TlsConfig {
+            npn: Some(vec![PROTO_HTTP11.into(), PROTO_H2.into()]),
+            alpn: None,
+        };
+        // Client prefers h2; with NPN the client chooses.
+        let selected = negotiate_npn(&server, &[PROTO_H2, PROTO_HTTP11]);
+        assert_eq!(selected.as_deref(), Some(PROTO_H2));
+    }
+
+    #[test]
+    fn no_common_protocol_yields_none() {
+        let server = TlsConfig { alpn: Some(vec![PROTO_SPDY31.into()]), npn: None };
+        assert_eq!(negotiate_alpn(&server, &[PROTO_H2]), None);
+    }
+}

@@ -1,0 +1,211 @@
+//! Experiment specifications: every aggregate the paper reports for each
+//! of its two measurement campaigns, used both to calibrate generation and
+//! to validate the regenerated tables.
+
+/// Reaction-count targets for one offending-frame probe (§V-D3/4, §V-E2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReactionCounts {
+    /// Sites replying RST_STREAM.
+    pub rst: u64,
+    /// Sites replying GOAWAY (no debug data).
+    pub goaway: u64,
+    /// Sites replying GOAWAY with debug data.
+    pub goaway_debug: u64,
+    /// Everyone else ignores the frame.
+    pub ignored: u64,
+}
+
+impl ReactionCounts {
+    /// Total sites probed.
+    pub fn total(&self) -> u64 {
+        self.rst + self.goaway + self.goaway_debug + self.ignored
+    }
+}
+
+/// All calibration targets for one campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Identifier ("experiment-1").
+    pub name: &'static str,
+    /// Human label ("Jul. 2016").
+    pub label: &'static str,
+    /// Uses the `exp2` column of the marginals.
+    pub second: bool,
+    /// Alexa list size.
+    pub total_sites: u64,
+    /// Sites negotiating h2 via NPN (49,334 / 78,714).
+    pub npn_sites: u64,
+    /// Sites negotiating h2 via ALPN (47,966 / 70,859).
+    pub alpn_sites: u64,
+    /// Sites negotiating h2 via either mechanism (union; the paper does
+    /// not publish it — chosen consistent with both counts).
+    pub h2_sites: u64,
+    /// Sites returning HEADERS frames (44,390 / 64,299) — the denominator
+    /// of every follow-up test.
+    pub headers_sites: u64,
+    /// §V-D1: 1-octet-window outcomes.
+    pub small_window_one_byte: u64,
+    /// §V-D1: zero-length DATA population.
+    pub small_window_zero_len: u64,
+    /// §V-D1: no-response population.
+    pub small_window_no_response: u64,
+    /// §V-D1: how many of the no-response sites run LiteSpeed
+    /// (explicit only for experiment 2: 10,472).
+    pub no_response_litespeed: u64,
+    /// §V-D2: sites still sending HEADERS under a zero initial window.
+    pub headers_at_zero_window: u64,
+    /// §V-D3: zero WINDOW_UPDATE on a stream.
+    pub zero_update_stream: ReactionCounts,
+    /// §V-D3: zero WINDOW_UPDATE on the connection ("nearly all" GOAWAY).
+    pub zero_update_conn_goaway: u64,
+    /// §V-D4: sites sending GOAWAY on connection window overflow.
+    pub large_update_conn_goaway: u64,
+    /// §V-D4: sites sending RST_STREAM on stream window overflow.
+    pub large_update_stream_rst: u64,
+    /// §V-E1: sites passing by the last-DATA-frame rule.
+    pub priority_by_last: u64,
+    /// §V-E1: sites passing by the first-DATA-frame rule.
+    pub priority_by_first: u64,
+    /// §V-E1: sites passing both rules.
+    pub priority_by_both: u64,
+    /// §V-E2: self-dependency reactions (RST count published; the
+    /// GOAWAY/ignore split is our allocation).
+    pub self_dependency: ReactionCounts,
+    /// §V-F: sites that pushed on the front page (6, then 6+9=15).
+    pub push_sites: u64,
+    /// §V-G: HPACK data kept after the r > 1 filter.
+    pub hpack_sites_kept: u64,
+    /// Campaign master seed.
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// Experiment 1 — July 2016.
+    pub fn first() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "experiment-1",
+            label: "Jul. 2016",
+            second: false,
+            total_sites: 1_000_000,
+            npn_sites: 49_334,
+            alpn_sites: 47_966,
+            h2_sites: 52_300,
+            headers_sites: 44_390,
+            small_window_one_byte: 37_525,
+            small_window_zero_len: 2_433,
+            small_window_no_response: 4_432,
+            no_response_litespeed: 4_000,
+            headers_at_zero_window: 17_191,
+            zero_update_stream: ReactionCounts {
+                rst: 23_673,
+                goaway: 31,
+                goaway_debug: 26,
+                ignored: 44_390 - 23_673 - 31 - 26,
+            },
+            zero_update_conn_goaway: 44_200,
+            large_update_conn_goaway: 40_567,
+            large_update_stream_rst: 36_619,
+            priority_by_last: 1_147,
+            priority_by_first: 46,
+            priority_by_both: 38,
+            self_dependency: ReactionCounts {
+                rst: 18_237,
+                goaway: 15_692,
+                goaway_debug: 0,
+                ignored: 44_390 - 18_237 - 15_692,
+            },
+            push_sites: 6,
+            hpack_sites_kept: 37_849,
+            seed: 0x2016_0701,
+        }
+    }
+
+    /// Experiment 2 — January 2017.
+    pub fn second() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "experiment-2",
+            label: "Jan. 2017",
+            second: true,
+            total_sites: 1_000_000,
+            npn_sites: 78_714,
+            alpn_sites: 70_859,
+            h2_sites: 85_000,
+            headers_sites: 64_299,
+            small_window_one_byte: 44_204,
+            small_window_zero_len: 8_056,
+            small_window_no_response: 12_039,
+            no_response_litespeed: 10_472,
+            headers_at_zero_window: 23_834,
+            zero_update_stream: ReactionCounts {
+                rst: 26_156,
+                goaway: 162,
+                goaway_debug: 42,
+                ignored: 64_299 - 26_156 - 162 - 42,
+            },
+            zero_update_conn_goaway: 64_000,
+            large_update_conn_goaway: 62_668,
+            large_update_stream_rst: 44_057,
+            priority_by_last: 2_187,
+            priority_by_first: 117,
+            priority_by_both: 111,
+            self_dependency: ReactionCounts {
+                rst: 53_379,
+                goaway: 6_552,
+                goaway_debug: 0,
+                ignored: 64_299 - 53_379 - 6_552,
+            },
+            push_sites: 15,
+            hpack_sites_kept: 46_948,
+            seed: 0x2017_0115,
+        }
+    }
+
+    /// Both campaigns, in order.
+    pub fn both() -> [ExperimentSpec; 2] {
+        [ExperimentSpec::first(), ExperimentSpec::second()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_window_outcomes_partition_headers_sites() {
+        for spec in ExperimentSpec::both() {
+            assert_eq!(
+                spec.small_window_one_byte
+                    + spec.small_window_zero_len
+                    + spec.small_window_no_response,
+                spec.headers_sites,
+                "{}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn reaction_counts_are_consistent() {
+        for spec in ExperimentSpec::both() {
+            assert_eq!(spec.zero_update_stream.total(), spec.headers_sites);
+            assert_eq!(spec.self_dependency.total(), spec.headers_sites);
+        }
+    }
+
+    #[test]
+    fn priority_rule_counts_nest() {
+        for spec in ExperimentSpec::both() {
+            assert!(spec.priority_by_both <= spec.priority_by_first);
+            assert!(spec.priority_by_both <= spec.priority_by_last);
+        }
+    }
+
+    #[test]
+    fn union_bounds_hold() {
+        for spec in ExperimentSpec::both() {
+            assert!(spec.h2_sites >= spec.npn_sites.max(spec.alpn_sites));
+            assert!(spec.h2_sites <= spec.npn_sites + spec.alpn_sites);
+            assert!(spec.headers_sites <= spec.h2_sites);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Regular-scanning timeline — the paper's stated future work ("we will
+//! perform regular scanning on popular web sites to characterize how
+//! HTTP/2 and its features are adopted").
+//!
+//! The two measured campaigns (Jul. 2016, Jan. 2017) pin down two points
+//! of every aggregate; [`interpolate`] produces a calibrated
+//! [`ExperimentSpec`] for any instant between (or moderately beyond)
+//! them, so a monthly scan series can be simulated: adoption growth,
+//! the Nginx surge, Tengine's rename to Tengine/Aserver, the growth of
+//! zero-window announcements, and so on — each month a full synthetic
+//! population that can be scanned with the ordinary pipeline.
+
+use crate::spec::{ExperimentSpec, ReactionCounts};
+
+/// Months between the paper's two campaigns (Jul. 2016 → Jan. 2017).
+pub const CAMPAIGN_GAP_MONTHS: f64 = 6.0;
+
+fn lerp(a: u64, b: u64, t: f64) -> u64 {
+    let v = a as f64 + (b as f64 - a as f64) * t;
+    v.round().max(0.0) as u64
+}
+
+/// Linearly interpolates every aggregate between the two campaigns.
+/// `t = 0` is experiment 1, `t = 1` is experiment 2; values up to
+/// `t = 1.5` extrapolate a further quarter-year of the same trends.
+///
+/// # Panics
+///
+/// Panics when `t` is outside `[0, 1.5]` — extrapolating further than a
+/// quarter beyond the measured data has no empirical basis.
+pub fn interpolate(t: f64) -> ExperimentSpec {
+    assert!((0.0..=1.5).contains(&t), "t={t} outside the calibrated range");
+    let a = ExperimentSpec::first();
+    let b = ExperimentSpec::second();
+    let headers = lerp(a.headers_sites, b.headers_sites, t);
+    let lerp_rc = |x: &ReactionCounts, y: &ReactionCounts| {
+        let rst = lerp(x.rst, y.rst, t);
+        let goaway = lerp(x.goaway, y.goaway, t);
+        let goaway_debug = lerp(x.goaway_debug, y.goaway_debug, t);
+        ReactionCounts {
+            rst,
+            goaway,
+            goaway_debug,
+            ignored: headers.saturating_sub(rst + goaway + goaway_debug),
+        }
+    };
+    ExperimentSpec {
+        name: if t <= 0.5 { "interpolated-early" } else { "interpolated-late" },
+        label: "interpolated",
+        // The marginal tables only exist for the two endpoints; use the
+        // nearer one.
+        second: t > 0.5,
+        total_sites: a.total_sites,
+        npn_sites: lerp(a.npn_sites, b.npn_sites, t),
+        alpn_sites: lerp(a.alpn_sites, b.alpn_sites, t),
+        h2_sites: lerp(a.h2_sites, b.h2_sites, t),
+        headers_sites: headers,
+        small_window_one_byte: lerp(a.small_window_one_byte, b.small_window_one_byte, t),
+        small_window_zero_len: lerp(a.small_window_zero_len, b.small_window_zero_len, t),
+        small_window_no_response: headers.saturating_sub(
+            lerp(a.small_window_one_byte, b.small_window_one_byte, t)
+                + lerp(a.small_window_zero_len, b.small_window_zero_len, t),
+        ),
+        no_response_litespeed: lerp(a.no_response_litespeed, b.no_response_litespeed, t),
+        headers_at_zero_window: lerp(a.headers_at_zero_window, b.headers_at_zero_window, t),
+        zero_update_stream: lerp_rc(&a.zero_update_stream, &b.zero_update_stream),
+        zero_update_conn_goaway: lerp(a.zero_update_conn_goaway, b.zero_update_conn_goaway, t)
+            .min(headers),
+        large_update_conn_goaway: lerp(
+            a.large_update_conn_goaway,
+            b.large_update_conn_goaway,
+            t,
+        )
+        .min(headers),
+        large_update_stream_rst: lerp(a.large_update_stream_rst, b.large_update_stream_rst, t)
+            .min(headers),
+        priority_by_last: lerp(a.priority_by_last, b.priority_by_last, t),
+        priority_by_first: lerp(a.priority_by_first, b.priority_by_first, t),
+        priority_by_both: lerp(a.priority_by_both, b.priority_by_both, t)
+            .min(lerp(a.priority_by_first, b.priority_by_first, t))
+            .min(lerp(a.priority_by_last, b.priority_by_last, t)),
+        self_dependency: lerp_rc(&a.self_dependency, &b.self_dependency),
+        push_sites: lerp(a.push_sites, b.push_sites, t),
+        hpack_sites_kept: lerp(a.hpack_sites_kept, b.hpack_sites_kept, t),
+        seed: a.seed ^ ((t * 1_000.0) as u64).wrapping_mul(0x9e37_79b9),
+    }
+}
+
+/// A monthly scan series between the campaigns (inclusive): seven specs
+/// from Jul. 2016 through Jan. 2017.
+pub fn monthly_series() -> Vec<ExperimentSpec> {
+    (0..=CAMPAIGN_GAP_MONTHS as u32)
+        .map(|month| interpolate(f64::from(month) / CAMPAIGN_GAP_MONTHS))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Population;
+
+    #[test]
+    fn endpoints_match_the_measured_campaigns() {
+        let t0 = interpolate(0.0);
+        assert_eq!(t0.headers_sites, ExperimentSpec::first().headers_sites);
+        assert_eq!(t0.npn_sites, ExperimentSpec::first().npn_sites);
+        let t1 = interpolate(1.0);
+        assert_eq!(t1.headers_sites, ExperimentSpec::second().headers_sites);
+        assert_eq!(t1.priority_by_last, ExperimentSpec::second().priority_by_last);
+    }
+
+    #[test]
+    fn adoption_grows_monotonically_along_the_series() {
+        let series = monthly_series();
+        assert_eq!(series.len(), 7);
+        for pair in series.windows(2) {
+            assert!(pair[1].headers_sites >= pair[0].headers_sites);
+            assert!(pair[1].npn_sites >= pair[0].npn_sites);
+        }
+    }
+
+    #[test]
+    fn interpolated_specs_stay_internally_consistent() {
+        for month in 0..=9 {
+            let t = f64::from(month) / CAMPAIGN_GAP_MONTHS;
+            let spec = interpolate(t);
+            assert_eq!(
+                spec.small_window_one_byte
+                    + spec.small_window_zero_len
+                    + spec.small_window_no_response,
+                spec.headers_sites,
+                "t={t}"
+            );
+            assert_eq!(spec.zero_update_stream.total(), spec.headers_sites, "t={t}");
+            assert_eq!(spec.self_dependency.total(), spec.headers_sites, "t={t}");
+            assert!(spec.priority_by_both <= spec.priority_by_first);
+            assert!(spec.headers_sites <= spec.h2_sites);
+        }
+    }
+
+    #[test]
+    fn interpolated_populations_generate_and_scan() {
+        let spec = interpolate(0.5);
+        let population = Population::new(spec, 0.002);
+        let site = population.site(0);
+        let report = h2scope::H2Scope::new().survey(&site.target());
+        assert!(report.negotiation.h2());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the calibrated range")]
+    fn far_extrapolation_is_rejected() {
+        let _ = interpolate(2.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! The §VI head-of-line-blocking experiment: one multiplexed HTTP/2
+//! connection vs the same transfer split over several connections, as
+//! packet loss rises.
+//!
+//! ```sh
+//! cargo run --release --example lossy_link
+//! ```
+
+use h2ready::netsim::LinkSpec;
+use h2ready::scope::multi_connection::compare;
+use h2ready::scope::Target;
+use h2ready::server::{ServerProfile, SiteSpec};
+
+fn main() {
+    let assets: Vec<String> = (1..=6).map(|k| format!("/big/{k}")).collect();
+    println!("transfer: 16 KiB page + 6 x 256 KiB objects, 30 ms one-way, 3 connections\n");
+    println!("{:>7} {:>16} {:>16} {:>12}", "loss", "1 conn (ms)", "3 conns (ms)", "speedup");
+    for loss_pct in [0u32, 1, 2, 5, 8, 12] {
+        let mut target = Target::testbed(ServerProfile::h2o(), SiteSpec::benchmark());
+        target.link = LinkSpec {
+            bandwidth_bps: Some(1_000_000_000),
+            ..LinkSpec::mobile(30, loss_pct as f64 / 100.0)
+        };
+        let (single, multi) = compare(&target, &assets, 3, 6);
+        println!(
+            "{:>6}% {:>16.1} {:>16.1} {:>11.2}x",
+            loss_pct,
+            single,
+            multi,
+            single / multi
+        );
+    }
+    println!(
+        "\nWith no loss the single multiplexed connection is the right design;\n\
+         as loss grows, transport head-of-line blocking stalls every stream at\n\
+         once and splitting the transfer wins — the paper's §VI observation\n\
+         (and the motivation for QUIC's per-stream delivery)."
+    );
+}

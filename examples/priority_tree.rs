@@ -1,0 +1,81 @@
+//! Walk through the paper's Figure 1 (and RFC 7540 §5.3.3's example):
+//! build the Table I dependency tree, then apply the two PRIORITY frames
+//! of Table II and print the resulting trees.
+//!
+//! ```sh
+//! cargo run --example priority_tree
+//! ```
+
+use h2ready::conn::PriorityTree;
+use h2ready::wire::{PrioritySpec, StreamId};
+
+/// Stream ids standing in for the paper's letters.
+const NAMES: &[(u32, &str)] =
+    &[(1, "A"), (3, "B"), (5, "C"), (7, "D"), (9, "E"), (11, "F")];
+
+fn name(id: StreamId) -> String {
+    NAMES
+        .iter()
+        .find(|(v, _)| *v == id.value())
+        .map(|(_, n)| (*n).to_string())
+        .unwrap_or_else(|| format!("#{id}"))
+}
+
+fn render(tree: &PriorityTree, node: StreamId, depth: usize, out: &mut String) {
+    if depth > 0 {
+        out.push_str(&"    ".repeat(depth - 1));
+        out.push_str(&format!(
+            "└── {} (weight {})\n",
+            name(node),
+            tree.weight_of(node).unwrap_or(0)
+        ));
+    }
+    let mut children = tree.children_of(node);
+    children.sort_by_key(|c| c.value());
+    for child in children {
+        render(tree, child, depth + 1, out);
+    }
+}
+
+fn show(label: &str, tree: &PriorityTree) {
+    let mut out = String::new();
+    render(tree, StreamId::CONNECTION, 0, &mut out);
+    println!("{label}\n{out}");
+}
+
+fn spec(dep: u32, weight: u16, exclusive: bool) -> PrioritySpec {
+    PrioritySpec { exclusive, dependency: StreamId::new(dep), weight }
+}
+
+fn table_i_tree() -> PriorityTree {
+    // Table I: A depends on stream 0; B, C, D on A; E on B; F on D.
+    let mut tree = PriorityTree::new();
+    tree.declare(StreamId::new(1), spec(0, 1, false)).unwrap();
+    tree.declare(StreamId::new(3), spec(1, 1, false)).unwrap();
+    tree.declare(StreamId::new(5), spec(1, 1, false)).unwrap();
+    tree.declare(StreamId::new(7), spec(1, 1, false)).unwrap();
+    tree.declare(StreamId::new(9), spec(3, 1, false)).unwrap();
+    tree.declare(StreamId::new(11), spec(7, 1, false)).unwrap();
+    tree
+}
+
+fn main() {
+    show("Figure 1 (1) — the Table I dependency tree:", &table_i_tree());
+
+    // Table II row 1: A depends on B, exclusive.
+    let mut exclusive = table_i_tree();
+    exclusive.declare(StreamId::new(1), spec(3, 1, true)).unwrap();
+    show("Figure 1 (2) — after PRIORITY {A -> B, exclusive}:", &exclusive);
+
+    // Table II row 2: A depends on B, non-exclusive.
+    let mut non_exclusive = table_i_tree();
+    non_exclusive.declare(StreamId::new(1), spec(3, 1, false)).unwrap();
+    show("Figure 1 (3) — after PRIORITY {A -> B, non-exclusive}:", &non_exclusive);
+
+    // And the self-dependency the paper probes servers with (§III-C2).
+    let mut tree = table_i_tree();
+    match tree.declare(StreamId::new(1), spec(1, 1, false)) {
+        Err(err) => println!("self-dependency rejected as required: {err}"),
+        Ok(()) => unreachable!("RFC 7540 §5.3.1 forbids self-dependency"),
+    }
+}

@@ -1,0 +1,47 @@
+//! RTT estimator comparison (Figure 6): HTTP/2 PING vs ICMP echo vs the
+//! TCP handshake vs an HTTP/1.1 request, across link latencies and server
+//! processing delays.
+//!
+//! ```sh
+//! cargo run --release --example rtt_estimators
+//! ```
+
+use h2ready::netsim::time::SimDuration;
+use h2ready::netsim::LinkSpec;
+use h2ready::scope::probes::ping::{compare_rtt, median};
+use h2ready::scope::Target;
+use h2ready::server::{ServerProfile, SiteSpec};
+
+fn main() {
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
+        "RTT", "proc delay", "h2-ping", "icmp", "tcp-rtt", "h1-request"
+    );
+    for (delay_ms, proc_ms) in [(10u64, 1u64), (25, 1), (25, 10), (50, 5), (100, 20)] {
+        let mut profile = ServerProfile::apache();
+        profile.behavior.processing_delay = SimDuration::from_millis(proc_ms);
+        let mut target = Target::testbed(profile, SiteSpec::benchmark());
+        target.link = LinkSpec {
+            delay: SimDuration::from_millis(delay_ms),
+            jitter: SimDuration::from_micros(delay_ms * 30),
+            bandwidth_bps: Some(100_000_000),
+            loss: 0.0,
+            retransmit_penalty: SimDuration::from_millis(200),
+        };
+        let comparison = compare_rtt(&target, 20, 0xe57);
+        println!(
+            "{:>6}ms {:>10}ms {:>9.1}m {:>9.1}m {:>9.1}m {:>11.1}m",
+            delay_ms * 2,
+            proc_ms,
+            median(&comparison.h2_ping),
+            median(&comparison.icmp),
+            median(&comparison.tcp),
+            median(&comparison.h1_request),
+        );
+    }
+    println!(
+        "\nHTTP/2 PING tracks the network RTT like ICMP and the TCP handshake do;\n\
+         the HTTP/1.1 estimator absorbs the server's processing delay — exactly\n\
+         the bias the paper reports in §V-H."
+    );
+}

@@ -1,0 +1,168 @@
+//! Integration test: the headline result. Running H2Scope against all six
+//! simulated servers must regenerate the paper's Table III cell-for-cell,
+//! via the public facade API only.
+
+use h2ready::scope::probes::flow_control::SmallWindowOutcome;
+use h2ready::scope::probes::Reaction;
+use h2ready::scope::testbed::Testbed;
+use h2ready::scope::H2Scope;
+use h2ready::server::{ServerProfile, SiteSpec};
+
+struct Expected {
+    name: &'static str,
+    npn: bool,
+    fc_on_headers: bool,
+    zero_wu_stream: Reaction,
+    zero_wu_conn: Reaction,
+    push: bool,
+    priority_pass: bool,
+    self_dep: Reaction,
+    hpack_partial: bool,
+}
+
+const EXPECTED: &[Expected] = &[
+    Expected {
+        name: "Nginx",
+        npn: true,
+        fc_on_headers: false,
+        zero_wu_stream: Reaction::Ignored,
+        zero_wu_conn: Reaction::Ignored,
+        push: false,
+        priority_pass: false,
+        self_dep: Reaction::RstStream,
+        hpack_partial: true,
+    },
+    Expected {
+        name: "LiteSpeed",
+        npn: true,
+        fc_on_headers: true,
+        zero_wu_stream: Reaction::RstStream,
+        zero_wu_conn: Reaction::Goaway,
+        push: false,
+        priority_pass: false,
+        self_dep: Reaction::Ignored,
+        hpack_partial: false,
+    },
+    Expected {
+        name: "H2O",
+        npn: true,
+        fc_on_headers: false,
+        zero_wu_stream: Reaction::RstStream,
+        zero_wu_conn: Reaction::Goaway,
+        push: true,
+        priority_pass: true,
+        self_dep: Reaction::Goaway,
+        hpack_partial: false,
+    },
+    Expected {
+        name: "nghttpd",
+        npn: true,
+        fc_on_headers: false,
+        zero_wu_stream: Reaction::Goaway,
+        zero_wu_conn: Reaction::Goaway,
+        push: true,
+        priority_pass: true,
+        self_dep: Reaction::Goaway,
+        hpack_partial: false,
+    },
+    Expected {
+        name: "Tengine",
+        npn: true,
+        fc_on_headers: false,
+        zero_wu_stream: Reaction::Ignored,
+        zero_wu_conn: Reaction::Ignored,
+        push: false,
+        priority_pass: false,
+        self_dep: Reaction::RstStream,
+        hpack_partial: true,
+    },
+    Expected {
+        name: "Apache",
+        npn: false,
+        fc_on_headers: false,
+        zero_wu_stream: Reaction::Goaway,
+        zero_wu_conn: Reaction::Goaway,
+        push: true,
+        priority_pass: true,
+        self_dep: Reaction::Goaway,
+        hpack_partial: false,
+    },
+];
+
+#[test]
+fn table_iii_regenerates_cell_for_cell() {
+    let scope = H2Scope::new();
+    for (profile, expected) in ServerProfile::testbed().into_iter().zip(EXPECTED) {
+        assert_eq!(profile.name, expected.name, "column order");
+        let push_site = SiteSpec::page_with_assets(2, 1_000);
+        let report = scope.characterize(&Testbed::new(profile.clone(), SiteSpec::benchmark()));
+        let push =
+            h2ready::scope::probes::push::probe(
+                &h2ready::scope::Target::testbed(profile, push_site),
+                &["/"],
+            );
+        let name = expected.name;
+
+        assert!(report.negotiation.alpn_h2, "{name}: ALPN");
+        assert_eq!(report.negotiation.npn_h2, expected.npn, "{name}: NPN");
+        assert!(report.multiplexing.parallel, "{name}: multiplexing");
+        assert_eq!(
+            !report.flow_control.headers_at_zero_window,
+            expected.fc_on_headers,
+            "{name}: flow control on HEADERS"
+        );
+        assert_eq!(
+            report.flow_control.zero_update_stream, expected.zero_wu_stream,
+            "{name}: zero WU stream"
+        );
+        assert_eq!(
+            report.flow_control.zero_update_conn, expected.zero_wu_conn,
+            "{name}: zero WU conn"
+        );
+        assert_eq!(
+            report.flow_control.large_update_stream,
+            Reaction::RstStream,
+            "{name}: large WU stream"
+        );
+        assert_eq!(
+            report.flow_control.large_update_conn,
+            Reaction::Goaway,
+            "{name}: large WU conn"
+        );
+        assert_eq!(push.supported, expected.push, "{name}: push");
+        assert_eq!(report.priority.passes(), expected.priority_pass, "{name}: Algorithm 1");
+        assert_eq!(report.priority.self_dependency, expected.self_dep, "{name}: self-dep");
+        assert_eq!(
+            (report.hpack.ratio - 1.0).abs() < 1e-9,
+            expected.hpack_partial,
+            "{name}: HPACK ratio {}",
+            report.hpack.ratio
+        );
+        assert!(report.ping.supported, "{name}: PING");
+        // Flow control on DATA: either the 1-byte frame or (LiteSpeed)
+        // total silence — never an oversized frame.
+        assert!(
+            !matches!(report.flow_control.small_window, SmallWindowOutcome::Oversized),
+            "{name}: DATA flow control"
+        );
+    }
+}
+
+#[test]
+fn rfc_reference_is_fully_conformant() {
+    let scope = H2Scope::new();
+    let report =
+        scope.characterize(&Testbed::new(ServerProfile::rfc7540(), SiteSpec::benchmark()));
+    assert!(report.negotiation.alpn_h2 && report.negotiation.npn_h2);
+    assert!(report.multiplexing.parallel);
+    assert_eq!(report.flow_control.small_window, SmallWindowOutcome::OneByteData);
+    assert!(report.flow_control.headers_at_zero_window);
+    assert_eq!(report.flow_control.zero_update_stream, Reaction::RstStream);
+    assert_eq!(report.flow_control.zero_update_conn, Reaction::Goaway);
+    assert_eq!(report.flow_control.large_update_stream, Reaction::RstStream);
+    assert_eq!(report.flow_control.large_update_conn, Reaction::Goaway);
+    assert!(report.priority.by_both);
+    assert_eq!(report.priority.self_dependency, Reaction::RstStream);
+    assert!(report.hpack.ratio < 0.5);
+    assert!(report.ping.supported);
+}
