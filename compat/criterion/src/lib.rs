@@ -1,0 +1,290 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace benches use —
+//! `benchmark_group` / `sample_size` / `throughput` / `bench_function` /
+//! `Bencher::{iter, iter_batched}` plus the `criterion_group!` /
+//! `criterion_main!` entry points — over a plain wall-clock measurement
+//! loop. Each benchmark reports the median and minimum per-iteration time
+//! (and derived throughput when declared) to stdout. No statistics engine,
+//! no HTML reports, no saved baselines: the goal is that `cargo bench`
+//! builds and produces honest relative numbers without crates.io access.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared per-iteration workload, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// Batch sizing hint for `iter_batched`. The stand-in runs one setup per
+/// measured invocation regardless of the hint, so the variants only exist
+/// to keep call sites source-compatible.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Explicit iterations per batch.
+    NumIterations(u64),
+}
+
+/// One measured benchmark, as recorded by the harness.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Minimum per-iteration time.
+    pub min: Duration,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// Benchmark manager; collects measurements across groups.
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurements: Vec::new(),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            parent: self,
+        }
+    }
+
+    /// All measurements recorded so far (used by `criterion_main!` for the
+    /// closing summary, and available to custom `main` functions).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    parent: &'c mut Criterion,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let m = bencher.into_measurement(full_id, self.throughput);
+        report(&m);
+        self.parent.measurements.push(m);
+        self
+    }
+
+    /// Closes the group. (Reporting is per-benchmark, so this is a no-op
+    /// kept for source compatibility.)
+    pub fn finish(&mut self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, one sample per invocation, with a small warmup.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn into_measurement(mut self, id: String, throughput: Option<Throughput>) -> Measurement {
+        if self.samples.is_empty() {
+            // The closure never called iter/iter_batched; record a zero so
+            // the harness still reports the benchmark as present.
+            self.samples.push(Duration::ZERO);
+        }
+        self.samples.sort_unstable();
+        let samples = self.samples.len();
+        Measurement {
+            id,
+            median: self.samples[samples / 2],
+            min: self.samples[0],
+            samples,
+            throughput,
+        }
+    }
+}
+
+fn report(m: &Measurement) {
+    let mut line = format!(
+        "bench: {:<48} median {:>12}  min {:>12}  ({} samples)",
+        m.id,
+        fmt_duration(m.median),
+        fmt_duration(m.min),
+        m.samples
+    );
+    if let Some(t) = m.throughput {
+        let per_sec = |units: u64| {
+            let secs = m.median.as_secs_f64();
+            if secs > 0.0 {
+                units as f64 / secs
+            } else {
+                f64::INFINITY
+            }
+        };
+        match t {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:.1} elem/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            eprintln!("benchmarks complete: {} measurements", c.measurements().len());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(5);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_records_measurements() {
+        let mut c = Criterion::default();
+        spin(&mut c);
+        assert_eq!(c.measurements().len(), 2);
+        assert_eq!(c.measurements()[0].id, "stub/sum");
+        assert_eq!(c.measurements()[0].samples, 5);
+        assert!(c.measurements()[1].median >= c.measurements()[1].min);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(200)), "200.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(35)), "35.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00 s");
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two facilities this workspace uses — `crossbeam::thread`
+//! scoped spawning and `crossbeam::channel` unbounded channels — as thin
+//! adapters over `std::thread::scope` (stable since 1.63) and
+//! `std::sync::mpsc`.
+
+#![warn(missing_docs)]
+
+/// Scoped threads, adapted to the crossbeam call shape
+/// (`scope(|s| { s.spawn(|_| ...); })` returning a `Result`).
+pub mod thread {
+    /// Handle passed to the scope closure; mirrors
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam's signature), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// returning. Panics in workers propagate on join (the caller's
+    /// `.expect(..)` behaves the same as with real crossbeam).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Channels, adapted from `std::sync::mpsc`.
+pub mod channel {
+    /// Receiving half.
+    pub use std::sync::mpsc::Receiver;
+    /// Error returned when all receivers are gone.
+    pub use std::sync::mpsc::SendError;
+    /// Sending half (cloneable).
+    pub use std::sync::mpsc::Sender;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_fan_in_over_channel() {
+        let (tx, rx) = super::channel::unbounded::<u64>();
+        super::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let tx = tx.clone();
+                scope.spawn(move |_| {
+                    tx.send(w * 10).unwrap();
+                });
+            }
+            drop(tx);
+        })
+        .expect("workers do not panic");
+        let mut got: Vec<u64> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 10, 20, 30]);
+    }
+}

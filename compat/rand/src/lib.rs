@@ -1,0 +1,335 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the API subset it uses: [`Rng`] (`gen`, `gen_range`, `gen_bool`, raw
+//! words), [`SeedableRng`] and [`rngs::StdRng`]. The generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic, fast, and
+//! statistically strong enough for every simulation in this repository.
+//!
+//! NOTE: the byte streams differ from the real `rand` crate's ChaCha-based
+//! `StdRng`. Everything in this workspace treats RNG draws as opaque (all
+//! calibration is quota-based or tolerance-checked), so only determinism
+//! per seed matters, not the exact stream.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source: raw word output.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A type that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniformly random value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $m:ident),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64, i8 => next_u32, i16 => next_u32,
+    i32 => next_u32, i64 => next_u64, isize => next_u64);
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform bits in [0, 1), matching the real crate's convention.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer draw from `[0, span)` via Lemire-style rejection.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // Rejection zone keeps the draw exactly uniform.
+    let zone = u128::MAX - (u128::MAX - span + 1) % span;
+    loop {
+        let v = u128::sample_standard(rng);
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        start + f64::sample_standard(rng) * (end - start)
+    }
+}
+
+/// User-facing random value API, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// A uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool p must be in [0,1], got {p}"
+        );
+        f64::sample_standard(self) < p
+    }
+
+    /// Fills `dest` with random data.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator seedable from a fixed-size seed or a `u64`.
+pub trait SeedableRng: Sized {
+    /// The seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs from a `u64`, expanding via SplitMix64 (deterministic).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // All-zero state is the one degenerate case for xoshiro.
+            if s.iter().all(|&w| w == 0) {
+                s = [
+                    0x9e37_79b9_7f4a_7c15,
+                    0xbf58_476d_1ce4_e5b9,
+                    0x94d0_49bb_1331_11eb,
+                    1,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(3u32..=5);
+            assert!((3..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..=3_300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn gen_float_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

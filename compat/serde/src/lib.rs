@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as importable names in both the trait
+//! and macro namespaces, so `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The derives are
+//! no-ops (see `serde_derive`); the traits are markers. Nothing in this
+//! workspace performs serde-format serialization — persistence uses the
+//! text codec in `h2scope::storage`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -48,5 +48,10 @@ fn bench_priority_churn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_slow_receiver, bench_table_thrash, bench_priority_churn);
+criterion_group!(
+    benches,
+    bench_slow_receiver,
+    bench_table_thrash,
+    bench_priority_churn
+);
 criterion_main!(benches);

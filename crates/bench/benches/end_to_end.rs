@@ -17,7 +17,9 @@ fn bench_probes(c: &mut Criterion) {
     group.sample_size(20);
     let t = target();
     group.bench_function("flow_control_suite", |b| b.iter(|| flow_control::probe(&t)));
-    group.bench_function("priority_algorithm1", |b| b.iter(|| priority::algorithm1(&t)));
+    group.bench_function("priority_algorithm1", |b| {
+        b.iter(|| priority::algorithm1(&t))
+    });
     group.bench_function("hpack_ratio_h8", |b| b.iter(|| hpack::probe(&t, 8)));
     group.bench_function("ping_5_samples", |b| b.iter(|| ping::probe(&t, 5)));
     group.finish();

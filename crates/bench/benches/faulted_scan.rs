@@ -1,0 +1,73 @@
+//! Faulted-scan benchmarks: what resilience costs. The same campaign is
+//! scanned at 0%, 1% and 5% uniform packet loss; the slowdown relative to
+//! the clean run is the price of deadlines, retransmit delays and
+//! retry/backoff in the §IV-B pipeline.
+//!
+//! Unlike the other benches this one has a custom `main` that also writes
+//! the measurements to `BENCH_faulted_scan.json` at the repository root,
+//! so faulted-scan throughput is tracked as a committed artifact.
+
+use std::io::Write as _;
+
+use criterion::{Criterion, Throughput};
+use h2fault::FaultProfile;
+use h2ready_bench::scan::scan_faulted;
+use webpop::{ExperimentSpec, Population};
+
+/// Campaign seed for every measured scan: benches must replay exactly.
+const SEED: u64 = 0xbe_ac47;
+
+fn bench_loss_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faulted_scan");
+    group.sample_size(10);
+    // 0.2% of experiment 1 ≈ 105 h2 sites per iteration, matching the
+    // plain scan bench so the two are directly comparable.
+    let population = Population::new(ExperimentSpec::first(), 0.002);
+    group.throughput(Throughput::Elements(population.h2_count()));
+    for (label, loss) in [("loss_0pct", 0.0), ("loss_1pct", 0.01), ("loss_5pct", 0.05)] {
+        let profile = FaultProfile::uniform_loss(loss);
+        group.bench_function(format!("campaign_0p2pct_{label}"), |b| {
+            b.iter(|| scan_faulted(&population, 4, profile, SEED))
+        });
+    }
+    group.finish();
+}
+
+fn write_json(c: &Criterion) -> std::io::Result<()> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faulted_scan.json");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    let measurements = c.measurements();
+    for (i, m) in measurements.iter().enumerate() {
+        let elements = match m.throughput {
+            Some(Throughput::Elements(n)) => n,
+            _ => 0,
+        };
+        let median_s = m.median.as_secs_f64();
+        let sites_per_sec = if median_s > 0.0 {
+            elements as f64 / median_s
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"samples\": {}, \"sites\": {}, \"sites_per_sec\": {:.1}}}{}\n",
+            m.id,
+            m.median.as_nanos(),
+            m.min.as_nanos(),
+            m.samples,
+            elements,
+            sites_per_sec,
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_loss_sweep(&mut c);
+    if let Err(e) = write_json(&c) {
+        eprintln!("faulted_scan: could not write BENCH_faulted_scan.json: {e}");
+    }
+}

@@ -62,7 +62,7 @@ fn bench_core_receive_path(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(data_wire.len() as u64));
     group.bench_function("recv_16k_data_and_replenish", |b| {
         b.iter_batched(
-            || core_pair(),
+            core_pair,
             |(_client, mut server, wire)| {
                 let events = server.recv_bytes(&wire).unwrap();
                 let updates = server.replenish_recv_windows(StreamId::new(1), 16_384);

@@ -25,7 +25,12 @@ fn bench_encoder_policies(c: &mut Criterion) {
     ] {
         group.bench_function(format!("first_block_{name}"), |b| {
             b.iter_batched(
-                || Encoder::with_options(EncoderOptions { indexing: policy, ..Default::default() }),
+                || {
+                    Encoder::with_options(EncoderOptions {
+                        indexing: policy,
+                        ..Default::default()
+                    })
+                },
                 |mut enc| enc.encode_block(&headers),
                 BatchSize::SmallInput,
             )
@@ -93,5 +98,10 @@ fn bench_huffman(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encoder_policies, bench_decoder, bench_huffman);
+criterion_group!(
+    benches,
+    bench_encoder_policies,
+    bench_decoder,
+    bench_huffman
+);
 criterion_main!(benches);

@@ -10,8 +10,10 @@ use h2server::{ServerProfile, SiteSpec};
 use netsim::LinkSpec;
 
 fn push_target(assets: usize, asset_size: usize, delay_ms: u64) -> Target {
-    let mut target =
-        Target::testbed(ServerProfile::h2o(), SiteSpec::page_with_assets(assets, asset_size));
+    let mut target = Target::testbed(
+        ServerProfile::h2o(),
+        SiteSpec::page_with_assets(assets, asset_size),
+    );
     target.link = LinkSpec::wan(delay_ms);
     target
 }
@@ -19,8 +21,11 @@ fn push_target(assets: usize, asset_size: usize, delay_ms: u64) -> Target {
 fn bench_pageload(c: &mut Criterion) {
     let mut group = c.benchmark_group("pageload");
     group.sample_size(20);
-    for (assets, size, delay) in [(4usize, 10_000usize, 20u64), (16, 30_000, 20), (8, 20_000, 80)]
-    {
+    for (assets, size, delay) in [
+        (4usize, 10_000usize, 20u64),
+        (16, 30_000, 20),
+        (8, 20_000, 80),
+    ] {
         let target = push_target(assets, size, delay);
         group.bench_function(format!("push_{assets}a_{size}b_{delay}ms"), |b| {
             b.iter(|| page_load(&target, true, 1))

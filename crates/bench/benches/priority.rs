@@ -5,7 +5,11 @@ use h2conn::PriorityTree;
 use h2wire::{PrioritySpec, StreamId};
 
 fn spec(dep: u32, weight: u16, exclusive: bool) -> PrioritySpec {
-    PrioritySpec { exclusive, dependency: StreamId::new(dep), weight }
+    PrioritySpec {
+        exclusive,
+        dependency: StreamId::new(dep),
+        weight,
+    }
 }
 
 /// A wide tree: `n` streams under the root plus chains of depth 3.
@@ -14,8 +18,10 @@ fn build_tree(n: u32) -> PriorityTree {
     for k in 0..n {
         let id = k * 6 + 1;
         tree.declare(StreamId::new(id), spec(0, 16, false)).unwrap();
-        tree.declare(StreamId::new(id + 2), spec(id, 8, false)).unwrap();
-        tree.declare(StreamId::new(id + 4), spec(id + 2, 4, false)).unwrap();
+        tree.declare(StreamId::new(id + 2), spec(id, 8, false))
+            .unwrap();
+        tree.declare(StreamId::new(id + 4), spec(id + 2, 4, false))
+            .unwrap();
     }
     tree
 }
@@ -23,9 +29,7 @@ fn build_tree(n: u32) -> PriorityTree {
 fn bench_declare(c: &mut Criterion) {
     let mut group = c.benchmark_group("priority_tree");
     for n in [16u32, 128] {
-        group.bench_function(format!("build_{n}_chains"), |b| {
-            b.iter(|| build_tree(n))
-        });
+        group.bench_function(format!("build_{n}_chains"), |b| b.iter(|| build_tree(n)));
         group.bench_function(format!("reprioritize_exclusive_{n}"), |b| {
             b.iter_batched(
                 || build_tree(n),

@@ -51,5 +51,10 @@ fn bench_parallel_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_site_generation, bench_survey, bench_parallel_scan);
+criterion_group!(
+    benches,
+    bench_site_generation,
+    bench_survey,
+    bench_parallel_scan
+);
 criterion_main!(benches);

@@ -84,7 +84,12 @@ pub fn fig6(population: &Population, sites: usize, samples_per_site: usize) -> S
         ("tcp-rtt", &tcp),
         ("h2-request (HTTP/1.1)", &h1),
     ] {
-        write!(out, "  {label:<22} median {:>8.2} ms   cdf:", median(samples)).unwrap();
+        write!(
+            out,
+            "  {label:<22} median {:>8.2} ms   cdf:",
+            median(samples)
+        )
+        .unwrap();
         for (x, f) in cdf_points(samples, &ticks) {
             write!(out, " {:.0}ms:{:.2}", x, f).unwrap();
         }
@@ -113,11 +118,13 @@ mod tests {
     fn fig3_finds_push_sites_and_push_wins() {
         let population = Population::new(ExperimentSpec::second(), 0.1);
         let rendered = fig3(&population, 3);
-        assert!(rendered.contains("push reduced mean load time"), "{rendered}");
+        assert!(
+            rendered.contains("push reduced mean load time"),
+            "{rendered}"
+        );
         // At 10% of experiment 2 there are ~2 push sites; at least one
         // must appear and improve.
-        let improved_line =
-            rendered.lines().last().expect("summary line");
+        let improved_line = rendered.lines().last().expect("summary line");
         assert!(!improved_line.contains("0/0"), "{rendered}");
     }
 
@@ -126,7 +133,10 @@ mod tests {
         let population = Population::new(ExperimentSpec::first(), 0.01);
         let rendered = fig6(&population, 8, 5);
         // The h1 - h2 gap must be positive (processing delay).
-        let line = rendered.lines().find(|l| l.contains("shape check")).unwrap();
+        let line = rendered
+            .lines()
+            .find(|l| l.contains("shape check"))
+            .unwrap();
         let gap: f64 = line
             .split("h1 - h2 = ")
             .nth(1)

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro [COMMAND] [--scale S] [--exp 1|2|both] [--threads N] [--loads L]
+//!                 [--faults PROFILE] [--seed N]
 //!
 //! COMMANDS
 //!   table3       Table III  testbed characterization matrix
@@ -22,10 +23,17 @@
 //!   fig4         Figure 4/5 HPACK ratio CDFs per family
 //!   fig6         Figure 6   RTT by four estimators
 //!   all          everything above (default)
+//!
+//! FAULT CAMPAIGNS
+//!   --faults PROFILE   scan under impairments: none, lossy, jittery,
+//!                      flaky, byzantine, chaos (default none)
+//!   --seed N           campaign seed; same seed replays the exact same
+//!                      faults at any thread count (default 0)
 //! ```
 
 use std::time::Instant;
 
+use h2fault::FaultProfile;
 use h2ready_bench::{figures, scan, tables, wild};
 use webpop::{ExperimentSpec, Population};
 
@@ -35,14 +43,20 @@ struct Options {
     experiments: Vec<ExperimentSpec>,
     threads: usize,
     loads: usize,
+    faults: FaultProfile,
+    seed: u64,
 }
 
 fn parse_args() -> Options {
     let mut command = "all".to_string();
     let mut scale = 0.02;
     let mut experiments = vec![ExperimentSpec::first(), ExperimentSpec::second()];
-    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut loads = 10;
+    let mut faults = FaultProfile::none();
+    let mut seed = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -67,8 +81,24 @@ fn parse_args() -> Options {
             "--loads" => {
                 loads = args.next().and_then(|v| v.parse().ok()).unwrap_or(loads);
             }
+            "--faults" => {
+                let name = args.next().unwrap_or_default();
+                faults = FaultProfile::parse(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown fault profile {name:?}; known profiles: {}",
+                        FaultProfile::names().join(", ")
+                    );
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an unsigned integer");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
-                println!("see crate docs: repro [COMMAND] [--scale S] [--exp 1|2|both] [--threads N] [--loads L]");
+                println!("see crate docs: repro [COMMAND] [--scale S] [--exp 1|2|both] [--threads N] [--loads L] [--faults PROFILE] [--seed N]");
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => command = other.to_string(),
@@ -78,14 +108,32 @@ fn parse_args() -> Options {
             }
         }
     }
-    Options { command, scale, experiments, threads, loads }
+    Options {
+        command,
+        scale,
+        experiments,
+        threads,
+        loads,
+        faults,
+        seed,
+    }
 }
 
 fn needs_scan(command: &str) -> bool {
     matches!(
         command,
-        "all" | "adoption" | "table4" | "table5" | "table6" | "table7" | "fig2"
-            | "flowcontrol" | "priority" | "push" | "fig4" | "fig5"
+        "all"
+            | "adoption"
+            | "table4"
+            | "table5"
+            | "table6"
+            | "table7"
+            | "fig2"
+            | "flowcontrol"
+            | "priority"
+            | "push"
+            | "fig4"
+            | "fig5"
     )
 }
 
@@ -114,13 +162,23 @@ fn main() {
         let population = Population::new(spec.clone(), options.scale);
         let records = if needs_scan(command) {
             let started = Instant::now();
-            let records = scan::scan(&population, options.threads);
+            let records =
+                scan::scan_faulted(&population, options.threads, options.faults, options.seed);
             eprintln!(
                 "[{}] scanned {} h2 sites in {:.1}s",
                 spec.name,
                 records.len(),
                 started.elapsed().as_secs_f64()
             );
+            if !options.faults.is_none() {
+                println!(
+                    "[{} faults={} seed={}]\n{}",
+                    spec.name,
+                    options.faults.name,
+                    options.seed,
+                    scan::fault_summary(&records)
+                );
+            }
             records
         } else {
             Vec::new()

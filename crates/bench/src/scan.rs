@@ -6,7 +6,9 @@
 use crossbeam::channel;
 use crossbeam::thread;
 
-use h2scope::{H2Scope, SiteReport};
+use h2fault::{splitmix64, FaultPlan, FaultProfile};
+use h2scope::{survey_with_retries, H2Scope, ProbeOutcome, SiteReport};
+use netsim::time::SimDuration;
 use webpop::{Family, Population};
 
 /// One scanned site with its generated family (kept alongside the report
@@ -37,7 +39,11 @@ pub fn scan(population: &Population, threads: usize) -> Vec<ScanRecord> {
                 while i < total {
                     let site = population.site(i);
                     let report = scope_tool.survey(&site.target());
-                    let record = ScanRecord { index: i, family: site.family, report };
+                    let record = ScanRecord {
+                        index: i,
+                        family: site.family,
+                        report,
+                    };
                     if tx.send(record).is_err() {
                         return;
                     }
@@ -56,7 +62,116 @@ pub fn scan(population: &Population, threads: usize) -> Vec<ScanRecord> {
 /// Records restricted to HEADERS-returning sites (the denominator of every
 /// follow-up analysis).
 pub fn headers_records(records: &[ScanRecord]) -> Vec<&ScanRecord> {
-    records.iter().filter(|r| r.report.headers_received).collect()
+    records
+        .iter()
+        .filter(|r| r.report.headers_received)
+        .collect()
+}
+
+/// Scans the population under a fault profile: every site's probes run
+/// against an impaired link (and possibly a byzantine server) derived
+/// deterministically from `(seed, site index, attempt)`, with deadlines
+/// and retry/backoff from the profile. With the `none` profile this is
+/// exactly [`scan`] — same code path, bit-identical records.
+pub fn scan_faulted(
+    population: &Population,
+    threads: usize,
+    profile: FaultProfile,
+    seed: u64,
+) -> Vec<ScanRecord> {
+    if profile.is_none() {
+        return scan(population, threads);
+    }
+    let plan = FaultPlan::new(profile, seed);
+    let threads = threads.max(1);
+    let total = population.h2_count();
+    let (tx, rx) = channel::unbounded::<ScanRecord>();
+    thread::scope(|scope| {
+        for worker in 0..threads as u64 {
+            let tx = tx.clone();
+            let population = population.clone();
+            scope.spawn(move |_| {
+                let scope_tool = H2Scope::new();
+                let mut i = worker;
+                while i < total {
+                    let site = population.site(i);
+                    let report = survey_with_retries(
+                        &scope_tool,
+                        plan.profile().retry,
+                        splitmix64(seed ^ i),
+                        |attempt| {
+                            let injection = plan.injection(i, attempt);
+                            let mut target = site.target();
+                            target.link = injection.impairment.apply(target.link);
+                            target.pipe_faults = injection.impairment.pipe_faults();
+                            target.patience = Some(plan.profile().deadline);
+                            target.seed ^= injection.seed_salt;
+                            if !injection.byzantine.is_noop() {
+                                target.profile.behavior.byzantine = Some(injection.byzantine);
+                            }
+                            target
+                        },
+                    );
+                    let record = ScanRecord {
+                        index: i,
+                        family: site.family,
+                        report,
+                    };
+                    if tx.send(record).is_err() {
+                        return;
+                    }
+                    i += threads as u64;
+                }
+            });
+        }
+        drop(tx);
+    })
+    .expect("scan workers do not panic");
+    let mut records: Vec<ScanRecord> = rx.into_iter().collect();
+    records.sort_by_key(|r| r.index);
+    records
+}
+
+/// The scan report's resilience section: outcome histogram plus
+/// retry/backoff accounting (printed by `repro` for faulted campaigns).
+pub fn fault_summary(records: &[ScanRecord]) -> String {
+    let mut counts = [0usize; 5];
+    let mut attempts = 0u64;
+    let mut retried = 0usize;
+    let mut backoff = SimDuration::ZERO;
+    for record in records {
+        let stats = &record.report.probe;
+        let slot = match stats.outcome {
+            ProbeOutcome::Ok => 0,
+            ProbeOutcome::Timeout => 1,
+            ProbeOutcome::ConnReset => 2,
+            ProbeOutcome::Malformed => 3,
+            ProbeOutcome::GaveUpAfterRetries => 4,
+        };
+        counts[slot] += 1;
+        attempts += u64::from(stats.attempts);
+        if stats.attempts > 1 {
+            retried += 1;
+        }
+        backoff = backoff + stats.backoff;
+    }
+    let mut out = String::new();
+    out.push_str("Scan resilience\n");
+    out.push_str(&format!("  sites scanned      {}\n", records.len()));
+    out.push_str(&format!("  ok                 {}\n", counts[0]));
+    out.push_str(&format!("  timeout            {}\n", counts[1]));
+    out.push_str(&format!("  conn-reset         {}\n", counts[2]));
+    out.push_str(&format!("  malformed          {}\n", counts[3]));
+    out.push_str(&format!("  gave-up-after-retries {}\n", counts[4]));
+    out.push_str(&format!(
+        "  attempts           {} total, {} sites retried\n",
+        attempts, retried
+    ));
+    out.push_str(&format!(
+        "  backoff spent      {:.1} s simulated\n",
+        backoff.as_millis_f64() / 1_000.0
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -85,5 +200,70 @@ mod tests {
             assert_eq!(x.index, y.index);
             assert_eq!(x.report, y.report);
         }
+    }
+
+    #[test]
+    fn faulted_scan_is_byte_identical_across_thread_counts() {
+        // A loss+jitter+drop campaign must replay exactly at any thread
+        // count: faults derive from (seed, site, attempt), never from
+        // scheduling.
+        let population = Population::new(ExperimentSpec::first(), 0.0005);
+        let profile = FaultProfile::flaky();
+        let a = scan_faulted(&population, 1, profile, 0xfa17);
+        let b = scan_faulted(&population, 4, profile, 0xfa17);
+        let c = scan_faulted(&population, 8, profile, 0xfa17);
+        let serialize = |records: &[ScanRecord]| {
+            h2scope::storage::write_reports(records.iter().map(|r| &r.report))
+        };
+        let (sa, sb, sc) = (serialize(&a), serialize(&b), serialize(&c));
+        assert_eq!(sa, sb, "1 vs 4 threads");
+        assert_eq!(sb, sc, "4 vs 8 threads");
+        // The campaign actually exercised the impairments: some probes
+        // resolved to degraded outcomes, and some sites burned retries.
+        assert!(
+            a.iter().any(|r| r.report.probe.outcome != ProbeOutcome::Ok),
+            "flaky profile should degrade some sites"
+        );
+        assert!(a.iter().any(|r| r.report.probe.attempts > 1));
+    }
+
+    #[test]
+    fn faulted_scan_with_none_profile_matches_plain_scan() {
+        let population = Population::new(ExperimentSpec::first(), 0.0005);
+        let plain = scan(&population, 4);
+        let faultless = scan_faulted(&population, 4, FaultProfile::none(), 99);
+        assert_eq!(plain.len(), faultless.len());
+        for (x, y) in plain.iter().zip(&faultless) {
+            assert_eq!(x.report, y.report);
+        }
+    }
+
+    #[test]
+    fn faulted_campaign_seeds_change_the_outcome_mix() {
+        // Retries mask most injected faults, so the outcome enum alone can
+        // coincide; the serialized records (attempts, backoff, outcomes)
+        // must still differ between seeds.
+        let population = Population::new(ExperimentSpec::first(), 0.0005);
+        let profile = FaultProfile::flaky();
+        let a = scan_faulted(&population, 4, profile, 1);
+        let b = scan_faulted(&population, 4, profile, 2);
+        let serialize = |records: &[ScanRecord]| {
+            h2scope::storage::write_reports(records.iter().map(|r| &r.report))
+        };
+        assert_ne!(
+            serialize(&a),
+            serialize(&b),
+            "different seeds, different faults"
+        );
+    }
+
+    #[test]
+    fn fault_summary_reports_the_taxonomy() {
+        let population = Population::new(ExperimentSpec::first(), 0.0005);
+        let records = scan_faulted(&population, 4, FaultProfile::flaky(), 0xfa17);
+        let summary = fault_summary(&records);
+        assert!(summary.contains("gave-up-after-retries"));
+        assert!(summary.contains("sites retried"));
+        assert!(summary.contains(&format!("sites scanned      {}", records.len())));
     }
 }

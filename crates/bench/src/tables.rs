@@ -19,27 +19,56 @@ pub struct TableIiiExpectation {
 
 /// Every row of the paper's Table III.
 pub const TABLE_III_EXPECTED: &[TableIiiExpectation] = &[
-    TableIiiExpectation { row: "ALPN", cells: ["support"; 6] },
+    TableIiiExpectation {
+        row: "ALPN",
+        cells: ["support"; 6],
+    },
     TableIiiExpectation {
         row: "NPN",
-        cells: ["support", "support", "support", "support", "support", "no support"],
+        cells: [
+            "support",
+            "support",
+            "support",
+            "support",
+            "support",
+            "no support",
+        ],
     },
-    TableIiiExpectation { row: "Request Multiplexing", cells: ["support"; 6] },
-    TableIiiExpectation { row: "Flow Control on DATA Frames", cells: ["yes"; 6] },
+    TableIiiExpectation {
+        row: "Request Multiplexing",
+        cells: ["support"; 6],
+    },
+    TableIiiExpectation {
+        row: "Flow Control on DATA Frames",
+        cells: ["yes"; 6],
+    },
     TableIiiExpectation {
         row: "Flow Control on HEADERS Frames",
         cells: ["no", "yes", "no", "no", "no", "no"],
     },
     TableIiiExpectation {
         row: "Zero Window Update on stream",
-        cells: ["ignore", "RST_STREAM", "RST_STREAM", "GOAWAY", "ignore", "GOAWAY"],
+        cells: [
+            "ignore",
+            "RST_STREAM",
+            "RST_STREAM",
+            "GOAWAY",
+            "ignore",
+            "GOAWAY",
+        ],
     },
     TableIiiExpectation {
         row: "Zero Window Update on connection",
         cells: ["ignore", "GOAWAY", "GOAWAY", "GOAWAY", "ignore", "GOAWAY"],
     },
-    TableIiiExpectation { row: "Large Window Update (Connection)", cells: ["GOAWAY"; 6] },
-    TableIiiExpectation { row: "Large Window Update (Stream)", cells: ["RST_STREAM"; 6] },
+    TableIiiExpectation {
+        row: "Large Window Update (Connection)",
+        cells: ["GOAWAY"; 6],
+    },
+    TableIiiExpectation {
+        row: "Large Window Update (Stream)",
+        cells: ["RST_STREAM"; 6],
+    },
     TableIiiExpectation {
         row: "Server Push",
         cells: ["no", "no", "yes", "yes", "no", "yes"],
@@ -50,13 +79,25 @@ pub const TABLE_III_EXPECTED: &[TableIiiExpectation] = &[
     },
     TableIiiExpectation {
         row: "Self-dependent Stream",
-        cells: ["RST_STREAM", "ignore", "GOAWAY", "GOAWAY", "RST_STREAM", "GOAWAY"],
+        cells: [
+            "RST_STREAM",
+            "ignore",
+            "GOAWAY",
+            "GOAWAY",
+            "RST_STREAM",
+            "GOAWAY",
+        ],
     },
     TableIiiExpectation {
         row: "Header Compression",
-        cells: ["support*", "support", "support", "support", "support*", "support"],
+        cells: [
+            "support*", "support", "support", "support", "support*", "support",
+        ],
     },
-    TableIiiExpectation { row: "HTTP/2 PING", cells: ["support"; 6] },
+    TableIiiExpectation {
+        row: "HTTP/2 PING",
+        cells: ["support"; 6],
+    },
 ];
 
 /// Characterizes all six testbed servers (one H2Scope run per column).
@@ -68,8 +109,7 @@ pub fn characterize_testbed() -> Vec<ServerCharacterization> {
             // The push row needs a site with a manifest; everything else
             // uses the benchmark site. Run characterize on the benchmark
             // and overwrite the push verdict from a manifest-bearing site.
-            let report =
-                scope.characterize(&Testbed::new(profile.clone(), SiteSpec::benchmark()));
+            let report = scope.characterize(&Testbed::new(profile.clone(), SiteSpec::benchmark()));
             let push = h2scope::probes::push::probe(
                 &h2scope::Target::testbed(profile, SiteSpec::page_with_assets(3, 2_000)),
                 &["/"],
@@ -170,7 +210,11 @@ pub fn measured_cell(row: &str, c: &ServerCharacterization) -> &'static str {
 pub fn table3() -> String {
     let characterizations = characterize_testbed();
     let mut out = String::new();
-    writeln!(out, "TABLE III — Characterizing popular HTTP/2 web servers in testbed").unwrap();
+    writeln!(
+        out,
+        "TABLE III — Characterizing popular HTTP/2 web servers in testbed"
+    )
+    .unwrap();
     write!(out, "{:<42}", "").unwrap();
     for c in &characterizations {
         write!(out, "{:<13}", c.server).unwrap();
@@ -209,7 +253,11 @@ pub fn concurrency_experiment() -> String {
     use h2wire::{Frame, SettingId, Settings};
 
     let mut out = String::new();
-    writeln!(out, "§V-A — MAX_CONCURRENT_STREAMS enforcement (Nginx & Tengine)").unwrap();
+    writeln!(
+        out,
+        "§V-A — MAX_CONCURRENT_STREAMS enforcement (Nginx & Tengine)"
+    )
+    .unwrap();
     for base in [ServerProfile::nginx(), ServerProfile::tengine()] {
         for mcs in [0u32, 1] {
             let mut profile = base.clone();
@@ -236,7 +284,11 @@ pub fn concurrency_experiment() -> String {
                 out,
                 "  {:<8} MCS={mcs}: RST_STREAM on streams {rsts:?} (paper: {})",
                 base.name,
-                if mcs == 0 { "every new request reset" } else { "second request reset" }
+                if mcs == 0 {
+                    "every new request reset"
+                } else {
+                    "second request reset"
+                }
             )
             .unwrap();
         }
@@ -298,20 +350,32 @@ mod tests {
     fn ablation_shows_algorithm1_strictly_better() {
         let rendered = priority_ablation();
         assert!(rendered.contains("Algorithm 1 0/6"), "{rendered}");
-        assert!(!rendered.contains("naive 0/6"), "naive must misclassify: {rendered}");
+        assert!(
+            !rendered.contains("naive 0/6"),
+            "naive must misclassify: {rendered}"
+        );
     }
 
     #[test]
     fn table3_matches_the_paper_cell_for_cell() {
         let rendered = table3();
-        assert!(rendered.contains("verification vs paper: MATCH"), "{rendered}");
+        assert!(
+            rendered.contains("verification vs paper: MATCH"),
+            "{rendered}"
+        );
     }
 
     #[test]
     fn concurrency_experiment_resets_correct_streams() {
         let rendered = concurrency_experiment();
         // MCS=0 lines reset stream 1; MCS=1 lines reset stream 3.
-        assert!(rendered.contains("MCS=0: RST_STREAM on streams [1]"), "{rendered}");
-        assert!(rendered.contains("MCS=1: RST_STREAM on streams [3]"), "{rendered}");
+        assert!(
+            rendered.contains("MCS=0: RST_STREAM on streams [1]"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("MCS=1: RST_STREAM on streams [3]"),
+            "{rendered}"
+        );
     }
 }

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use h2scope::probes::flow_control::SmallWindowOutcome;
-use h2scope::Reaction;
+use h2scope::{ProbeOutcome, ProbeStats, Reaction};
 use webpop::Population;
 
 use crate::scan::{headers_records, ScanRecord};
@@ -23,7 +23,11 @@ fn upscaled(count: usize, scale: f64) -> u64 {
 /// web sites to characterize how HTTP/2 and its features are adopted").
 pub fn trend(scale: f64, threads: usize) -> String {
     let mut out = String::new();
-    writeln!(out, "Adoption trend — simulated monthly scans, Jul. 2016 → Jan. 2017").unwrap();
+    writeln!(
+        out,
+        "Adoption trend — simulated monthly scans, Jul. 2016 → Jan. 2017"
+    )
+    .unwrap();
     writeln!(
         out,
         "  {:<8}{:>10}{:>10}{:>10}{:>12}{:>12}",
@@ -33,8 +37,14 @@ pub fn trend(scale: f64, threads: usize) -> String {
     for (month, spec) in webpop::monthly_series().into_iter().enumerate() {
         let population = Population::new(spec, scale);
         let records = crate::scan::scan(&population, threads);
-        let npn = records.iter().filter(|r| r.report.negotiation.npn_h2).count();
-        let alpn = records.iter().filter(|r| r.report.negotiation.alpn_h2).count();
+        let npn = records
+            .iter()
+            .filter(|r| r.report.negotiation.npn_h2)
+            .count();
+        let alpn = records
+            .iter()
+            .filter(|r| r.report.negotiation.alpn_h2)
+            .count();
         let headers = records.iter().filter(|r| r.report.headers_received).count();
         let prio = records
             .iter()
@@ -68,8 +78,14 @@ pub fn trend(scale: f64, threads: usize) -> String {
 pub fn adoption(records: &[ScanRecord], population: &Population) -> String {
     let spec = population.spec();
     let scale = population.scale();
-    let npn = records.iter().filter(|r| r.report.negotiation.npn_h2).count();
-    let alpn = records.iter().filter(|r| r.report.negotiation.alpn_h2).count();
+    let npn = records
+        .iter()
+        .filter(|r| r.report.negotiation.npn_h2)
+        .count();
+    let alpn = records
+        .iter()
+        .filter(|r| r.report.negotiation.alpn_h2)
+        .count();
     let headers = records.iter().filter(|r| r.report.headers_received).count();
     let mut out = String::new();
     writeln!(out, "§V-B1 — Adoption ({}; scale {scale})", spec.label).unwrap();
@@ -140,10 +156,18 @@ pub fn table4(records: &[ScanRecord], population: &Population) -> String {
         if second { 345 } else { 223 }
     )
     .unwrap();
-    writeln!(out, "  {:<22}{:>10}{:>14}{:>10}", "Server", "measured", "paper-scale", "paper")
-        .unwrap();
+    writeln!(
+        out,
+        "  {:<22}{:>10}{:>14}{:>10}",
+        "Server", "measured", "paper-scale", "paper"
+    )
+    .unwrap();
     for (name, exp1, exp2) in paper {
-        let measured = rows.iter().find(|(n, _)| n == name).map(|(_, c)| *c).unwrap_or(0);
+        let measured = rows
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
         let paper_count = if second { *exp2 } else { *exp1 };
         writeln!(
             out,
@@ -175,8 +199,12 @@ fn settings_table(
     }
     let mut out = String::new();
     writeln!(out, "{title} ({})", population.spec().label).unwrap();
-    writeln!(out, "  {:<16}{:>10}{:>14}{:>10}", "Value", "measured", "paper-scale", "paper")
-        .unwrap();
+    writeln!(
+        out,
+        "  {:<16}{:>10}{:>14}{:>10}",
+        "Value", "measured", "paper-scale", "paper"
+    )
+    .unwrap();
     for (value, exp1, exp2) in paper_rows {
         let measured = counts.get(value).copied().unwrap_or(0);
         let paper_count = if second { *exp2 } else { *exp1 };
@@ -230,10 +258,12 @@ pub fn table7(records: &[ScanRecord], population: &Population) -> String {
     let rows: Vec<(Option<u32>, u64, u64)> = webpop::marginals::MAX_HEADER_LIST_SIZE
         .iter()
         .map(|vc| {
-            let value = vc.value.map(|v| if v == webpop::marginals::UNLIMITED {
-                u32::MAX
-            } else {
-                v
+            let value = vc.value.map(|v| {
+                if v == webpop::marginals::UNLIMITED {
+                    u32::MAX
+                } else {
+                    v
+                }
             });
             (value, vc.exp1, vc.exp2)
         })
@@ -259,12 +289,17 @@ pub fn fig2(records: &[ScanRecord], population: &Population) -> String {
         .filter_map(|r| r.report.settings.max_concurrent_streams)
         .map(f64::from)
         .collect();
-    let ticks: Vec<f64> =
-        [1.0, 3.0, 10.0, 30.0, 100.0, 128.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 100_000.0]
-            .to_vec();
+    let ticks: Vec<f64> = [
+        1.0, 3.0, 10.0, 30.0, 100.0, 128.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 100_000.0,
+    ]
+    .to_vec();
     let mut out = String::new();
-    writeln!(out, "FIGURE 2 — CDF of SETTINGS_MAX_CONCURRENT_STREAMS ({})",
-        population.spec().label).unwrap();
+    writeln!(
+        out,
+        "FIGURE 2 — CDF of SETTINGS_MAX_CONCURRENT_STREAMS ({})",
+        population.spec().label
+    )
+    .unwrap();
     for (x, f) in crate::stats::cdf_points(&samples, &ticks) {
         writeln!(out, "  x = {:>9}   F(x) = {:.3}", fmt_count(x as u64), f).unwrap();
     }
@@ -295,9 +330,7 @@ pub fn flow_control(records: &[ScanRecord], population: &Population) -> String {
         match r.report.flow_control.as_ref().map(|fc| fc.small_window) {
             Some(SmallWindowOutcome::OneByteData) => one_byte += 1,
             Some(SmallWindowOutcome::ZeroLenData) => zero_len += 1,
-            Some(SmallWindowOutcome::NoResponse | SmallWindowOutcome::HeadersOnly) => {
-                no_resp += 1
-            }
+            Some(SmallWindowOutcome::NoResponse | SmallWindowOutcome::HeadersOnly) => no_resp += 1,
             _ => {}
         }
     }
@@ -316,11 +349,46 @@ pub fn flow_control(records: &[ScanRecord], population: &Population) -> String {
         )
         .unwrap();
     }
+    // Under a fault campaign, break the "no response" row down by how it
+    // was established: a probe that actually waited out its deadline
+    // (timeout-derived) vs a server quirk observed on a healthy link
+    // (quirk-derived). Absent faults every probe carries default stats
+    // and this section — like the campaign itself — is byte-identical to
+    // the pre-fault pipeline.
+    let faulted = records
+        .iter()
+        .any(|r| r.report.probe != ProbeStats::default());
+    if faulted {
+        let timeout_derived = with_headers
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.report.flow_control.as_ref().map(|fc| fc.small_window),
+                    Some(SmallWindowOutcome::NoResponse | SmallWindowOutcome::HeadersOnly)
+                ) && matches!(
+                    r.report.probe.outcome,
+                    ProbeOutcome::Timeout | ProbeOutcome::GaveUpAfterRetries
+                )
+            })
+            .count();
+        writeln!(
+            out,
+            "    no-response rows: {} timeout-derived (deadline expired), {} quirk-derived",
+            timeout_derived,
+            (no_resp as usize).saturating_sub(timeout_derived)
+        )
+        .unwrap();
+    }
 
     // V-D2: HEADERS at a zero window.
     let compliant = with_headers
         .iter()
-        .filter(|r| r.report.flow_control.as_ref().is_some_and(|fc| fc.headers_at_zero_window))
+        .filter(|r| {
+            r.report
+                .flow_control
+                .as_ref()
+                .is_some_and(|fc| fc.headers_at_zero_window)
+        })
         .count();
     writeln!(
         out,
@@ -337,7 +405,12 @@ pub fn flow_control(records: &[ScanRecord], population: &Population) -> String {
     let mut debug = 0;
     let mut ignored = 0;
     for r in &with_headers {
-        match r.report.flow_control.as_ref().map(|fc| fc.zero_update_stream) {
+        match r
+            .report
+            .flow_control
+            .as_ref()
+            .map(|fc| fc.zero_update_stream)
+        {
             Some(Reaction::RstStream) => rst += 1,
             Some(Reaction::Goaway) => goaway += 1,
             Some(Reaction::GoawayWithDebug) => debug += 1,
@@ -350,7 +423,11 @@ pub fn flow_control(records: &[ScanRecord], population: &Population) -> String {
         ("RST_STREAM", rst, spec.zero_update_stream.rst),
         ("ignored", ignored, spec.zero_update_stream.ignored),
         ("GOAWAY", goaway, spec.zero_update_stream.goaway),
-        ("GOAWAY + debug", debug, spec.zero_update_stream.goaway_debug),
+        (
+            "GOAWAY + debug",
+            debug,
+            spec.zero_update_stream.goaway_debug,
+        ),
     ] {
         writeln!(
             out,
@@ -365,7 +442,10 @@ pub fn flow_control(records: &[ScanRecord], population: &Population) -> String {
         .iter()
         .filter(|r| {
             r.report.flow_control.as_ref().is_some_and(|fc| {
-                matches!(fc.zero_update_conn, Reaction::Goaway | Reaction::GoawayWithDebug)
+                matches!(
+                    fc.zero_update_conn,
+                    Reaction::Goaway | Reaction::GoawayWithDebug
+                )
             })
         })
         .count();
@@ -382,7 +462,10 @@ pub fn flow_control(records: &[ScanRecord], population: &Population) -> String {
         .iter()
         .filter(|r| {
             r.report.flow_control.as_ref().is_some_and(|fc| {
-                matches!(fc.large_update_conn, Reaction::Goaway | Reaction::GoawayWithDebug)
+                matches!(
+                    fc.large_update_conn,
+                    Reaction::Goaway | Reaction::GoawayWithDebug
+                )
             })
         })
         .count();
@@ -397,8 +480,16 @@ pub fn flow_control(records: &[ScanRecord], population: &Population) -> String {
         .count();
     writeln!(out, "  [V-D4] window increment overflowing 2^31-1:").unwrap();
     for (label, measured, paper) in [
-        ("connection GOAWAY", large_conn, spec.large_update_conn_goaway),
-        ("stream RST_STREAM", large_stream, spec.large_update_stream_rst),
+        (
+            "connection GOAWAY",
+            large_conn,
+            spec.large_update_conn_goaway,
+        ),
+        (
+            "stream RST_STREAM",
+            large_stream,
+            spec.large_update_stream_rst,
+        ),
     ] {
         writeln!(
             out,
@@ -442,7 +533,12 @@ pub fn priority(records: &[ScanRecord], population: &Population) -> String {
         }
     }
     let mut out = String::new();
-    writeln!(out, "§V-E — Priority mechanism in the wild ({})", spec.label).unwrap();
+    writeln!(
+        out,
+        "§V-E — Priority mechanism in the wild ({})",
+        spec.label
+    )
+    .unwrap();
     for (label, measured, paper) in [
         ("last-DATA-frame rule", by_last, spec.priority_by_last),
         ("first-DATA-frame rule", by_first, spec.priority_by_first),

@@ -26,7 +26,10 @@ fn table4_ranks_litespeed_and_nginx_first() {
     let (population, records) = mini_campaign();
     let rendered = wild::table4(&records, &population);
     let litespeed_line = rendered.lines().find(|l| l.contains("Litespeed")).unwrap();
-    let nginx_line = rendered.lines().find(|l| l.trim_start().starts_with("Nginx")).unwrap();
+    let nginx_line = rendered
+        .lines()
+        .find(|l| l.trim_start().starts_with("Nginx"))
+        .unwrap();
     let count = |line: &str| -> u64 {
         line.split_whitespace()
             .nth(1)
@@ -85,9 +88,15 @@ fn flow_control_summary_tracks_population_quotas() {
 fn hpack_figure_separates_the_families() {
     let (population, records) = mini_campaign();
     let rendered = wild::hpack_figure(&records, &population);
-    let gse = rendered.lines().find(|l| l.trim_start().starts_with("GSE")).unwrap();
+    let gse = rendered
+        .lines()
+        .find(|l| l.trim_start().starts_with("GSE"))
+        .unwrap();
     assert!(gse.contains("P(r<0.3)=1.00"), "{rendered}");
-    let nginx = rendered.lines().find(|l| l.trim_start().starts_with("nginx")).unwrap();
+    let nginx = rendered
+        .lines()
+        .find(|l| l.trim_start().starts_with("nginx"))
+        .unwrap();
     assert!(
         nginx.contains("median=1.000"),
         "nginx sits at ratio 1: {rendered}"

@@ -123,10 +123,14 @@ impl HeaderAssembler {
         frame: &ContinuationFrame,
     ) -> Result<Option<CompleteBlock>, AssemblyError> {
         let Some(pending) = self.pending.as_mut() else {
-            return Err(AssemblyError::UnexpectedContinuation { stream: frame.stream_id });
+            return Err(AssemblyError::UnexpectedContinuation {
+                stream: frame.stream_id,
+            });
         };
         if pending.block.stream != frame.stream_id {
-            return Err(AssemblyError::UnexpectedContinuation { stream: frame.stream_id });
+            return Err(AssemblyError::UnexpectedContinuation {
+                stream: frame.stream_id,
+            });
         }
         pending.block.fragment.extend_from_slice(&frame.fragment);
         if frame.end_headers {
@@ -197,8 +201,11 @@ mod tests {
     #[test]
     fn interleaved_start_is_rejected() {
         let mut asm = HeaderAssembler::new();
-        asm.start(sid(1), BlockKind::Headers, &[], false, false, None).unwrap();
-        let err = asm.start(sid(3), BlockKind::Headers, &[], false, true, None).unwrap_err();
+        asm.start(sid(1), BlockKind::Headers, &[], false, false, None)
+            .unwrap();
+        let err = asm
+            .start(sid(3), BlockKind::Headers, &[], false, true, None)
+            .unwrap_err();
         assert_eq!(err, AssemblyError::InterleavedFrame);
         assert!(asm.check_interleave().is_err());
     }
@@ -206,7 +213,8 @@ mod tests {
     #[test]
     fn continuation_for_wrong_stream_is_rejected() {
         let mut asm = HeaderAssembler::new();
-        asm.start(sid(1), BlockKind::Headers, &[], false, false, None).unwrap();
+        asm.start(sid(1), BlockKind::Headers, &[], false, false, None)
+            .unwrap();
         let stray = ContinuationFrame {
             stream_id: sid(3),
             fragment: Bytes::new(),
@@ -233,7 +241,14 @@ mod tests {
     fn push_promise_block_keeps_promised_stream() {
         let mut asm = HeaderAssembler::new();
         let block = asm
-            .start(sid(1), BlockKind::PushPromise { promised: sid(2) }, &[9], false, true, None)
+            .start(
+                sid(1),
+                BlockKind::PushPromise { promised: sid(2) },
+                &[9],
+                false,
+                true,
+                None,
+            )
             .unwrap()
             .unwrap();
         assert_eq!(block.kind, BlockKind::PushPromise { promised: sid(2) });

@@ -406,7 +406,9 @@ impl ConnectionCore {
                     events.push(CoreEvent::SettingsAcked);
                 } else {
                     self.apply_remote_settings(&f.settings, &mut events);
-                    events.push(CoreEvent::RemoteSettings { settings: f.settings });
+                    events.push(CoreEvent::RemoteSettings {
+                        settings: f.settings,
+                    });
                 }
             }
             Frame::WindowUpdate(f) => {
@@ -423,14 +425,18 @@ impl ConnectionCore {
                             scope: WindowScope::Connection,
                             increment: f.increment,
                         }),
-                        Err(_) => events
-                            .push(CoreEvent::WindowOverflow { scope: WindowScope::Connection }),
+                        Err(_) => events.push(CoreEvent::WindowOverflow {
+                            scope: WindowScope::Connection,
+                        }),
                     }
                 } else {
-                    let (send_init, recv_init) =
-                        (self.remote.initial_window_size, self.local.initial_window_size);
-                    let stream =
-                        self.streams.get_or_create(f.stream_id, send_init, recv_init);
+                    let (send_init, recv_init) = (
+                        self.remote.initial_window_size,
+                        self.local.initial_window_size,
+                    );
+                    let stream = self
+                        .streams
+                        .get_or_create(f.stream_id, send_init, recv_init);
                     match stream.send_window.expand(f.increment) {
                         Ok(()) => events.push(CoreEvent::WindowUpdated {
                             scope: WindowScope::Stream(f.stream_id),
@@ -464,7 +470,9 @@ impl ConnectionCore {
             Frame::PushPromise(f) => {
                 if let Some(block) = self.assembler.start(
                     f.stream_id,
-                    BlockKind::PushPromise { promised: f.promised_stream_id },
+                    BlockKind::PushPromise {
+                        promised: f.promised_stream_id,
+                    },
                     &f.fragment,
                     false,
                     f.end_headers,
@@ -481,15 +489,22 @@ impl ConnectionCore {
             Frame::Data(f) => {
                 let fcl = f.flow_controlled_len();
                 if self.conn_recv.consume(fcl).is_err() {
-                    events.push(CoreEvent::FlowViolation { scope: WindowScope::Connection });
+                    events.push(CoreEvent::FlowViolation {
+                        scope: WindowScope::Connection,
+                    });
                     return Ok(events);
                 }
-                let (send_init, recv_init) =
-                    (self.remote.initial_window_size, self.local.initial_window_size);
-                let stream = self.streams.get_or_create(f.stream_id, send_init, recv_init);
+                let (send_init, recv_init) = (
+                    self.remote.initial_window_size,
+                    self.local.initial_window_size,
+                );
+                let stream = self
+                    .streams
+                    .get_or_create(f.stream_id, send_init, recv_init);
                 if stream.recv_window.consume(fcl).is_err() {
-                    events
-                        .push(CoreEvent::FlowViolation { scope: WindowScope::Stream(f.stream_id) });
+                    events.push(CoreEvent::FlowViolation {
+                        scope: WindowScope::Stream(f.stream_id),
+                    });
                     return Ok(events);
                 }
                 if f.end_stream {
@@ -503,15 +518,26 @@ impl ConnectionCore {
                 });
             }
             Frame::Priority(f) => match self.priority.declare(f.stream_id, f.spec) {
-                Ok(()) => events.push(CoreEvent::PriorityChanged { stream: f.stream_id }),
-                Err(_) => events.push(CoreEvent::SelfDependency { stream: f.stream_id }),
+                Ok(()) => events.push(CoreEvent::PriorityChanged {
+                    stream: f.stream_id,
+                }),
+                Err(_) => events.push(CoreEvent::SelfDependency {
+                    stream: f.stream_id,
+                }),
             },
             Frame::RstStream(f) => {
-                let (send_init, recv_init) =
-                    (self.remote.initial_window_size, self.local.initial_window_size);
-                let stream = self.streams.get_or_create(f.stream_id, send_init, recv_init);
+                let (send_init, recv_init) = (
+                    self.remote.initial_window_size,
+                    self.local.initial_window_size,
+                );
+                let stream = self
+                    .streams
+                    .get_or_create(f.stream_id, send_init, recv_init);
                 stream.recv_reset(f.code);
-                events.push(CoreEvent::RstStreamReceived { stream: f.stream_id, code: f.code });
+                events.push(CoreEvent::RstStreamReceived {
+                    stream: f.stream_id,
+                    code: f.code,
+                });
             }
             Frame::Goaway(f) => {
                 self.goaway_received = true;
@@ -537,18 +563,18 @@ impl ConnectionCore {
             let overflowed: Vec<StreamId> = self
                 .streams
                 .iter_mut()
-                .filter_map(
-                    |s| {
-                        if s.send_window.adjust(delta).is_err() {
-                            Some(s.id)
-                        } else {
-                            None
-                        }
-                    },
-                )
+                .filter_map(|s| {
+                    if s.send_window.adjust(delta).is_err() {
+                        Some(s.id)
+                    } else {
+                        None
+                    }
+                })
                 .collect();
             for id in overflowed {
-                events.push(CoreEvent::WindowOverflow { scope: WindowScope::Stream(id) });
+                events.push(CoreEvent::WindowOverflow {
+                    scope: WindowScope::Stream(id),
+                });
             }
         }
         // The peer's header-table limit bounds our encoder's dynamic
@@ -567,27 +593,37 @@ impl ConnectionCore {
         events: &mut Vec<CoreEvent>,
     ) -> Result<(), ConnError> {
         let headers = self.decoder.decode_block(&block.fragment)?;
-        let (send_init, recv_init) =
-            (self.remote.initial_window_size, self.local.initial_window_size);
+        let (send_init, recv_init) = (
+            self.remote.initial_window_size,
+            self.local.initial_window_size,
+        );
         match block.kind {
             BlockKind::Headers => {
                 let is_new = self.streams.get(block.stream).is_none();
                 if is_new && self.role == Role::Server {
                     if let Some(max) = self.local.max_concurrent_streams {
                         if self.streams.active_count() as u32 >= max {
-                            events.push(CoreEvent::ConcurrencyExceeded { stream: block.stream });
+                            events.push(CoreEvent::ConcurrencyExceeded {
+                                stream: block.stream,
+                            });
                         }
                     }
                 }
                 if let Some(spec) = block.priority {
                     match self.priority.declare(block.stream, spec) {
                         Ok(()) => {}
-                        Err(_) => events.push(CoreEvent::SelfDependency { stream: block.stream }),
+                        Err(_) => events.push(CoreEvent::SelfDependency {
+                            stream: block.stream,
+                        }),
                     }
                 } else if !self.priority.contains(block.stream) {
-                    let _ = self.priority.declare(block.stream, PrioritySpec::default_spec());
+                    let _ = self
+                        .priority
+                        .declare(block.stream, PrioritySpec::default_spec());
                 }
-                let stream = self.streams.get_or_create(block.stream, send_init, recv_init);
+                let stream = self
+                    .streams
+                    .get_or_create(block.stream, send_init, recv_init);
                 stream.recv_headers(block.end_stream);
                 events.push(CoreEvent::HeadersReceived {
                     stream: block.stream,
@@ -694,7 +730,9 @@ impl ConnectionCore {
     /// of the connection window, the stream window, and the peer's max
     /// frame size.
     pub fn sendable_on(&self, stream_id: StreamId) -> u32 {
-        let Some(stream) = self.streams.get(stream_id) else { return 0 };
+        let Some(stream) = self.streams.get(stream_id) else {
+            return 0;
+        };
         if !stream.state.can_send() {
             return 0;
         }
@@ -711,13 +749,23 @@ impl ConnectionCore {
     /// must size chunks first (the scheduler does).
     pub fn send_data(&mut self, stream_id: StreamId, data: Bytes, end_stream: bool) -> Frame {
         let len = data.len() as u32;
-        self.conn_send.consume(len).expect("caller respected connection window");
+        self.conn_send
+            .consume(len)
+            .expect("caller respected connection window");
         let stream = self.streams.get_mut(stream_id).expect("stream exists");
-        stream.send_window.consume(len).expect("caller respected stream window");
+        stream
+            .send_window
+            .consume(len)
+            .expect("caller respected stream window");
         if end_stream {
             stream.send_end_stream();
         }
-        Frame::Data(DataFrame { stream_id, data, end_stream, pad_len: None })
+        Frame::Data(DataFrame {
+            stream_id,
+            data,
+            end_stream,
+            pad_len: None,
+        })
     }
 
     /// Charges the receive windows back up and emits WINDOW_UPDATE frames,
@@ -755,15 +803,17 @@ impl ConnectionCore {
     /// initial window applied to *newly created* streams, plus a
     /// retroactive delta on existing receive windows per §6.9.2).
     pub fn set_local_settings(&mut self, settings: EffectiveSettings) {
-        let delta = i64::from(settings.initial_window_size)
-            - i64::from(self.local.initial_window_size);
+        let delta =
+            i64::from(settings.initial_window_size) - i64::from(self.local.initial_window_size);
         if delta != 0 {
             for stream in self.streams.iter_mut() {
                 let _ = stream.recv_window.adjust(delta);
             }
         }
-        self.frame_decoder.set_max_frame_size(settings.max_frame_size);
-        self.decoder.set_protocol_max_table_size(settings.header_table_size);
+        self.frame_decoder
+            .set_max_frame_size(settings.max_frame_size);
+        self.decoder
+            .set_protocol_max_table_size(settings.header_table_size);
         self.local = settings;
     }
 
@@ -788,7 +838,11 @@ mod tests {
     }
 
     fn server() -> ConnectionCore {
-        ConnectionCore::new(Role::Server, EffectiveSettings::default(), EncoderOptions::default())
+        ConnectionCore::new(
+            Role::Server,
+            EffectiveSettings::default(),
+            EncoderOptions::default(),
+        )
     }
 
     fn client_headers() -> Vec<Header> {
@@ -801,7 +855,8 @@ mod tests {
     }
 
     fn feed(core: &mut ConnectionCore, frame: Frame) -> Vec<CoreEvent> {
-        core.recv_bytes(&frame.to_bytes()).expect("no connection error")
+        core.recv_bytes(&frame.to_bytes())
+            .expect("no connection error")
     }
 
     #[test]
@@ -828,10 +883,16 @@ mod tests {
         for frame in client.encode_headers(sid(1), &client_headers(), true, None) {
             feed(&mut core, frame);
         }
-        assert_eq!(core.streams().get(sid(1)).unwrap().send_window.available(), 65_535);
+        assert_eq!(
+            core.streams().get(sid(1)).unwrap().send_window.available(),
+            65_535
+        );
         let settings = Settings::new().with(SettingId::InitialWindowSize, 10);
         feed(&mut core, Frame::Settings(SettingsFrame::from(settings)));
-        assert_eq!(core.streams().get(sid(1)).unwrap().send_window.available(), 10);
+        assert_eq!(
+            core.streams().get(sid(1)).unwrap().send_window.available(),
+            10
+        );
         // The connection window is untouched (Algorithm 1 exploits this).
         assert_eq!(core.connection_send_window(), 65_535);
     }
@@ -841,9 +902,17 @@ mod tests {
         let mut core = server();
         let events = feed(
             &mut core,
-            Frame::WindowUpdate(WindowUpdateFrame { stream_id: sid(0), increment: 0 }),
+            Frame::WindowUpdate(WindowUpdateFrame {
+                stream_id: sid(0),
+                increment: 0,
+            }),
         );
-        assert_eq!(events, vec![CoreEvent::ZeroWindowUpdate { scope: WindowScope::Connection }]);
+        assert_eq!(
+            events,
+            vec![CoreEvent::ZeroWindowUpdate {
+                scope: WindowScope::Connection
+            }]
+        );
         assert_eq!(core.connection_send_window(), 65_535);
     }
 
@@ -857,15 +926,31 @@ mod tests {
                 increment: 0x7fff_ffff,
             }),
         );
-        assert_eq!(events, vec![CoreEvent::WindowOverflow { scope: WindowScope::Connection }]);
+        assert_eq!(
+            events,
+            vec![CoreEvent::WindowOverflow {
+                scope: WindowScope::Connection
+            }]
+        );
     }
 
     #[test]
     fn ping_request_and_ack_events() {
         let mut core = server();
         let events = feed(&mut core, Frame::Ping(PingFrame::request(*b"h2scope!")));
-        assert_eq!(events, vec![CoreEvent::PingReceived { payload: *b"h2scope!" }]);
-        let events = feed(&mut core, Frame::Ping(PingFrame { ack: true, payload: [0; 8] }));
+        assert_eq!(
+            events,
+            vec![CoreEvent::PingReceived {
+                payload: *b"h2scope!"
+            }]
+        );
+        let events = feed(
+            &mut core,
+            Frame::Ping(PingFrame {
+                ack: true,
+                payload: [0; 8],
+            }),
+        );
         assert_eq!(events, vec![CoreEvent::PingAcked { payload: [0; 8] }]);
     }
 
@@ -883,7 +968,12 @@ mod tests {
             all.extend(feed(&mut core, frame));
         }
         match &all[0] {
-            CoreEvent::HeadersReceived { stream, headers, end_stream, .. } => {
+            CoreEvent::HeadersReceived {
+                stream,
+                headers,
+                end_stream,
+                ..
+            } => {
                 assert_eq!(*stream, sid(1));
                 assert!(end_stream);
                 assert_eq!(headers[0], Header::new(":method", "GET"));
@@ -938,7 +1028,10 @@ mod tests {
         let err = core
             .recv_bytes(&Frame::Ping(PingFrame::request([0; 8])).to_bytes())
             .unwrap_err();
-        assert!(matches!(err, ConnError::Assembly(AssemblyError::InterleavedFrame)));
+        assert!(matches!(
+            err,
+            ConnError::Assembly(AssemblyError::InterleavedFrame)
+        ));
     }
 
     #[test]
@@ -959,7 +1052,13 @@ mod tests {
             pad_len: None,
         });
         let events = feed(&mut core, data);
-        assert!(matches!(events[0], CoreEvent::DataReceived { flow_controlled_len: 1_000, .. }));
+        assert!(matches!(
+            events[0],
+            CoreEvent::DataReceived {
+                flow_controlled_len: 1_000,
+                ..
+            }
+        ));
         assert_eq!(core.connection_recv_window(), 65_535 - 1_000);
         assert_eq!(
             core.streams().get(sid(1)).unwrap().recv_window.available(),
@@ -970,8 +1069,10 @@ mod tests {
     #[test]
     fn flow_violation_is_reported() {
         let mut core = server();
-        let mut local = EffectiveSettings::default();
-        local.initial_window_size = 10;
+        let local = EffectiveSettings {
+            initial_window_size: 10,
+            ..Default::default()
+        };
         core.set_local_settings(local);
         let mut client = ConnectionCore::new(
             Role::Client,
@@ -990,15 +1091,19 @@ mod tests {
         let events = feed(&mut core, data);
         assert_eq!(
             events,
-            vec![CoreEvent::FlowViolation { scope: WindowScope::Stream(sid(1)) }]
+            vec![CoreEvent::FlowViolation {
+                scope: WindowScope::Stream(sid(1))
+            }]
         );
     }
 
     #[test]
     fn concurrency_limit_is_reported_for_new_streams() {
         let mut core = server();
-        let mut local = EffectiveSettings::default();
-        local.max_concurrent_streams = Some(1);
+        let local = EffectiveSettings {
+            max_concurrent_streams: Some(1),
+            ..Default::default()
+        };
         core.set_local_settings(local);
         let mut client = ConnectionCore::new(
             Role::Client,
@@ -1044,7 +1149,10 @@ mod tests {
             core.encode_push_promise(sid(1), &[Header::new(":path", "/style.css")]);
         assert_eq!(promised, sid(2));
         assert!(matches!(frame, Frame::PushPromise(_)));
-        assert_eq!(core.streams().get(sid(2)).unwrap().state, StreamState::ReservedLocal);
+        assert_eq!(
+            core.streams().get(sid(2)).unwrap().state,
+            StreamState::ReservedLocal
+        );
         let (next, _) = core.encode_push_promise(sid(1), &[Header::new(":path", "/app.js")]);
         assert_eq!(next, sid(4));
     }
@@ -1061,7 +1169,11 @@ mod tests {
             server_core.encode_push_promise(sid(1), &[Header::new(":path", "/style.css")]);
         let events = feed(&mut client, frame);
         match &events[0] {
-            CoreEvent::PushPromiseReceived { stream, promised, headers } => {
+            CoreEvent::PushPromiseReceived {
+                stream,
+                promised,
+                headers,
+            } => {
                 assert_eq!(*stream, sid(1));
                 assert_eq!(*promised, sid(2));
                 assert_eq!(headers[0], Header::new(":path", "/style.css"));
@@ -1081,7 +1193,11 @@ mod tests {
             &mut core,
             Frame::Priority(h2wire::PriorityFrame {
                 stream_id: sid(5),
-                spec: PrioritySpec { exclusive: false, dependency: sid(5), weight: 16 },
+                spec: PrioritySpec {
+                    exclusive: false,
+                    dependency: sid(5),
+                    weight: 16,
+                },
             }),
         );
         assert_eq!(events, vec![CoreEvent::SelfDependency { stream: sid(5) }]);

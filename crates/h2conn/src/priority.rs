@@ -40,7 +40,12 @@ struct Node {
 
 impl Node {
     fn new(parent: u32, weight: u16) -> Node {
-        Node { parent, weight, children: Vec::new(), wrr_credit: 0 }
+        Node {
+            parent,
+            weight,
+            children: Vec::new(),
+            wrr_credit: 0,
+        }
     }
 }
 
@@ -81,7 +86,9 @@ impl PriorityTree {
 
     /// The parent of `stream`, or `None` if the stream is unknown.
     pub fn parent_of(&self, stream: StreamId) -> Option<StreamId> {
-        self.nodes.get(&stream.value()).map(|n| StreamId::new(n.parent))
+        self.nodes
+            .get(&stream.value())
+            .map(|n| StreamId::new(n.parent))
     }
 
     /// The weight of `stream` (1..=256), or `None` if unknown.
@@ -176,18 +183,24 @@ impl PriorityTree {
         if id == 0 {
             return;
         }
-        let Some(node) = self.nodes.remove(&id) else { return };
+        let Some(node) = self.nodes.remove(&id) else {
+            return;
+        };
         if let Some(parent) = self.nodes.get_mut(&node.parent) {
             parent.children.retain(|&c| c != id);
         }
-        let total: u32 = node.children.iter().map(|c| u32::from(self.nodes[c].weight)).sum();
+        let total: u32 = node
+            .children
+            .iter()
+            .map(|c| u32::from(self.nodes[c].weight))
+            .sum();
         for child in node.children {
             let child_node = self.nodes.get_mut(&child).expect("child exists");
             child_node.parent = node.parent;
-            if total > 0 {
-                let scaled =
-                    (u32::from(node.weight) * u32::from(child_node.weight) / total).max(1);
-                child_node.weight = scaled.min(256) as u16;
+            if let Some(scaled) =
+                (u32::from(node.weight) * u32::from(child_node.weight)).checked_div(total)
+            {
+                child_node.weight = scaled.clamp(1, 256) as u16;
             }
             self.nodes
                 .get_mut(&node.parent)
@@ -213,15 +226,20 @@ impl PriorityTree {
             return Some(StreamId::new(node));
         }
         let children = self.nodes.get(&node)?.children.clone();
-        let eligible: Vec<u32> =
-            children.into_iter().filter(|&c| self.subtree_has_ready(c, is_ready)).collect();
+        let eligible: Vec<u32> = children
+            .into_iter()
+            .filter(|&c| self.subtree_has_ready(c, is_ready))
+            .collect();
         if eligible.is_empty() {
             return None;
         }
         // Smooth WRR: credit += weight; winner = max credit; winner's
         // credit -= total weight. Ties break toward the lower stream id so
         // the schedule is deterministic.
-        let total: i64 = eligible.iter().map(|c| i64::from(self.nodes[c].weight)).sum();
+        let total: i64 = eligible
+            .iter()
+            .map(|c| i64::from(self.nodes[c].weight))
+            .sum();
         let mut winner = eligible[0];
         let mut best = i64::MIN;
         for &c in &eligible {
@@ -233,7 +251,10 @@ impl PriorityTree {
                 winner = c;
             }
         }
-        self.nodes.get_mut(&winner).expect("winner exists").wrr_credit -= total;
+        self.nodes
+            .get_mut(&winner)
+            .expect("winner exists")
+            .wrr_credit -= total;
         self.pick(winner, is_ready)
     }
 
@@ -243,14 +264,22 @@ impl PriorityTree {
         }
         self.nodes
             .get(&node)
-            .map(|n| n.children.iter().any(|&c| self.subtree_has_ready(c, is_ready)))
+            .map(|n| {
+                n.children
+                    .iter()
+                    .any(|&c| self.subtree_has_ready(c, is_ready))
+            })
             .unwrap_or(false)
     }
 
     /// All stream ids currently in the tree (excluding the root), in
     /// unspecified order.
     pub fn ids(&self) -> Vec<StreamId> {
-        self.nodes.keys().filter(|&&id| id != 0).map(|&id| StreamId::new(id)).collect()
+        self.nodes
+            .keys()
+            .filter(|&&id| id != 0)
+            .map(|&id| StreamId::new(id))
+            .collect()
     }
 
     /// Removes every stream for which `is_active` returns `false`,
@@ -262,8 +291,11 @@ impl PriorityTree {
     /// raises ("force the server to frequently reconstruct the dependency
     /// tree").
     pub fn prune(&mut self, is_active: impl Fn(StreamId) -> bool) -> usize {
-        let stale: Vec<StreamId> =
-            self.ids().into_iter().filter(|&id| !is_active(id)).collect();
+        let stale: Vec<StreamId> = self
+            .ids()
+            .into_iter()
+            .filter(|&id| !is_active(id))
+            .collect();
         let count = stale.len();
         for id in stale {
             self.remove(id);
@@ -273,7 +305,11 @@ impl PriorityTree {
 
     fn attach(&mut self, id: u32, parent: u32, weight: u16) {
         self.nodes.insert(id, Node::new(parent, weight));
-        self.nodes.get_mut(&parent).expect("parent exists").children.push(id);
+        self.nodes
+            .get_mut(&parent)
+            .expect("parent exists")
+            .children
+            .push(id);
     }
 
     fn move_subtree(&mut self, id: u32, new_parent: u32) {
@@ -285,7 +321,11 @@ impl PriorityTree {
             op.children.retain(|&c| c != id);
         }
         self.nodes.get_mut(&id).expect("stream exists").parent = new_parent;
-        self.nodes.get_mut(&new_parent).expect("new parent exists").children.push(id);
+        self.nodes
+            .get_mut(&new_parent)
+            .expect("new parent exists")
+            .children
+            .push(id);
     }
 }
 
@@ -298,7 +338,11 @@ mod tests {
     }
 
     fn spec(dep: u32, weight: u16, exclusive: bool) -> PrioritySpec {
-        PrioritySpec { exclusive, dependency: sid(dep), weight }
+        PrioritySpec {
+            exclusive,
+            dependency: sid(dep),
+            weight,
+        }
     }
 
     /// Builds the paper's Figure 1(1) tree: A(1)-{B(3),C(5),D(7)};
@@ -335,7 +379,11 @@ mod tests {
         assert_eq!(t.children_of(sid(3)), vec![sid(1)], "A is B's only child");
         let mut a_children = t.children_of(sid(1));
         a_children.sort_by_key(|s| s.value());
-        assert_eq!(a_children, vec![sid(5), sid(7), sid(9)], "C, D and E under A");
+        assert_eq!(
+            a_children,
+            vec![sid(5), sid(7), sid(9)],
+            "C, D and E under A"
+        );
         assert_eq!(t.children_of(sid(7)), vec![sid(11)], "F stays under D");
     }
 
@@ -403,9 +451,16 @@ mod tests {
         let ready = [9u32, 11];
         let mut seen = Vec::new();
         for _ in 0..4 {
-            seen.push(t.next_stream(|s| ready.contains(&s.value())).unwrap().value());
+            seen.push(
+                t.next_stream(|s| ready.contains(&s.value()))
+                    .unwrap()
+                    .value(),
+            );
         }
-        assert!(seen.contains(&9) && seen.contains(&11), "both leaves get service: {seen:?}");
+        assert!(
+            seen.contains(&9) && seen.contains(&11),
+            "both leaves get service: {seen:?}"
+        );
     }
 
     #[test]
@@ -416,7 +471,11 @@ mod tests {
         let mut count1 = 0;
         let mut count3 = 0;
         for _ in 0..400 {
-            match t.next_stream(|s| matches!(s.value(), 1 | 3)).unwrap().value() {
+            match t
+                .next_stream(|s| matches!(s.value(), 1 | 3))
+                .unwrap()
+                .value()
+            {
                 1 => count1 += 1,
                 3 => count3 += 1,
                 other => panic!("unexpected stream {other}"),
@@ -453,7 +512,11 @@ mod tests {
         assert_eq!(a_children, vec![sid(3), sid(5)], "B and C stay under A");
         let mut d_children = t.children_of(sid(7));
         d_children.sort_by_key(|s| s.value());
-        assert_eq!(d_children, vec![sid(1), sid(9), sid(11)], "A joins E and F under D");
+        assert_eq!(
+            d_children,
+            vec![sid(1), sid(9), sid(11)],
+            "A joins E and F under D"
+        );
     }
 
     #[test]

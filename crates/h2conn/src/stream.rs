@@ -315,7 +315,10 @@ mod tests {
         s.recv_headers(false);
         s.recv_reset(ErrorCode::RefusedStream);
         assert!(s.is_closed());
-        assert_eq!(s.close_reason, Some(CloseReason::ResetRemote(ErrorCode::RefusedStream)));
+        assert_eq!(
+            s.close_reason,
+            Some(CloseReason::ResetRemote(ErrorCode::RefusedStream))
+        );
     }
 
     #[test]

@@ -28,8 +28,14 @@ impl fmt::Display for WindowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WindowError::Overflow => f.write_str("flow-control window exceeds 2^31-1"),
-            WindowError::Insufficient { requested, available } => {
-                write!(f, "requested {requested} octets but window holds {available}")
+            WindowError::Insufficient {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} octets but window holds {available}"
+                )
             }
         }
     }
@@ -56,7 +62,9 @@ impl Default for FlowWindow {
 impl FlowWindow {
     /// Creates a window holding `initial` octets.
     pub fn new(initial: u32) -> FlowWindow {
-        FlowWindow { available: i64::from(initial) }
+        FlowWindow {
+            available: i64::from(initial),
+        }
     }
 
     /// Octets currently available (negative when over-committed).
@@ -93,7 +101,10 @@ impl FlowWindow {
     /// [`WindowError::Insufficient`] when the window holds fewer octets.
     pub fn consume(&mut self, octets: u32) -> Result<(), WindowError> {
         if i64::from(octets) > self.available {
-            return Err(WindowError::Insufficient { requested: octets, available: self.available });
+            return Err(WindowError::Insufficient {
+                requested: octets,
+                available: self.available,
+            });
         }
         self.available -= i64::from(octets);
         Ok(())
@@ -147,7 +158,10 @@ mod tests {
         let mut w = FlowWindow::new(10);
         assert_eq!(
             w.consume(11),
-            Err(WindowError::Insufficient { requested: 11, available: 10 })
+            Err(WindowError::Insufficient {
+                requested: 11,
+                available: 10
+            })
         );
     }
 

@@ -11,8 +11,16 @@ use h2wire::{DataFrame, ErrorCode, Frame, PrioritySpec, RstStreamFrame, StreamId
 
 fn pair() -> (ConnectionCore, ConnectionCore) {
     (
-        ConnectionCore::new(Role::Client, EffectiveSettings::default(), EncoderOptions::default()),
-        ConnectionCore::new(Role::Server, EffectiveSettings::default(), EncoderOptions::default()),
+        ConnectionCore::new(
+            Role::Client,
+            EffectiveSettings::default(),
+            EncoderOptions::default(),
+        ),
+        ConnectionCore::new(
+            Role::Server,
+            EffectiveSettings::default(),
+            EncoderOptions::default(),
+        ),
     )
 }
 
@@ -34,12 +42,27 @@ fn lowering_local_initial_window_shrinks_existing_recv_windows() {
     for frame in client.encode_headers(sid(1), &request(), false, None) {
         server.recv_bytes(&frame.to_bytes()).unwrap();
     }
-    assert_eq!(server.streams().get(sid(1)).unwrap().recv_window.available(), 65_535);
-    let mut local = EffectiveSettings::default();
-    local.initial_window_size = 1_000;
+    assert_eq!(
+        server
+            .streams()
+            .get(sid(1))
+            .unwrap()
+            .recv_window
+            .available(),
+        65_535
+    );
+    let local = EffectiveSettings {
+        initial_window_size: 1_000,
+        ..Default::default()
+    };
     server.set_local_settings(local);
     assert_eq!(
-        server.streams().get(sid(1)).unwrap().recv_window.available(),
+        server
+            .streams()
+            .get(sid(1))
+            .unwrap()
+            .recv_window
+            .available(),
         1_000,
         "retroactive §6.9.2 adjustment on the receive side"
     );
@@ -51,11 +74,17 @@ fn reset_streams_record_their_close_reason() {
     for frame in client.encode_headers(sid(1), &request(), false, None) {
         server.recv_bytes(&frame.to_bytes()).unwrap();
     }
-    let rst = Frame::RstStream(RstStreamFrame { stream_id: sid(1), code: ErrorCode::Cancel });
+    let rst = Frame::RstStream(RstStreamFrame {
+        stream_id: sid(1),
+        code: ErrorCode::Cancel,
+    });
     server.recv_bytes(&rst.to_bytes()).unwrap();
     let stream = server.streams().get(sid(1)).unwrap();
     assert_eq!(stream.state, StreamState::Closed);
-    assert_eq!(stream.close_reason, Some(CloseReason::ResetRemote(ErrorCode::Cancel)));
+    assert_eq!(
+        stream.close_reason,
+        Some(CloseReason::ResetRemote(ErrorCode::Cancel))
+    );
 
     // And locally initiated resets (fresh pair: HPACK contexts are
     // per-connection).
@@ -84,7 +113,12 @@ fn data_events_preserve_payload_and_padding_accounting() {
     });
     let events = server.recv_bytes(&data.to_bytes()).unwrap();
     match &events[0] {
-        CoreEvent::DataReceived { data, flow_controlled_len, end_stream, .. } => {
+        CoreEvent::DataReceived {
+            data,
+            flow_controlled_len,
+            end_stream,
+            ..
+        } => {
             assert_eq!(data.as_ref(), b"payload");
             assert_eq!(*flow_controlled_len, 7 + 10 + 1);
             assert!(end_stream);
@@ -153,6 +187,8 @@ fn goaway_state_blocks_nothing_mechanical() {
     assert!(server.goaway_received());
     for frame in client.encode_headers(sid(1), &request(), true, None) {
         let events = server.recv_bytes(&frame.to_bytes()).unwrap();
-        assert!(events.iter().any(|e| matches!(e, CoreEvent::HeadersReceived { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, CoreEvent::HeadersReceived { .. })));
     }
 }

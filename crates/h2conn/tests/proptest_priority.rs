@@ -8,8 +8,15 @@ use proptest::prelude::*;
 /// One random priority operation.
 #[derive(Debug, Clone)]
 enum Op {
-    Declare { stream: u32, dep: u32, weight: u16, exclusive: bool },
-    Remove { stream: u32 },
+    Declare {
+        stream: u32,
+        dep: u32,
+        weight: u16,
+        exclusive: bool,
+    },
+    Remove {
+        stream: u32,
+    },
 }
 
 fn arb_op(max_stream: u32) -> impl Strategy<Value = Op> {

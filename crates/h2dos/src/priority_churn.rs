@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn idle_priority_frames_grow_the_tree_for_free() {
         let report = attack(&target(), 64, 10);
-        assert_eq!(report.tree_nodes, 64, "one node per idle stream: {report:?}");
+        assert_eq!(
+            report.tree_nodes, 64,
+            "one node per idle stream: {report:?}"
+        );
         assert!(report.attacker_octets < 2_500, "{report:?}");
     }
 

@@ -27,7 +27,7 @@ pub struct SlowReceiverReport {
 /// 1-octet initial window, then go silent.
 pub fn attack(target: &Target, streams: u32) -> SlowReceiverReport {
     let settings = Settings::new().with(SettingId::InitialWindowSize, 1);
-    let mut conn = ProbeConn::establish(target, settings, 0xd05_1);
+    let mut conn = ProbeConn::establish(target, settings, 0xd051);
     conn.exchange();
     let mut attacker_octets = 24 + 9 + 6; // preface + settings frame
     for k in 0..streams {
@@ -47,7 +47,7 @@ pub fn attack(target: &Target, streams: u32) -> SlowReceiverReport {
     SlowReceiverReport {
         attacker_octets,
         pinned_octets,
-        amplification: if attacker_octets == 0 { 0 } else { pinned_octets / attacker_octets },
+        amplification: pinned_octets.checked_div(attacker_octets).unwrap_or(0),
         leaked_octets,
     }
 }
@@ -68,7 +68,7 @@ pub fn attack_with_min_window_defense(
     let settings = Settings::new().with(SettingId::InitialWindowSize, 1);
     if 1 < min_window {
         // Connection refused before any request is processed.
-        let conn = ProbeConn::establish(target, settings, 0xd05_2);
+        let conn = ProbeConn::establish(target, settings, 0xd052);
         let _ = conn;
         return SlowReceiverReport {
             attacker_octets: 24 + 9 + 6,
@@ -86,7 +86,7 @@ pub fn attack_with_min_window_defense(
 /// dual-use.
 pub fn connection_window_freeze(target: &Target, streams: u32) -> SlowReceiverReport {
     let settings = Settings::new().with(SettingId::InitialWindowSize, 0x7fff_ffff);
-    let mut conn = ProbeConn::establish(target, settings, 0xd05_3);
+    let mut conn = ProbeConn::establish(target, settings, 0xd053);
     conn.exchange();
     let mut attacker_octets = 24 + 9 + 6;
     for k in 0..streams {
@@ -113,7 +113,7 @@ pub fn connection_window_freeze(target: &Target, streams: u32) -> SlowReceiverRe
     SlowReceiverReport {
         attacker_octets,
         pinned_octets,
-        amplification: if attacker_octets == 0 { 0 } else { pinned_octets / attacker_octets },
+        amplification: pinned_octets.checked_div(attacker_octets).unwrap_or(0),
         leaked_octets,
     }
 }
@@ -141,7 +141,10 @@ mod tests {
     fn amplification_scales_with_stream_count() {
         let small = attack(&target(), 2);
         let large = attack(&target(), 16);
-        assert!(large.pinned_octets > 4 * small.pinned_octets, "{small:?} vs {large:?}");
+        assert!(
+            large.pinned_octets > 4 * small.pinned_octets,
+            "{small:?} vs {large:?}"
+        );
     }
 
     #[test]

@@ -27,7 +27,9 @@ impl Decoder {
     /// octets (the value this endpoint announced in
     /// `SETTINGS_HEADER_TABLE_SIZE`).
     pub fn with_table_size(max_size: u32) -> Decoder {
-        Decoder { table: DynamicTable::new(max_size) }
+        Decoder {
+            table: DynamicTable::new(max_size),
+        }
     }
 
     /// Read-only view of the dynamic table.
@@ -98,7 +100,10 @@ impl Decoder {
         if idx <= STATIC_TABLE_LEN {
             return static_entry(idx).ok_or(HpackDecodeError::InvalidIndex(index));
         }
-        self.table.get(idx).cloned().ok_or(HpackDecodeError::InvalidIndex(index))
+        self.table
+            .get(idx)
+            .cloned()
+            .ok_or(HpackDecodeError::InvalidIndex(index))
     }
 
     fn literal(&self, buf: &[u8], prefix: u8) -> Result<(Header, usize), HpackDecodeError> {
@@ -121,12 +126,18 @@ impl Decoder {
         let huffman_coded = first & 0b1000_0000 != 0;
         let (len, used) = integer::decode(buf, 7)?;
         let len = len as usize;
-        let end = used.checked_add(len).ok_or(HpackDecodeError::IntegerOverflow)?;
+        let end = used
+            .checked_add(len)
+            .ok_or(HpackDecodeError::IntegerOverflow)?;
         if buf.len() < end {
             return Err(HpackDecodeError::Truncated);
         }
         let raw = &buf[used..end];
-        let bytes = if huffman_coded { huffman::decode(raw)? } else { raw.to_vec() };
+        let bytes = if huffman_coded {
+            huffman::decode(raw)?
+        } else {
+            raw.to_vec()
+        };
         Ok((bytes, end))
     }
 }
@@ -146,8 +157,8 @@ mod tests {
         let mut dec = Decoder::new();
         // C.3.1 first request.
         let block1 = [
-            0x82, 0x86, 0x84, 0x41, 0x0f, 0x77, 0x77, 0x77, 0x2e, 0x65, 0x78, 0x61, 0x6d,
-            0x70, 0x6c, 0x65, 0x2e, 0x63, 0x6f, 0x6d,
+            0x82, 0x86, 0x84, 0x41, 0x0f, 0x77, 0x77, 0x77, 0x2e, 0x65, 0x78, 0x61, 0x6d, 0x70,
+            0x6c, 0x65, 0x2e, 0x63, 0x6f, 0x6d,
         ];
         let got = dec.decode_block(&block1).unwrap();
         assert_eq!(
@@ -162,8 +173,9 @@ mod tests {
         assert_eq!(dec.table().size(), 57);
 
         // C.3.2 second request reuses the dynamic entry.
-        let block2 = [0x82, 0x86, 0x84, 0xbe, 0x58, 0x08, 0x6e, 0x6f, 0x2d, 0x63, 0x61, 0x63,
-                      0x68, 0x65];
+        let block2 = [
+            0x82, 0x86, 0x84, 0xbe, 0x58, 0x08, 0x6e, 0x6f, 0x2d, 0x63, 0x61, 0x63, 0x68, 0x65,
+        ];
         let got = dec.decode_block(&block2).unwrap();
         assert_eq!(got[3], h(":authority", "www.example.com"));
         assert_eq!(got[4], h("cache-control", "no-cache"));
@@ -171,9 +183,9 @@ mod tests {
 
         // C.3.3 third request.
         let block3 = [
-            0x82, 0x87, 0x85, 0xbf, 0x40, 0x0a, 0x63, 0x75, 0x73, 0x74, 0x6f, 0x6d, 0x2d,
-            0x6b, 0x65, 0x79, 0x0c, 0x63, 0x75, 0x73, 0x74, 0x6f, 0x6d, 0x2d, 0x76, 0x61,
-            0x6c, 0x75, 0x65,
+            0x82, 0x87, 0x85, 0xbf, 0x40, 0x0a, 0x63, 0x75, 0x73, 0x74, 0x6f, 0x6d, 0x2d, 0x6b,
+            0x65, 0x79, 0x0c, 0x63, 0x75, 0x73, 0x74, 0x6f, 0x6d, 0x2d, 0x76, 0x61, 0x6c, 0x75,
+            0x65,
         ];
         let got = dec.decode_block(&block3).unwrap();
         assert_eq!(
@@ -195,8 +207,8 @@ mod tests {
     fn rfc_c4_huffman_request_examples() {
         let mut dec = Decoder::new();
         let block1 = [
-            0x82, 0x86, 0x84, 0x41, 0x8c, 0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a, 0x6b, 0xa0,
-            0xab, 0x90, 0xf4, 0xff,
+            0x82, 0x86, 0x84, 0x41, 0x8c, 0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a, 0x6b, 0xa0, 0xab,
+            0x90, 0xf4, 0xff,
         ];
         let got = dec.decode_block(&block1).unwrap();
         assert_eq!(got[3], h(":authority", "www.example.com"));
@@ -211,8 +223,11 @@ mod tests {
             h("content-type", "text/html; charset=utf-8"),
             h("x-custom", "value-\u{00e9}\u{00ff}"),
         ];
-        for policy in [IndexingPolicy::Always, IndexingPolicy::Never, IndexingPolicy::NeverIndexed]
-        {
+        for policy in [
+            IndexingPolicy::Always,
+            IndexingPolicy::Never,
+            IndexingPolicy::NeverIndexed,
+        ] {
             for use_huffman in [true, false] {
                 let mut enc = Encoder::with_options(EncoderOptions {
                     indexing: policy,
@@ -232,7 +247,10 @@ mod tests {
     #[test]
     fn index_zero_is_rejected() {
         let mut dec = Decoder::new();
-        assert_eq!(dec.decode_block(&[0x80]), Err(HpackDecodeError::InvalidIndex(0)));
+        assert_eq!(
+            dec.decode_block(&[0x80]),
+            Err(HpackDecodeError::InvalidIndex(0))
+        );
     }
 
     #[test]
@@ -242,7 +260,10 @@ mod tests {
         let mut block = Vec::new();
         integer::decode(&[0], 7).ok(); // silence unused import lint path
         crate::integer::encode(62, 7, 0x80, &mut block);
-        assert_eq!(dec.decode_block(&block), Err(HpackDecodeError::InvalidIndex(62)));
+        assert_eq!(
+            dec.decode_block(&block),
+            Err(HpackDecodeError::InvalidIndex(62))
+        );
     }
 
     #[test]
@@ -250,7 +271,10 @@ mod tests {
         let mut dec = Decoder::new();
         // Indexed :method GET, then a size update.
         let block = [0x82, 0x20];
-        assert_eq!(dec.decode_block(&block), Err(HpackDecodeError::LateTableSizeUpdate));
+        assert_eq!(
+            dec.decode_block(&block),
+            Err(HpackDecodeError::LateTableSizeUpdate)
+        );
     }
 
     #[test]
@@ -260,7 +284,10 @@ mod tests {
         crate::integer::encode(8_192, 5, 0b0010_0000, &mut block);
         assert_eq!(
             dec.decode_block(&block),
-            Err(HpackDecodeError::TableSizeUpdateTooLarge { requested: 8_192, max: 4_096 })
+            Err(HpackDecodeError::TableSizeUpdateTooLarge {
+                requested: 8_192,
+                max: 4_096
+            })
         );
     }
 
@@ -280,7 +307,8 @@ mod tests {
         dec.decode_block(&enc.encode_block(&headers)).unwrap();
         assert_eq!(dec.table().len(), 2);
         enc.resize_table(0);
-        dec.decode_block(&enc.encode_block(&[h(":method", "GET")])).unwrap();
+        dec.decode_block(&enc.encode_block(&[h(":method", "GET")]))
+            .unwrap();
         assert_eq!(dec.table().len(), 0, "size update 0 must flush the table");
     }
 }

@@ -193,13 +193,19 @@ mod tests {
             indexing: IndexingPolicy::Never,
             ..EncoderOptions::default()
         });
-        let headers = [h("server", "nginx/1.9.15"), h("x-frame-options", "SAMEORIGIN")];
+        let headers = [
+            h("server", "nginx/1.9.15"),
+            h("x-frame-options", "SAMEORIGIN"),
+        ];
         let first = enc.encode_block(&headers);
         let second = enc.encode_block(&headers);
         let third = enc.encode_block(&headers);
         assert_eq!(first.len(), second.len());
         assert_eq!(second.len(), third.len());
-        assert!(enc.table().is_empty(), "never policy must not grow the table");
+        assert!(
+            enc.table().is_empty(),
+            "never policy must not grow the table"
+        );
     }
 
     #[test]
@@ -232,7 +238,12 @@ mod tests {
             ..EncoderOptions::default()
         });
         let block = enc.encode_block(&[h("x", "hello")]);
-        let text: Vec<u8> = block.windows(5).filter(|w| w == b"hello").flatten().copied().collect();
+        let text: Vec<u8> = block
+            .windows(5)
+            .filter(|w| w == b"hello")
+            .flatten()
+            .copied()
+            .collect();
         assert_eq!(text, b"hello");
     }
 }

@@ -64,7 +64,10 @@ mod tests {
             HpackDecodeError::IntegerOverflow,
             HpackDecodeError::InvalidIndex(99),
             HpackDecodeError::InvalidHuffman,
-            HpackDecodeError::TableSizeUpdateTooLarge { requested: 8192, max: 4096 },
+            HpackDecodeError::TableSizeUpdateTooLarge {
+                requested: 8192,
+                max: 4096,
+            },
             HpackDecodeError::LateTableSizeUpdate,
             HpackDecodeError::InvalidHeaderName,
         ];

@@ -47,7 +47,11 @@ pub fn decode(buf: &[u8], prefix_bits: u8) -> Result<(u64, usize), HpackDecodeEr
     for (i, &byte) in rest.iter().enumerate() {
         let chunk = u64::from(byte & 0x7f);
         value = value
-            .checked_add(chunk.checked_shl(shift).ok_or(HpackDecodeError::IntegerOverflow)?)
+            .checked_add(
+                chunk
+                    .checked_shl(shift)
+                    .ok_or(HpackDecodeError::IntegerOverflow)?,
+            )
             .ok_or(HpackDecodeError::IntegerOverflow)?;
         if value > u64::from(u32::MAX) {
             return Err(HpackDecodeError::IntegerOverflow);
@@ -102,8 +106,17 @@ mod tests {
     fn boundary_values_round_trip() {
         for prefix in 1u8..=8 {
             let max_prefix = (1u64 << prefix) - 1;
-            for value in [0, 1, max_prefix - 1, max_prefix, max_prefix + 1, 127, 128, 16_383,
-                          u64::from(u32::MAX)] {
+            for value in [
+                0,
+                1,
+                max_prefix - 1,
+                max_prefix,
+                max_prefix + 1,
+                127,
+                128,
+                16_383,
+                u64::from(u32::MAX),
+            ] {
                 if value == 0 && max_prefix == 0 {
                     continue;
                 }

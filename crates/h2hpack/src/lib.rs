@@ -40,7 +40,9 @@ pub mod table;
 pub use decoder::Decoder;
 pub use encoder::{Encoder, EncoderOptions, IndexingPolicy};
 pub use error::HpackDecodeError;
-pub use table::{static_entry, static_lookup, DynamicTable, Header, STATIC_TABLE, STATIC_TABLE_LEN};
+pub use table::{
+    static_entry, static_lookup, DynamicTable, Header, STATIC_TABLE, STATIC_TABLE_LEN,
+};
 
 /// Protocol-default dynamic table size (RFC 7540 §6.5.2).
 pub const DEFAULT_TABLE_SIZE: u32 = 4_096;

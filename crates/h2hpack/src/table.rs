@@ -16,7 +16,10 @@ pub struct Header {
 impl Header {
     /// Creates a header field.
     pub fn new(name: impl Into<String>, value: impl Into<String>) -> Header {
-        Header { name: name.into(), value: value.into() }
+        Header {
+            name: name.into(),
+            value: value.into(),
+        }
     }
 
     /// The HPACK size of this entry: name + value + 32 octets of overhead
@@ -103,7 +106,9 @@ pub const STATIC_TABLE_LEN: usize = STATIC_TABLE.len();
 
 /// Looks up a static table entry by 1-based index.
 pub fn static_entry(index: usize) -> Option<Header> {
-    STATIC_TABLE.get(index.checked_sub(1)?).map(|&(n, v)| Header::new(n, v))
+    STATIC_TABLE
+        .get(index.checked_sub(1)?)
+        .map(|&(n, v)| Header::new(n, v))
 }
 
 /// Finds the best static match for a field: `(index, value_matched)`.
@@ -241,7 +246,10 @@ mod tests {
         assert_eq!(static_entry(2).unwrap(), Header::new(":method", "GET"));
         assert_eq!(static_entry(8).unwrap(), Header::new(":status", "200"));
         assert_eq!(static_entry(54).unwrap(), Header::new("server", ""));
-        assert_eq!(static_entry(61).unwrap(), Header::new("www-authenticate", ""));
+        assert_eq!(
+            static_entry(61).unwrap(),
+            Header::new("www-authenticate", "")
+        );
         assert_eq!(static_entry(0), None);
         assert_eq!(static_entry(62), None);
     }
@@ -256,7 +264,10 @@ mod tests {
     #[test]
     fn entry_size_includes_32_byte_overhead() {
         // RFC 7541 §4.1 example sizes.
-        assert_eq!(Header::new("custom-key", "custom-value").hpack_size(), 10 + 12 + 32);
+        assert_eq!(
+            Header::new("custom-key", "custom-value").hpack_size(),
+            10 + 12 + 32
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ fn run_flow(use_huffman: bool) {
         assert_eq!(&block1[..4], &[0x48, 0x82, 0x64, 0x02]);
         assert_eq!(block1.len(), 54, "C.6.1 block is 54 octets");
     } else {
-        assert_eq!(&block1[..2], &[0x48, 0x03], ":status literal, 3-octet raw value");
+        assert_eq!(
+            &block1[..2],
+            &[0x48, 0x03],
+            ":status literal, 3-octet raw value"
+        );
     }
     assert_eq!(decoder.decode_block(&block1).unwrap(), response1());
     // RFC: table now holds 4 entries, 222 octets, newest first:
@@ -65,7 +69,10 @@ fn run_flow(use_huffman: bool) {
     assert_eq!(decoder.table().size(), 222);
     assert_eq!(encoder.table().size(), 222);
     assert_eq!(decoder.table().get(62).unwrap().name, "location");
-    assert_eq!(decoder.table().get(65).unwrap(), &Header::new(":status", "302"));
+    assert_eq!(
+        decoder.table().get(65).unwrap(),
+        &Header::new(":status", "302")
+    );
 
     // --- Second response (C.5.2 / C.6.2) --------------------------------
     let block2 = encoder.encode_block(&response2());
@@ -74,7 +81,10 @@ fn run_flow(use_huffman: bool) {
     // stays at 222 octets with 4 entries.
     assert_eq!(decoder.table().len(), 4);
     assert_eq!(decoder.table().size(), 222);
-    assert_eq!(decoder.table().get(62).unwrap(), &Header::new(":status", "307"));
+    assert_eq!(
+        decoder.table().get(62).unwrap(),
+        &Header::new(":status", "307")
+    );
     assert!(
         !matches!(decoder.table().lookup(":status", "302"), Some((_, true))),
         "302 evicted (no exact match remains)"
@@ -93,7 +103,10 @@ fn run_flow(use_huffman: bool) {
     assert_eq!(decoder.table().len(), 3);
     assert_eq!(decoder.table().size(), 215);
     assert_eq!(decoder.table().get(62).unwrap().name, "set-cookie");
-    assert_eq!(decoder.table().get(63).unwrap(), &Header::new("content-encoding", "gzip"));
+    assert_eq!(
+        decoder.table().get(63).unwrap(),
+        &Header::new("content-encoding", "gzip")
+    );
     assert_eq!(decoder.table().get(64).unwrap().name, "date");
     assert_eq!(encoder.table().size(), 215, "encoder mirrors the decoder");
 }
@@ -117,13 +130,17 @@ fn flow_survives_interleaved_table_size_updates() {
         ..EncoderOptions::default()
     });
     let mut decoder = Decoder::with_table_size(256);
-    decoder.decode_block(&encoder.encode_block(&response1())).unwrap();
+    decoder
+        .decode_block(&encoder.encode_block(&response1()))
+        .unwrap();
     encoder.resize_table(64);
     let block = encoder.encode_block(&response2());
     decoder.decode_block(&block).unwrap();
     assert!(decoder.table().size() <= 64);
     encoder.resize_table(256);
-    decoder.decode_block(&encoder.encode_block(&response3())).unwrap();
+    decoder
+        .decode_block(&encoder.encode_block(&response3()))
+        .unwrap();
     assert_eq!(decoder.table().size(), encoder.table().size());
     // End-to-end correctness after all the churn.
     let final_block = encoder.encode_block(&response3());

@@ -14,8 +14,9 @@ use h2wire::{
     SettingsFrame, StreamId, WindowUpdateFrame, CONNECTION_PREFACE,
 };
 use netsim::time::SimTime;
-use netsim::Pipe;
+use netsim::{Pipe, RunOutcome};
 
+use crate::resilient::{FaultLog, ProbeFailure};
 use crate::target::Target;
 
 /// A received frame with its virtual arrival time.
@@ -43,6 +44,13 @@ pub struct ProbeConn {
     authority: String,
     /// Every frame received so far, in arrival order.
     pub received: Vec<TimedFrame>,
+    /// Deadline for the whole connection in simulated time (`None` =
+    /// legacy, fault-free pipeline: run to quiescence, panic on garbage).
+    deadline: Option<SimTime>,
+    /// The connection hit a failure; further exchanges are no-ops.
+    dead: bool,
+    /// Shared failure channel (clone of the target's).
+    log: FaultLog,
 }
 
 impl ProbeConn {
@@ -69,6 +77,9 @@ impl ProbeConn {
             assembler: h2conn::HeaderAssembler::new(),
             authority: target.site.authority.clone(),
             received: Vec::new(),
+            deadline: target.patience.map(|p| SimTime::ZERO + p),
+            dead: false,
+            log: target.fault_log.clone(),
         };
         let mut hello = CONNECTION_PREFACE.to_vec();
         Frame::Settings(SettingsFrame::from(client_settings)).encode(&mut hello);
@@ -126,31 +137,103 @@ impl ProbeConn {
         ]
     }
 
-    /// Runs the network until quiescent; returns (and retains) the newly
-    /// received frames, with header blocks HPACK-decoded in arrival order.
+    /// Runs the network and returns (and retains) the newly received
+    /// frames, with header blocks HPACK-decoded in arrival order.
     ///
-    /// # Panics
-    ///
-    /// Panics if the server emits bytes that do not parse as frames or
-    /// header blocks that do not decode — bugs in the engine, not
-    /// measurable behaviors.
+    /// Without a deadline (testbed mode) the pipe runs to quiescence and
+    /// unparseable server output panics — bugs in the engine, not
+    /// measurable behaviors. With a deadline (fault campaigns) the
+    /// exchange is guarded: it stops at the deadline, and timeouts,
+    /// connection resets and malformed bytes are recorded in the target's
+    /// fault log instead of panicking. A failed connection goes dead:
+    /// later exchanges return nothing.
     pub fn exchange(&mut self) -> Vec<TimedFrame> {
-        let arrivals = self.pipe.run_to_quiescence();
+        let Some(deadline) = self.deadline else {
+            let arrivals = self.pipe.run_to_quiescence();
+            let mut new_frames = Vec::new();
+            for arrival in arrivals {
+                self.decoder.feed(&arrival.bytes);
+                while let Some(frame) = self.decoder.next_frame().expect("server output parses") {
+                    let headers = self
+                        .try_decode_block_of(&frame)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    new_frames.push(TimedFrame {
+                        at: arrival.at,
+                        frame,
+                        headers,
+                    });
+                }
+            }
+            self.received.extend(new_frames.iter().cloned());
+            return new_frames;
+        };
+        if self.dead {
+            return Vec::new();
+        }
+        let (arrivals, outcome) = self.pipe.run_until(deadline);
         let mut new_frames = Vec::new();
-        for arrival in arrivals {
+        'arrivals: for arrival in arrivals {
             self.decoder.feed(&arrival.bytes);
-            while let Some(frame) = self.decoder.next_frame().expect("server output parses") {
-                let headers = self.decode_block_of(&frame);
-                new_frames.push(TimedFrame { at: arrival.at, frame, headers });
+            loop {
+                match self.decoder.next_frame() {
+                    Ok(Some(frame)) => match self.try_decode_block_of(&frame) {
+                        Ok(headers) => {
+                            new_frames.push(TimedFrame {
+                                at: arrival.at,
+                                frame,
+                                headers,
+                            });
+                        }
+                        Err(_) => {
+                            self.fail(ProbeFailure::Malformed);
+                            break 'arrivals;
+                        }
+                    },
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.fail(ProbeFailure::Malformed);
+                        break 'arrivals;
+                    }
+                }
+            }
+        }
+        if !self.dead {
+            match outcome {
+                RunOutcome::Quiescent => {}
+                RunOutcome::DeadlineExpired => self.fail(ProbeFailure::Timeout),
+                RunOutcome::ConnectionReset => self.fail(ProbeFailure::ConnReset),
             }
         }
         self.received.extend(new_frames.iter().cloned());
         new_frames
     }
 
+    /// Guarded mode: drains whatever is still in flight, then charges the
+    /// remaining silence against the deadline — a probe that would
+    /// otherwise conclude "no response" instead observes a timeout, which
+    /// is what the paper's scanner saw from the wild. Legacy mode: plain
+    /// exchange.
+    pub fn await_deadline(&mut self) -> Vec<TimedFrame> {
+        let frames = self.exchange();
+        if self.deadline.is_some() && !self.dead {
+            self.fail(ProbeFailure::Timeout);
+        }
+        frames
+    }
+
+    /// `true` once the connection failed (guarded mode only).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn fail(&mut self, failure: ProbeFailure) {
+        self.dead = true;
+        self.log.record(failure);
+    }
+
     /// Decodes the header block carried by HEADERS/PUSH_PROMISE/
     /// CONTINUATION frames, maintaining assembly state across fragments.
-    fn decode_block_of(&mut self, frame: &Frame) -> Option<Vec<Header>> {
+    fn try_decode_block_of(&mut self, frame: &Frame) -> Result<Option<Vec<Header>>, &'static str> {
         use h2conn::BlockKind;
         let complete = match frame {
             Frame::Headers(h) => self
@@ -163,28 +246,34 @@ impl ProbeConn {
                     h.end_headers,
                     h.priority,
                 )
-                .expect("server respects continuation discipline"),
+                .map_err(|_| "server respects continuation discipline")?,
             Frame::PushPromise(p) => self
                 .assembler
                 .start(
                     p.stream_id,
-                    BlockKind::PushPromise { promised: p.promised_stream_id },
+                    BlockKind::PushPromise {
+                        promised: p.promised_stream_id,
+                    },
                     &p.fragment,
                     false,
                     p.end_headers,
                     None,
                 )
-                .expect("server respects continuation discipline"),
-            Frame::Continuation(c) => {
-                self.assembler.continuation(c).expect("server respects continuation discipline")
-            }
+                .map_err(|_| "server respects continuation discipline")?,
+            Frame::Continuation(c) => self
+                .assembler
+                .continuation(c)
+                .map_err(|_| "server respects continuation discipline")?,
             _ => None,
         };
-        complete.map(|block| {
-            self.hpack_decoder
-                .decode_block(&block.fragment)
-                .expect("server header blocks decode")
-        })
+        match complete {
+            Some(block) => Ok(Some(
+                self.hpack_decoder
+                    .decode_block(&block.fragment)
+                    .map_err(|_| "server header blocks decode")?,
+            )),
+            None => Ok(None),
+        }
     }
 
     /// Sends WINDOW_UPDATE frames replenishing both the connection window
@@ -210,8 +299,10 @@ impl ProbeConn {
     /// data arrives. Returns all frames received during the fetch and the
     /// completion time.
     pub fn fetch(&mut self, stream: u32, path: &str) -> (Vec<TimedFrame>, SimTime) {
+        let guarded = self.deadline.is_some();
         self.get(stream, path, None);
         let mut all = Vec::new();
+        let mut completed = false;
         loop {
             let frames = self.exchange();
             if frames.is_empty() {
@@ -231,6 +322,14 @@ impl ProbeConn {
                     Frame::Headers(h) if h.end_stream && h.stream_id.value() == stream => {
                         done = true;
                     }
+                    // Guarded mode treats stream/connection termination as
+                    // the end of the fetch rather than waiting for silence.
+                    Frame::RstStream(r) if guarded && r.stream_id.value() == stream => {
+                        done = true;
+                    }
+                    Frame::Goaway(_) if guarded => {
+                        done = true;
+                    }
                     _ => {}
                 }
             }
@@ -238,8 +337,14 @@ impl ProbeConn {
             if done {
                 // Drain any trailing frames already in flight.
                 all.extend(self.exchange());
+                completed = true;
                 break;
             }
+        }
+        if guarded && !completed && !self.dead {
+            // The server went silent mid-transfer; in the wild that is a
+            // timeout, not a completed measurement.
+            self.fail(ProbeFailure::Timeout);
         }
         let at = self.now();
         (all, at)
@@ -289,9 +394,9 @@ mod tests {
             })
             .sum();
         assert_eq!(data_octets, 256 * 1024, "entire object transferred");
-        assert!(frames.iter().any(
-            |tf| matches!(&tf.frame, Frame::Data(d) if d.end_stream)
-        ));
+        assert!(frames
+            .iter()
+            .any(|tf| matches!(&tf.frame, Frame::Data(d) if d.end_stream)));
     }
 
     #[test]

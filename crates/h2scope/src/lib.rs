@@ -38,6 +38,7 @@ pub mod multi_connection;
 pub mod pageload;
 pub mod probes;
 pub mod report;
+pub mod resilient;
 pub mod scope;
 pub mod storage;
 pub mod target;
@@ -46,6 +47,7 @@ pub mod trace;
 pub use client::{ProbeConn, TimedFrame};
 pub use probes::Reaction;
 pub use report::{ServerCharacterization, SiteReport};
+pub use resilient::{survey_with_retries, FaultLog, ProbeFailure, ProbeOutcome, ProbeStats};
 pub use scope::{H2Scope, ScopeConfig};
 pub use target::testbed;
 pub use target::Target;

@@ -117,18 +117,17 @@ fn data_octets(frames: &[crate::client::TimedFrame]) -> u64 {
 
 /// Runs the single-vs-multi comparison over `trials` seeds, returning
 /// mean load times in ms: `(one_connection, k_connections)`.
-pub fn compare(
-    target: &Target,
-    assets: &[String],
-    k: usize,
-    trials: usize,
-) -> (f64, f64) {
+pub fn compare(target: &Target, assets: &[String], k: usize, trials: usize) -> (f64, f64) {
     let mut single = 0.0;
     let mut multi = 0.0;
     for t in 0..trials {
         let seed = 0x10ad ^ (t as u64) << 24;
-        single += load_with_connections(target, assets, 1, seed).load_time.as_millis_f64();
-        multi += load_with_connections(target, assets, k, seed).load_time.as_millis_f64();
+        single += load_with_connections(target, assets, 1, seed)
+            .load_time
+            .as_millis_f64();
+        multi += load_with_connections(target, assets, k, seed)
+            .load_time
+            .as_millis_f64();
     }
     (single / trials as f64, multi / trials as f64)
 }
@@ -176,10 +175,11 @@ mod tests {
     #[test]
     fn on_a_lossy_link_multiple_connections_help() {
         // The paper's §VI claim: loss hits a single multiplexed pipe
-        // hardest. 8% loss, 30 ms one-way.
+        // hardest. 8% loss, 30 ms one-way. Enough objects and trials
+        // that the head-of-line effect dominates seed-to-seed noise.
         let target = target_with(0.08);
-        let assets = asset_paths(6);
-        let (single, multi) = compare(&target, &assets, 3, 8);
+        let assets = asset_paths(10);
+        let (single, multi) = compare(&target, &assets, 3, 16);
         assert!(
             multi < single,
             "multi-connection should win under loss: single {single} vs multi {multi}"

@@ -26,13 +26,16 @@ pub struct PageLoad {
 /// Loads the front page with push enabled or disabled, returning the page
 /// load time.
 pub fn page_load(target: &Target, enable_push: bool, seed: u64) -> PageLoad {
-    let settings =
-        Settings::new().with(SettingId::EnablePush, u32::from(enable_push));
+    let settings = Settings::new().with(SettingId::EnablePush, u32::from(enable_push));
     let mut conn = ProbeConn::establish(target, settings, seed);
     conn.exchange();
 
-    let assets: Vec<String> =
-        target.site.push_manifest.get("/").cloned().unwrap_or_default();
+    let assets: Vec<String> = target
+        .site
+        .push_manifest
+        .get("/")
+        .cloned()
+        .unwrap_or_default();
     let t0 = conn.now();
     conn.get(1, "/", None);
 
@@ -89,7 +92,10 @@ pub fn page_load(target: &Target, enable_push: bool, seed: u64) -> PageLoad {
         }
     }
 
-    PageLoad { load_time: conn.now() - t0, pushed_assets: promised.len() }
+    PageLoad {
+        load_time: conn.now() - t0,
+        pushed_assets: promised.len(),
+    }
 }
 
 /// Runs the paper's experiment: `loads` page loads with push enabled and

@@ -65,6 +65,10 @@ pub fn small_window(target: &Target) -> SmallWindowOutcome {
             _ => {}
         }
     }
+    // Silence is only "no response" once the probe has actually waited it
+    // out: in a fault campaign the deadline elapses and the verdict is
+    // timeout-derived (§V-D1), not inferred from instant quiescence.
+    conn.await_deadline();
     if saw_headers {
         SmallWindowOutcome::HeadersOnly
     } else {
@@ -101,8 +105,15 @@ pub fn zero_window_update(target: &Target, on_stream: bool) -> Reaction {
     // Open a stream with an in-flight response so the stream scope exists.
     conn.get(1, "/big/1", None);
     conn.exchange();
-    let stream_id = if on_stream { StreamId::new(1) } else { StreamId::CONNECTION };
-    conn.send(Frame::WindowUpdate(WindowUpdateFrame { stream_id, increment: 0 }));
+    let stream_id = if on_stream {
+        StreamId::new(1)
+    } else {
+        StreamId::CONNECTION
+    };
+    conn.send(Frame::WindowUpdate(WindowUpdateFrame {
+        stream_id,
+        increment: 0,
+    }));
     let frames = conn.exchange();
     classify_reaction(&frames)
 }
@@ -113,10 +124,20 @@ pub fn large_window_update(target: &Target, on_stream: bool) -> Reaction {
     conn.exchange();
     conn.get(1, "/big/1", None);
     conn.exchange();
-    let stream_id = if on_stream { StreamId::new(1) } else { StreamId::CONNECTION };
-    conn.send(Frame::WindowUpdate(WindowUpdateFrame { stream_id, increment: 0x4000_0000 }));
+    let stream_id = if on_stream {
+        StreamId::new(1)
+    } else {
+        StreamId::CONNECTION
+    };
+    conn.send(Frame::WindowUpdate(WindowUpdateFrame {
+        stream_id,
+        increment: 0x4000_0000,
+    }));
     conn.exchange();
-    conn.send(Frame::WindowUpdate(WindowUpdateFrame { stream_id, increment: 0x4000_0000 }));
+    conn.send(Frame::WindowUpdate(WindowUpdateFrame {
+        stream_id,
+        increment: 0x4000_0000,
+    }));
     let frames = conn.exchange();
     classify_reaction(&frames)
 }
@@ -144,7 +165,11 @@ mod tests {
 
     #[test]
     fn small_window_yields_one_byte_data_on_compliant_servers() {
-        for profile in [ServerProfile::nginx(), ServerProfile::h2o(), ServerProfile::apache()] {
+        for profile in [
+            ServerProfile::nginx(),
+            ServerProfile::h2o(),
+            ServerProfile::apache(),
+        ] {
             let name = profile.name.clone();
             assert_eq!(
                 small_window(&target_for(profile)),
@@ -166,7 +191,10 @@ mod tests {
     fn small_window_zero_len_quirk_detected() {
         let mut profile = ServerProfile::rfc7540();
         profile.behavior.zero_len_data_when_blocked = true;
-        assert_eq!(small_window(&target_for(profile)), SmallWindowOutcome::ZeroLenData);
+        assert_eq!(
+            small_window(&target_for(profile)),
+            SmallWindowOutcome::ZeroLenData
+        );
     }
 
     #[test]
@@ -193,10 +221,16 @@ mod tests {
             ServerProfile::testbed().into_iter().zip(expectations)
         {
             assert_eq!(profile.name, name);
-            assert_eq!(zero_window_update(&target_for(profile.clone()), true), stream_exp,
-                "{name} stream");
-            assert_eq!(zero_window_update(&target_for(profile), false), conn_exp,
-                "{name} conn");
+            assert_eq!(
+                zero_window_update(&target_for(profile.clone()), true),
+                stream_exp,
+                "{name} stream"
+            );
+            assert_eq!(
+                zero_window_update(&target_for(profile), false),
+                conn_exp,
+                "{name} conn"
+            );
         }
     }
 
@@ -221,8 +255,7 @@ mod tests {
     #[test]
     fn goaway_debug_data_is_classified() {
         let mut profile = ServerProfile::nghttpd();
-        profile.behavior.zero_window_debug =
-            Some("the window update shouldn't be zero".into());
+        profile.behavior.zero_window_debug = Some("the window update shouldn't be zero".into());
         assert_eq!(
             zero_window_update(&target_for(profile), false),
             Reaction::GoawayWithDebug
@@ -235,6 +268,9 @@ mod tests {
         // updates degrades to GOAWAY (you cannot RST stream 0).
         let mut profile = ServerProfile::rfc7540();
         profile.behavior.zero_window_update_conn = QuirkAction::RstStream;
-        assert_eq!(zero_window_update(&target_for(profile), false), Reaction::Goaway);
+        assert_eq!(
+            zero_window_update(&target_for(profile), false),
+            Reaction::Goaway
+        );
     }
 }

@@ -66,7 +66,11 @@ mod tests {
     #[test]
     fn indexing_servers_compress_well() {
         // GSE/LiteSpeed territory in Figures 4/5: r < 0.3.
-        for profile in [ServerProfile::gse(), ServerProfile::litespeed(), ServerProfile::h2o()] {
+        for profile in [
+            ServerProfile::gse(),
+            ServerProfile::litespeed(),
+            ServerProfile::h2o(),
+        ] {
             let name = profile.name.clone();
             let report = ratio_for(profile);
             assert_eq!(report.sizes.len(), 8);
@@ -78,11 +82,18 @@ mod tests {
     #[test]
     fn non_indexing_servers_stay_at_one() {
         // The Nginx/Tengine/IdeaWebServer population: r = 1.
-        for profile in [ServerProfile::nginx(), ServerProfile::tengine(), ServerProfile::ideaweb()]
-        {
+        for profile in [
+            ServerProfile::nginx(),
+            ServerProfile::tengine(),
+            ServerProfile::ideaweb(),
+        ] {
             let name = profile.name.clone();
             let report = ratio_for(profile);
-            assert!((report.ratio - 1.0).abs() < 1e-9, "{name}: r = {}", report.ratio);
+            assert!(
+                (report.ratio - 1.0).abs() < 1e-9,
+                "{name}: r = {}",
+                report.ratio
+            );
         }
     }
 

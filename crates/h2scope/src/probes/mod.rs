@@ -69,7 +69,11 @@ mod tests {
     use netsim::SimTime;
 
     fn tf(frame: Frame) -> TimedFrame {
-        TimedFrame { at: SimTime::ZERO, frame, headers: None }
+        TimedFrame {
+            at: SimTime::ZERO,
+            frame,
+            headers: None,
+        }
     }
 
     #[test]

@@ -62,7 +62,12 @@ pub fn probe(target: &Target, n: usize) -> MultiplexingReport {
     // Sequential service yields exactly n-1 switches (each stream is one
     // contiguous run); anything more means interleaving.
     let parallel = stream_switches > n.saturating_sub(1);
-    MultiplexingReport { parallel, streams_tested: n, stream_switches, max_concurrent_streams }
+    MultiplexingReport {
+        parallel,
+        streams_tested: n,
+        stream_switches,
+        max_concurrent_streams,
+    }
 }
 
 /// The probe needs multi-frame objects; reuse the target but make sure the

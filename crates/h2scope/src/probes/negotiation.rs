@@ -64,8 +64,12 @@ pub fn h2c_upgrade(target: &Target) -> bool {
     for arrival in arrivals {
         decoder.feed(&arrival.bytes);
     }
-    let Ok(frames) = decoder.drain_frames() else { return false };
-    let settings = frames.iter().any(|f| matches!(f, Frame::Settings(s) if !s.ack));
+    let Ok(frames) = decoder.drain_frames() else {
+        return false;
+    };
+    let settings = frames
+        .iter()
+        .any(|f| matches!(f, Frame::Settings(s) if !s.ack));
     let response_on_stream_1 = frames
         .iter()
         .any(|f| matches!(f, Frame::Headers(h) if h.stream_id.value() == 1));
@@ -102,8 +106,11 @@ mod tests {
 
     #[test]
     fn h2c_upgrade_works_on_supporting_servers() {
-        for profile in [ServerProfile::h2o(), ServerProfile::nghttpd(), ServerProfile::apache()]
-        {
+        for profile in [
+            ServerProfile::h2o(),
+            ServerProfile::nghttpd(),
+            ServerProfile::apache(),
+        ] {
             let name = profile.name.clone();
             let target = Target::testbed(profile, SiteSpec::benchmark());
             assert!(h2c_upgrade(&target), "{name} should accept Upgrade: h2c");
@@ -126,12 +133,13 @@ mod tests {
         let target = Target::testbed(ServerProfile::nginx(), SiteSpec::benchmark());
         let server = H2Server::new_cleartext(target.profile.clone(), target.site.clone());
         let mut pipe = Pipe::connect(server, target.link, 1);
-        pipe.client_send(
-            b"GET / HTTP/1.1\r\nHost: x\r\nUpgrade: h2c\r\n\r\n".to_vec(),
-        );
+        pipe.client_send(b"GET / HTTP/1.1\r\nHost: x\r\nUpgrade: h2c\r\n\r\n".to_vec());
         let arrivals = pipe.run_to_quiescence();
         let text: Vec<u8> = arrivals.into_iter().flat_map(|a| a.bytes).collect();
-        assert!(text.starts_with(b"HTTP/1.1 200 OK"), "plain HTTP/1.1 service");
+        assert!(
+            text.starts_with(b"HTTP/1.1 200 OK"),
+            "plain HTTP/1.1 service"
+        );
     }
 
     #[test]
@@ -151,6 +159,8 @@ mod tests {
             decoder.feed(&arrival.bytes);
         }
         let frames = decoder.drain_frames().unwrap();
-        assert!(frames.iter().any(|f| matches!(f, Frame::Settings(s) if !s.ack)));
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, Frame::Settings(s) if !s.ack)));
     }
 }

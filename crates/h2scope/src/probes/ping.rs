@@ -61,10 +61,11 @@ pub fn probe(target: &Target, n: usize) -> PingReport {
 
 /// Runs all four estimators against one target, `n` samples each.
 pub fn compare_rtt(target: &Target, n: usize, seed: u64) -> RttComparison {
-    let mut comparison = RttComparison::default();
-
-    // HTTP/2 PING over a live h2 connection.
-    comparison.h2_ping = probe(target, n).rtt_ms;
+    let mut comparison = RttComparison {
+        // HTTP/2 PING over a live h2 connection.
+        h2_ping: probe(target, n).rtt_ms,
+        ..Default::default()
+    };
 
     // ICMP and TCP operate on the same link spec.
     let mut rng = StdRng::seed_from_u64(seed);
@@ -72,7 +73,9 @@ pub fn compare_rtt(target: &Target, n: usize, seed: u64) -> RttComparison {
         if let Some(rtt) = icmp_rtt(&target.link, &mut rng) {
             comparison.icmp.push(rtt.as_millis_f64());
         }
-        comparison.tcp.push(tcp_handshake_rtt(&target.link, &mut rng).as_millis_f64());
+        comparison
+            .tcp
+            .push(tcp_handshake_rtt(&target.link, &mut rng).as_millis_f64());
     }
 
     // HTTP/1.1: a request/response exchange including the server's
@@ -102,7 +105,7 @@ pub fn median(samples: &[f64]) -> f64 {
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
     let mid = sorted.len() / 2;
-    if sorted.len() % 2 == 0 {
+    if sorted.len().is_multiple_of(2) {
         (sorted[mid - 1] + sorted[mid]) / 2.0
     } else {
         sorted[mid]
@@ -160,7 +163,10 @@ mod tests {
         let h1 = median(&comparison.h1_request);
         assert!((h2 - icmp).abs() < 2.0, "h2-ping ≈ icmp ({h2} vs {icmp})");
         assert!((h2 - tcp).abs() < 2.0, "h2-ping ≈ tcp ({h2} vs {tcp})");
-        assert!(h1 > h2 + 0.2, "h1-request strictly above h2-ping ({h1} vs {h2})");
+        assert!(
+            h1 > h2 + 0.2,
+            "h1-request strictly above h2-ping ({h1} vs {h2})"
+        );
     }
 
     #[test]

@@ -71,8 +71,7 @@ impl PriorityReport {
 /// Runs Algorithm 1 against the target.
 pub fn algorithm1(target: &Target) -> PriorityReport {
     // Step 0: huge stream windows so only the connection window gates.
-    let settings =
-        Settings::new().with(SettingId::InitialWindowSize, 0x7fff_ffff);
+    let settings = Settings::new().with(SettingId::InitialWindowSize, 0x7fff_ffff);
     let mut conn = ProbeConn::establish(target, settings, 0xa190);
     conn.exchange();
 
@@ -132,19 +131,31 @@ pub fn algorithm1(target: &Target) -> PriorityReport {
     // With the connection window at zero, DATA cannot flow. Most servers
     // still send the response HEADERS; some do not (§III-C1).
     let headers_blocked = window_drained
-        && !frames.iter().any(|tf| matches!(tf.frame, Frame::Headers(_)));
+        && !frames
+            .iter()
+            .any(|tf| matches!(tf.frame, Frame::Headers(_)));
 
     // Step 3: reprioritize with PRIORITY frames into the §V-E target
     // tree: D at the root, A under D (exclusively, adopting F), E moved
     // under C. Expected service order: D first, then A, then {B, C, F},
     // with E after C.
     conn.send_all(&[
-        Frame::Priority(PriorityFrame { stream_id: StreamId::new(D), spec: dep(0) }),
+        Frame::Priority(PriorityFrame {
+            stream_id: StreamId::new(D),
+            spec: dep(0),
+        }),
         Frame::Priority(PriorityFrame {
             stream_id: StreamId::new(A),
-            spec: PrioritySpec { exclusive: true, dependency: StreamId::new(D), weight: 1 },
+            spec: PrioritySpec {
+                exclusive: true,
+                dependency: StreamId::new(D),
+                weight: 1,
+            },
         }),
-        Frame::Priority(PriorityFrame { stream_id: StreamId::new(E), spec: dep(C) }),
+        Frame::Priority(PriorityFrame {
+            stream_id: StreamId::new(E),
+            spec: dep(C),
+        }),
     ]);
     conn.exchange();
 
@@ -191,7 +202,10 @@ fn ordering_holds(index: &HashMap<u32, usize>) -> bool {
     }
     let v = |s: u32| index[&s];
     let d_first = all.iter().filter(|&&s| s != D).all(|&s| v(D) < v(s));
-    let a_second = all.iter().filter(|&&s| s != D && s != A).all(|&s| v(A) < v(s));
+    let a_second = all
+        .iter()
+        .filter(|&&s| s != D && s != A)
+        .all(|&s| v(A) < v(s));
     let c_before_e = v(C) < v(E);
     d_first && a_second && c_before_e
 }
@@ -226,12 +240,22 @@ pub fn naive_order_check(target: &Target) -> PriorityReport {
     conn.get(E, "/big/5", Some(dep(B)));
     conn.get(F, "/big/6", Some(dep(D)));
     conn.send_all(&[
-        Frame::Priority(PriorityFrame { stream_id: StreamId::new(D), spec: dep(0) }),
+        Frame::Priority(PriorityFrame {
+            stream_id: StreamId::new(D),
+            spec: dep(0),
+        }),
         Frame::Priority(PriorityFrame {
             stream_id: StreamId::new(A),
-            spec: PrioritySpec { exclusive: true, dependency: StreamId::new(D), weight: 1 },
+            spec: PrioritySpec {
+                exclusive: true,
+                dependency: StreamId::new(D),
+                weight: 1,
+            },
         }),
-        Frame::Priority(PriorityFrame { stream_id: StreamId::new(E), spec: dep(C) }),
+        Frame::Priority(PriorityFrame {
+            stream_id: StreamId::new(E),
+            spec: dep(C),
+        }),
     ]);
 
     let mut first: HashMap<u32, usize> = HashMap::new();
@@ -272,7 +296,10 @@ pub fn naive_order_check(target: &Target) -> PriorityReport {
 /// scheduler yields shares ≈ weight/Σweights; FCFS servers yield roughly
 /// equal shares regardless of weights.
 pub fn weight_shares(target: &Target, weights: &[u16], window: u64) -> Vec<f64> {
-    assert!(!weights.is_empty() && weights.len() <= 7, "1..=7 weighted streams");
+    assert!(
+        !weights.is_empty() && weights.len() <= 7,
+        "1..=7 weighted streams"
+    );
     let settings = Settings::new().with(SettingId::InitialWindowSize, 0x7fff_ffff);
     let mut conn = ProbeConn::establish(target, settings, 0x3e19);
     conn.exchange();
@@ -335,7 +362,11 @@ pub fn self_dependency(target: &Target) -> Reaction {
     conn.exchange();
     conn.send(Frame::Priority(PriorityFrame {
         stream_id: StreamId::new(15),
-        spec: PrioritySpec { exclusive: false, dependency: StreamId::new(15), weight: 16 },
+        spec: PrioritySpec {
+            exclusive: false,
+            dependency: StreamId::new(15),
+            weight: 16,
+        },
     }));
     let frames = conn.exchange();
     classify_reaction(&frames)
@@ -352,8 +383,11 @@ mod tests {
 
     #[test]
     fn priority_servers_pass_algorithm1() {
-        for profile in [ServerProfile::h2o(), ServerProfile::nghttpd(), ServerProfile::apache()]
-        {
+        for profile in [
+            ServerProfile::h2o(),
+            ServerProfile::nghttpd(),
+            ServerProfile::apache(),
+        ] {
             let name = profile.name.clone();
             let report = algorithm1(&target_for(profile));
             assert!(report.passes(), "{name} must pass Algorithm 1");
@@ -364,8 +398,11 @@ mod tests {
 
     #[test]
     fn fifo_servers_fail_algorithm1() {
-        for profile in [ServerProfile::nginx(), ServerProfile::litespeed(), ServerProfile::tengine()]
-        {
+        for profile in [
+            ServerProfile::nginx(),
+            ServerProfile::litespeed(),
+            ServerProfile::tengine(),
+        ] {
             let name = profile.name.clone();
             let report = algorithm1(&target_for(profile));
             assert!(!report.passes(), "{name} must fail Algorithm 1");
@@ -439,7 +476,10 @@ mod tests {
             192 * 1024,
         );
         for share in &shares {
-            assert!((share - 1.0 / 3.0).abs() < 0.1, "FCFS ignores weights: {shares:?}");
+            assert!(
+                (share - 1.0 / 3.0).abs() < 0.1,
+                "FCFS ignores weights: {shares:?}"
+            );
         }
     }
 

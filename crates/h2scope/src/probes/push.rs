@@ -66,7 +66,11 @@ pub fn probe(target: &Target, pages: &[&str]) -> PushReport {
             handle(&trailing);
         }
     }
-    PushReport { supported: !promised_paths.is_empty(), promised_paths, pushed_octets }
+    PushReport {
+        supported: !promised_paths.is_empty(),
+        promised_paths,
+        pushed_octets,
+    }
 }
 
 #[cfg(test)]
@@ -94,7 +98,10 @@ mod tests {
         let target = Target::testbed(ServerProfile::h2o(), push_site());
         let report = probe(&target, &["/"]);
         assert_eq!(report.promised_paths.len(), 3);
-        assert!(report.promised_paths.iter().all(|p| p.starts_with("/asset/")));
+        assert!(report
+            .promised_paths
+            .iter()
+            .all(|p| p.starts_with("/asset/")));
         assert_eq!(report.pushed_octets, 3 * 2_000);
     }
 

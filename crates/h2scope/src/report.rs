@@ -14,6 +14,7 @@ use crate::probes::ping::PingReport;
 use crate::probes::priority::PriorityReport;
 use crate::probes::push::PushReport;
 use crate::probes::settings::SettingsReport;
+use crate::resilient::ProbeStats;
 use crate::target::Target;
 
 /// A full characterization of one server — a column of Table III.
@@ -64,6 +65,9 @@ pub struct SiteReport {
     pub push: Option<PushReport>,
     /// HPACK probe.
     pub hpack: Option<HpackReport>,
+    /// Resilience accounting: how the survey resolved, attempts spent,
+    /// total backoff. Default (`Ok`/1/zero) outside fault campaigns.
+    pub probe: ProbeStats,
 }
 
 /// Result of the HEADERS-returning probe: whether any HEADERS frame came
@@ -91,10 +95,16 @@ pub fn headers_probe(target: &Target) -> HeadersProbe {
                 .as_ref()
                 .and_then(|hs| hs.iter().find(|h| h.name == "server"))
                 .map(|h| h.value.clone());
-            return HeadersProbe { headers_received: true, server };
+            return HeadersProbe {
+                headers_received: true,
+                server,
+            };
         }
     }
-    HeadersProbe { headers_received: false, server: None }
+    HeadersProbe {
+        headers_received: false,
+        server: None,
+    }
 }
 
 /// Convenience wrapper returning only the `server` header.

@@ -1,7 +1,8 @@
 //! The top-level H2Scope tool: testbed characterization and site surveys.
 
-use crate::probes::{flow_control, hpack, multiplexing, negotiation, ping, priority, push,
-                    settings};
+use crate::probes::{
+    flow_control, hpack, multiplexing, negotiation, ping, priority, push, settings,
+};
 use crate::report::{ServerCharacterization, SiteReport};
 use crate::target::testbed::Testbed;
 use crate::target::Target;
@@ -19,7 +20,11 @@ pub struct ScopeConfig {
 
 impl Default for ScopeConfig {
     fn default() -> ScopeConfig {
-        ScopeConfig { multiplex_streams: 4, hpack_requests: 8, ping_samples: 5 }
+        ScopeConfig {
+            multiplex_streams: 4,
+            hpack_requests: 8,
+            ping_samples: 5,
+        }
     }
 }
 
@@ -80,6 +85,7 @@ impl H2Scope {
                 priority: None,
                 push: None,
                 hpack: None,
+                probe: Default::default(),
             };
         }
         let settings = settings::probe(target);
@@ -95,6 +101,7 @@ impl H2Scope {
                 priority: None,
                 push: None,
                 hpack: None,
+                probe: Default::default(),
             };
         }
         SiteReport {
@@ -107,6 +114,7 @@ impl H2Scope {
             priority: Some(priority::algorithm1(target)),
             push: Some(push::probe(target, &["/"])),
             hpack: Some(hpack::probe(target, self.config.hpack_requests)),
+            probe: Default::default(),
         }
     }
 }

@@ -17,6 +17,8 @@ use crate::probes::push::PushReport;
 use crate::probes::settings::SettingsReport;
 use crate::probes::Reaction;
 use crate::report::SiteReport;
+use crate::resilient::{ProbeOutcome, ProbeStats};
+use netsim::time::SimDuration;
 
 /// Error while parsing a stored report line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +110,27 @@ fn parse_small_window(s: &str) -> Option<SmallWindowOutcome> {
     })
 }
 
+fn outcome_code(o: ProbeOutcome) -> &'static str {
+    match o {
+        ProbeOutcome::Ok => "ok",
+        ProbeOutcome::Timeout => "to",
+        ProbeOutcome::ConnReset => "rst",
+        ProbeOutcome::Malformed => "mal",
+        ProbeOutcome::GaveUpAfterRetries => "gave",
+    }
+}
+
+fn parse_outcome(s: &str) -> Option<ProbeOutcome> {
+    Some(match s {
+        "ok" => ProbeOutcome::Ok,
+        "to" => ProbeOutcome::Timeout,
+        "rst" => ProbeOutcome::ConnReset,
+        "mal" => ProbeOutcome::Malformed,
+        "gave" => ProbeOutcome::GaveUpAfterRetries,
+        _ => return None,
+    })
+}
+
 fn opt_u32(v: Option<u32>) -> String {
     v.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
 }
@@ -183,7 +206,11 @@ pub fn write_report(report: &SiteReport) -> String {
             "|pu.sup={}|pu.octets={}|pu.paths={}",
             push.supported as u8,
             push.pushed_octets,
-            push.promised_paths.iter().map(|p| escape(p)).collect::<Vec<_>>().join(","),
+            push.promised_paths
+                .iter()
+                .map(|p| escape(p))
+                .collect::<Vec<_>>()
+                .join(","),
         )
         .unwrap();
     }
@@ -193,10 +220,22 @@ pub fn write_report(report: &SiteReport) -> String {
             "|hp.r={}|hp.h={}|hp.sizes={}",
             h.ratio,
             h.h,
-            h.sizes.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(","),
+            h.sizes
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
         )
         .unwrap();
     }
+    write!(
+        line,
+        "|pb.out={}|pb.att={}|pb.bk={}",
+        outcome_code(report.probe.outcome),
+        report.probe.attempts,
+        report.probe.backoff.as_nanos(),
+    )
+    .unwrap();
     line
 }
 
@@ -220,18 +259,20 @@ pub fn read_report(line: &str) -> Result<SiteReport, ParseReportError> {
     let err = |message: String| ParseReportError { line: 0, message };
     let mut fields = std::collections::HashMap::new();
     for part in split_fields(line) {
-        let (key, value) =
-            part.split_once('=').ok_or_else(|| err(format!("field without '=': {part:?}")))?;
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| err(format!("field without '=': {part:?}")))?;
         fields.insert(key.to_string(), value.to_string());
     }
     let get = |key: &str| -> Result<String, ParseReportError> {
-        fields.get(key).cloned().ok_or_else(|| err(format!("missing field {key}")))
+        fields
+            .get(key)
+            .cloned()
+            .ok_or_else(|| err(format!("missing field {key}")))
     };
-    let get_bool = |key: &str| -> Result<bool, ParseReportError> {
-        Ok(get(key)? == "1")
-    };
+    let get_bool = |key: &str| -> Result<bool, ParseReportError> { Ok(get(key)? == "1") };
     let get_opt = |key: &str| -> Result<Option<u32>, ParseReportError> {
-        parse_opt_u32(&get(key)?).map_err(|m| err(m))
+        parse_opt_u32(&get(key)?).map_err(&err)
     };
 
     let settings = SettingsReport {
@@ -306,6 +347,21 @@ pub fn read_report(line: &str) -> Result<SiteReport, ParseReportError> {
     } else {
         None
     };
+    // Resilience fields default when absent (records written before fault
+    // campaigns existed remain readable).
+    let probe = if fields.contains_key("pb.out") {
+        ProbeStats {
+            outcome: parse_outcome(&get("pb.out")?).ok_or_else(|| err("bad pb.out".into()))?,
+            attempts: get("pb.att")?
+                .parse()
+                .map_err(|_| err("bad pb.att".into()))?,
+            backoff: SimDuration::from_nanos(
+                get("pb.bk")?.parse().map_err(|_| err("bad pb.bk".into()))?,
+            ),
+        }
+    } else {
+        ProbeStats::default()
+    };
     let server = get("server")?;
     Ok(SiteReport {
         authority: unescape(&get("site")?),
@@ -320,6 +376,7 @@ pub fn read_report(line: &str) -> Result<SiteReport, ParseReportError> {
         priority,
         push,
         hpack,
+        probe,
     })
 }
 
@@ -356,10 +413,12 @@ pub fn read_reports(data: &str) -> Result<Vec<SiteReport>, ParseReportError> {
     data.lines()
         .enumerate()
         .filter(|(_, l)| !l.trim().is_empty())
-        .map(|(i, l)| read_report(l).map_err(|mut e| {
-            e.line = i + 1;
-            e
-        }))
+        .map(|(i, l)| {
+            read_report(l).map_err(|mut e| {
+                e.line = i + 1;
+                e
+            })
+        })
         .collect()
 }
 
@@ -372,8 +431,14 @@ mod tests {
     fn sample_reports() -> Vec<SiteReport> {
         let scope = H2Scope::new();
         vec![
-            scope.survey(&Target::testbed(ServerProfile::gse(), SiteSpec::benchmark())),
-            scope.survey(&Target::testbed(ServerProfile::nginx(), SiteSpec::benchmark())),
+            scope.survey(&Target::testbed(
+                ServerProfile::gse(),
+                SiteSpec::benchmark(),
+            )),
+            scope.survey(&Target::testbed(
+                ServerProfile::nginx(),
+                SiteSpec::benchmark(),
+            )),
             scope.survey(&Target::testbed(
                 ServerProfile::h2o(),
                 SiteSpec::page_with_assets(2, 1_000),

@@ -1,7 +1,10 @@
 //! Probe targets: something H2Scope can open HTTP/2 connections to.
 
 use h2server::{H2Server, ServerProfile, SiteSpec};
-use netsim::{LinkSpec, Pipe, TlsConfig};
+use netsim::time::SimDuration;
+use netsim::{LinkSpec, Pipe, PipeFaults, TlsConfig};
+
+use crate::resilient::FaultLog;
 
 /// A probe target: a server profile, its site content, and the network
 /// path to it. In testbed mode the link is a clean LAN; in scan mode
@@ -17,12 +20,32 @@ pub struct Target {
     /// Base seed; each probe connection derives its own stream of
     /// randomness from it so campaigns replay deterministically.
     pub seed: u64,
+    /// Transport faults armed on every connection to this target
+    /// (fault campaigns only; empty in testbed mode).
+    pub pipe_faults: PipeFaults,
+    /// Per-connection probe deadline in simulated time. `None` (the
+    /// default) selects the legacy run-to-quiescence pipeline, which is
+    /// bit-identical to pre-fault builds; `Some` arms the resilient path:
+    /// exchanges stop at the deadline and failures are recorded in
+    /// [`Target::fault_log`] instead of panicking.
+    pub patience: Option<SimDuration>,
+    /// Where probe connections report failures (shared across the clones
+    /// handed to individual probes).
+    pub fault_log: FaultLog,
 }
 
 impl Target {
     /// A testbed target: `profile` serving `site` over a clean LAN.
     pub fn testbed(profile: ServerProfile, site: SiteSpec) -> Target {
-        Target { profile, site, link: LinkSpec::lan(), seed: 0x5eed }
+        Target {
+            profile,
+            site,
+            link: LinkSpec::lan(),
+            seed: 0x5eed,
+            pipe_faults: PipeFaults::none(),
+            patience: None,
+            fault_log: FaultLog::default(),
+        }
     }
 
     /// The server's TLS negotiation configuration.
@@ -34,7 +57,9 @@ impl Target {
     /// as every probe in the paper does.
     pub fn connect(&self, conn_seed: u64) -> Pipe<H2Server> {
         let server = H2Server::new(self.profile.clone(), self.site.clone());
-        Pipe::connect(server, self.link, self.seed ^ conn_seed)
+        let mut pipe = Pipe::connect(server, self.link, self.seed ^ conn_seed);
+        pipe.set_faults(self.pipe_faults);
+        pipe
     }
 }
 
@@ -52,7 +77,9 @@ pub mod testbed {
     impl Testbed {
         /// Installs `profile` serving `site` in the testbed.
         pub fn new(profile: ServerProfile, site: SiteSpec) -> Testbed {
-            Testbed { target: Target::testbed(profile, site) }
+            Testbed {
+                target: Target::testbed(profile, site),
+            }
         }
 
         /// The probe target.

@@ -41,8 +41,11 @@ pub fn summarize(frame: &Frame) -> String {
             if f.ack {
                 "SETTINGS ACK".to_string()
             } else {
-                let params: Vec<String> =
-                    f.settings.iter().map(|(id, v)| format!("{:?}={v}", id)).collect();
+                let params: Vec<String> = f
+                    .settings
+                    .iter()
+                    .map(|(id, v)| format!("{:?}={v}", id))
+                    .collect();
                 format!("SETTINGS [{}]", params.join(", "))
             }
         }
@@ -66,7 +69,10 @@ pub fn summarize(frame: &Frame) -> String {
             }
         ),
         Frame::WindowUpdate(f) => {
-            format!("WINDOW_UPDATE stream={} increment={}", f.stream_id, f.increment)
+            format!(
+                "WINDOW_UPDATE stream={} increment={}",
+                f.stream_id, f.increment
+            )
         }
         Frame::Continuation(f) => format!(
             "CONTINUATION stream={} block={}B{}",
@@ -75,7 +81,12 @@ pub fn summarize(frame: &Frame) -> String {
             if f.end_headers { " END_HEADERS" } else { "" }
         ),
         Frame::Unknown(f) => {
-            format!("UNKNOWN(0x{:02x}) stream={} len={}", f.kind, f.stream_id, f.payload.len())
+            format!(
+                "UNKNOWN(0x{:02x}) stream={} len={}",
+                f.kind,
+                f.stream_id,
+                f.payload.len()
+            )
         }
     }
 }
@@ -85,7 +96,11 @@ pub fn summarize(frame: &Frame) -> String {
 pub fn render(frames: &[TimedFrame]) -> String {
     let mut out = String::new();
     for tf in frames {
-        out.push_str(&format!("[{:>12}] recv {}\n", tf.at.to_string(), summarize(&tf.frame)));
+        out.push_str(&format!(
+            "[{:>12}] recv {}\n",
+            tf.at.to_string(),
+            summarize(&tf.frame)
+        ));
         if let Some(headers) = &tf.headers {
             for h in headers {
                 out.push_str(&format!("                 {}: {}\n", h.name, h.value));
@@ -137,7 +152,14 @@ mod tests {
                 payload: Bytes::new(),
             }),
         ];
-        let expected = ["DATA", "PRIORITY", "RST_STREAM", "PING", "WINDOW_UPDATE", "UNKNOWN"];
+        let expected = [
+            "DATA",
+            "PRIORITY",
+            "RST_STREAM",
+            "PING",
+            "WINDOW_UPDATE",
+            "UNKNOWN",
+        ];
         for (frame, tag) in frames.iter().zip(expected) {
             assert!(summarize(frame).starts_with(tag), "{}", summarize(frame));
         }

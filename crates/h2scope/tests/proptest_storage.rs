@@ -8,8 +8,19 @@ use h2scope::probes::push::PushReport;
 use h2scope::probes::settings::SettingsReport;
 use h2scope::probes::Reaction;
 use h2scope::storage::{read_report, read_reports, write_report, write_reports};
-use h2scope::SiteReport;
+use h2scope::{ProbeOutcome, ProbeStats, SiteReport};
+use netsim::time::SimDuration;
 use proptest::prelude::*;
+
+fn arb_outcome() -> impl Strategy<Value = ProbeOutcome> {
+    prop_oneof![
+        Just(ProbeOutcome::Ok),
+        Just(ProbeOutcome::Timeout),
+        Just(ProbeOutcome::ConnReset),
+        Just(ProbeOutcome::Malformed),
+        Just(ProbeOutcome::GaveUpAfterRetries),
+    ]
+}
 
 fn arb_reaction() -> impl Strategy<Value = Reaction> {
     prop_oneof![
@@ -77,6 +88,7 @@ prop_compose! {
             0.0f64..2.0, 2usize..10,
             prop::collection::vec(1usize..500, 1..8),
         )),
+        probe in (arb_outcome(), 1u32..5, 0u64..10_000_000_000),
     ) -> SiteReport {
         SiteReport {
             authority,
@@ -105,6 +117,11 @@ prop_compose! {
                 promised_paths: paths,
             }),
             hpack: hpack.map(|(ratio, h, sizes)| HpackReport { ratio, h, sizes }),
+            probe: ProbeStats {
+                outcome: probe.0,
+                attempts: probe.1,
+                backoff: SimDuration::from_nanos(probe.2),
+            },
         }
     }
 }

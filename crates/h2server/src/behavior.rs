@@ -8,6 +8,7 @@
 //! violations open, and the paper's finding is precisely that deployed
 //! servers chose different reactions.
 
+use h2fault::ByzantineSpec;
 use h2wire::settings::{DEFAULT_INITIAL_WINDOW_SIZE, DEFAULT_MAX_FRAME_SIZE};
 use h2wire::{SettingId, Settings};
 use netsim::time::SimDuration;
@@ -138,6 +139,9 @@ pub struct ServerBehavior {
     /// the 4,096-octet default. Obedient servers expose the HPACK
     /// memory-pressure vector sketched in the paper's discussion (§VI).
     pub honor_peer_header_table_size: bool,
+    /// Injected byzantine misbehavior (fault campaigns only; `None` for
+    /// every testbed profile). See [`h2fault::ByzantineSpec`].
+    pub byzantine: Option<ByzantineSpec>,
 }
 
 impl ServerBehavior {
@@ -171,6 +175,7 @@ impl ServerBehavior {
             processing_delay: SimDuration::from_micros(500),
             h2c_upgrade: true,
             honor_peer_header_table_size: false,
+            byzantine: None,
         }
     }
 

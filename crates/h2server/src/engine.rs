@@ -9,8 +9,8 @@ use bytes::Bytes;
 use h2conn::{ConnectionCore, CoreEvent, EffectiveSettings, Role, WindowScope};
 use h2hpack::{EncoderOptions, Header, IndexingPolicy};
 use h2wire::{
-    encode_all, ErrorCode, Frame, GoawayFrame, PingFrame, RstStreamFrame, SettingsFrame,
-    StreamId, WindowUpdateFrame, CONNECTION_PREFACE,
+    encode_all, ErrorCode, Frame, GoawayFrame, PingFrame, RstStreamFrame, SettingsFrame, StreamId,
+    WindowUpdateFrame, CONNECTION_PREFACE,
 };
 use netsim::pipe::ByteEndpoint;
 use netsim::time::{SimDuration, SimTime};
@@ -78,6 +78,12 @@ pub struct H2Server {
     /// Request headers carried by an accepted h2c upgrade, served on
     /// stream 1 once the preface completes.
     pending_upgrade: Option<Vec<Header>>,
+    /// Total octets emitted so far (byzantine truncation/reset bookkeeping).
+    emitted: u64,
+    /// A byzantine truncation fired: the server says nothing more, ever.
+    silenced: bool,
+    /// A byzantine reset is due: the transport should cut the connection.
+    reset_pending: bool,
 }
 
 impl H2Server {
@@ -114,6 +120,9 @@ impl H2Server {
             rr_cursor: 0,
             cleartext: false,
             pending_upgrade: None,
+            emitted: 0,
+            silenced: false,
+            reset_pending: false,
         }
     }
 
@@ -173,14 +182,19 @@ impl H2Server {
         out.push(Frame::Goaway(GoawayFrame {
             last_stream_id: self.core.streams().highest_client_id(),
             code,
-            debug_data: debug.map(|d| Bytes::from(d.as_bytes().to_vec())).unwrap_or_default(),
+            debug_data: debug
+                .map(|d| Bytes::from(d.as_bytes().to_vec()))
+                .unwrap_or_default(),
         }));
     }
 
     fn rst(&mut self, stream: StreamId, code: ErrorCode, out: &mut Vec<Frame>) {
         self.core.reset_stream(stream, code);
         self.queue.retain(|q| q.stream != stream);
-        out.push(Frame::RstStream(RstStreamFrame { stream_id: stream, code }));
+        out.push(Frame::RstStream(RstStreamFrame {
+            stream_id: stream,
+            code,
+        }));
     }
 
     fn apply_quirk(
@@ -195,8 +209,9 @@ impl H2Server {
             (QuirkAction::Ignore, _) => {}
             (QuirkAction::RstStream, WindowScope::Stream(stream)) => self.rst(stream, code, out),
             // A "reset" reaction at connection scope degrades to GOAWAY.
-            (QuirkAction::RstStream, WindowScope::Connection)
-            | (QuirkAction::Goaway, _) => self.goaway(code, debug.as_deref(), out),
+            (QuirkAction::RstStream, WindowScope::Connection) | (QuirkAction::Goaway, _) => {
+                self.goaway(code, debug.as_deref(), out)
+            }
         }
     }
 
@@ -217,7 +232,9 @@ impl H2Server {
         if self.behavior().push && self.core.remote_settings().enable_push {
             if let Some(assets) = self.site.push_manifest.get(&path).cloned() {
                 for asset in assets {
-                    let Some(resource) = self.site.resource(&asset) else { continue };
+                    let Some(resource) = self.site.resource(&asset) else {
+                        continue;
+                    };
                     let body = resource.body.clone();
                     let content_type = resource.content_type.clone();
                     let request_headers = vec![
@@ -226,8 +243,7 @@ impl H2Server {
                         Header::new(":path", asset.clone()),
                         Header::new(":authority", self.site.authority.clone()),
                     ];
-                    let (promised, frame) =
-                        self.core.encode_push_promise(stream, &request_headers);
+                    let (promised, frame) = self.core.encode_push_promise(stream, &request_headers);
                     out.push(frame);
                     pushes.push((promised, request_headers, body, content_type));
                 }
@@ -236,7 +252,11 @@ impl H2Server {
 
         let (status, body, content_type) = match self.site.resource(&path) {
             Some(r) => ("200", r.body.clone(), r.content_type.clone()),
-            None => ("404", Bytes::from_static(b"not found"), "text/plain".to_string()),
+            None => (
+                "404",
+                Bytes::from_static(b"not found"),
+                "text/plain".to_string(),
+            ),
         };
         let response_headers = self.response_headers(status, &content_type, body.len());
         self.enqueue_response(stream, response_headers, body);
@@ -296,7 +316,10 @@ impl H2Server {
     /// Estimated wire size of a header list (upper bound, used only for
     /// the LiteSpeed flow-control-on-HEADERS quirk).
     fn estimate_block_size(headers: &[Header]) -> i64 {
-        headers.iter().map(|h| (h.name.len() + h.value.len() + 4) as i64).sum()
+        headers
+            .iter()
+            .map(|h| (h.name.len() + h.value.len() + 4) as i64)
+            .sum()
     }
 
     /// Sends everything currently sendable: response headers first, then
@@ -308,7 +331,7 @@ impl H2Server {
             let before = out.len();
             self.pump_once(out);
             let progressed = out.len() > before;
-            if !(progressed && !self.behavior().multiplexing) {
+            if !progressed || self.behavior().multiplexing {
                 return;
             }
         }
@@ -402,13 +425,30 @@ impl H2Server {
                 }
             }
         }
-        self.queue.retain(|q| q.headers.is_some() || q.remaining() > 0);
+        self.queue
+            .retain(|q| q.headers.is_some() || q.remaining() > 0);
     }
 
     fn send_chunk(&mut self, index: usize, out: &mut Vec<Frame>) -> bool {
         let stream = self.queue[index].stream;
         let sendable = self.core.sendable_on(stream);
         let remaining = self.queue[index].remaining();
+        // Byzantine trickle: dribble one tiny DATA chunk per exchange,
+        // each charged a long processing delay, so the transfer crawls in
+        // simulated time and only a probe deadline ends it.
+        if let Some(trickle) = self.byz().trickle_data {
+            if sendable == 0 {
+                return false;
+            }
+            let chunk = (sendable as usize).min(remaining).min(trickle.max(1));
+            let offset = self.queue[index].offset;
+            let data = self.queue[index].body.slice(offset..offset + chunk);
+            let end_stream = chunk == remaining;
+            out.push(self.core.send_data(stream, data, end_stream));
+            self.queue[index].offset += chunk;
+            self.last_delay = self.last_delay + self.byz().trickle_delay;
+            return false;
+        }
         // The buggy population from §V-D1: instead of trickling data
         // through a *small* window, emit one zero-length DATA and stall
         // until the window grows. A window big enough for a useful chunk
@@ -444,11 +484,9 @@ impl H2Server {
     /// sent any body, in FCFS order.
     fn pump_first_chunks_fifo(&mut self, out: &mut Vec<Frame>) {
         loop {
-            let Some(index) = self
-                .queue
-                .iter()
-                .position(|q| q.body_ready() && q.offset == 0 && self.core.sendable_on(q.stream) > 0)
-            else {
+            let Some(index) = self.queue.iter().position(|q| {
+                q.body_ready() && q.offset == 0 && self.core.sendable_on(q.stream) > 0
+            }) else {
                 return;
             };
             if !self.send_chunk(index, out) {
@@ -477,7 +515,9 @@ impl H2Server {
                 .next_stream(|s| fresh.contains(&s.value()))
                 .or_else(|| fresh.iter().min().copied().map(StreamId::new));
             let Some(next) = next else { return };
-            let Some(index) = self.queue.iter().position(|q| q.stream == next) else { return };
+            let Some(index) = self.queue.iter().position(|q| q.stream == next) else {
+                return;
+            };
             if !self.send_chunk(index, out) {
                 return;
             }
@@ -496,7 +536,10 @@ impl H2Server {
             if ready.is_empty() {
                 return;
             }
-            let Some(next) = self.core.priority_mut().next_stream(|s| ready.contains(&s.value()))
+            let Some(next) = self
+                .core
+                .priority_mut()
+                .next_stream(|s| ready.contains(&s.value()))
             else {
                 // Streams with queued data but absent from the tree (e.g.
                 // pushed streams): fall back to FIFO for those.
@@ -512,7 +555,9 @@ impl H2Server {
                 }
                 continue;
             };
-            let Some(index) = self.queue.iter().position(|q| q.stream == next) else { return };
+            let Some(index) = self.queue.iter().position(|q| q.stream == next) else {
+                return;
+            };
             if !self.send_chunk(index, out) {
                 return;
             }
@@ -557,7 +602,9 @@ impl H2Server {
                     self.rejected.insert(stream.value());
                     self.rst(stream, ErrorCode::RefusedStream, out);
                 }
-                CoreEvent::HeadersReceived { stream, headers, .. } => {
+                CoreEvent::HeadersReceived {
+                    stream, headers, ..
+                } => {
                     self.handle_request(stream, &headers, out);
                 }
                 CoreEvent::PingReceived { payload } => {
@@ -600,8 +647,15 @@ impl H2Server {
                 CoreEvent::GoawayReceived { .. } => {
                     self.closed = true;
                 }
-                CoreEvent::DataReceived { stream, flow_controlled_len, .. } => {
-                    out.extend(self.core.replenish_recv_windows(stream, flow_controlled_len));
+                CoreEvent::DataReceived {
+                    stream,
+                    flow_controlled_len,
+                    ..
+                } => {
+                    out.extend(
+                        self.core
+                            .replenish_recv_windows(stream, flow_controlled_len),
+                    );
                 }
                 CoreEvent::FlowViolation { .. } => {
                     self.goaway(ErrorCode::FlowControlError, None, out);
@@ -617,17 +671,77 @@ impl H2Server {
     }
 }
 
+/// A greeting that cannot parse as HTTP/2: a SETTINGS frame whose length
+/// is not a multiple of six — FRAME_SIZE_ERROR per RFC 7540 §6.5.
+const GARBAGE_GREETING: [u8; 14] = [0, 0, 5, 0x04, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5];
+
 impl ByteEndpoint for H2Server {
     fn on_connect(&mut self, _now: SimTime) -> Vec<u8> {
+        let byz = self.byz();
+        if byz.handshake_stall {
+            // Accepts the connection, never speaks.
+            return Vec::new();
+        }
+        if byz.garbage_preface {
+            self.silenced = true;
+            return GARBAGE_GREETING.to_vec();
+        }
         if self.cleartext {
             // Nothing to say until the client upgrades (§3.2) or sends
             // the prior-knowledge preface (§3.4).
             return Vec::new();
         }
-        self.announce_bytes()
+        self.shape_output(self.announce_bytes())
     }
 
     fn on_bytes(&mut self, _now: SimTime, bytes: &[u8]) -> Vec<u8> {
+        if self.byz().handshake_stall || self.silenced {
+            self.last_delay = SimDuration::ZERO;
+            return Vec::new();
+        }
+        let out = self.on_bytes_inner(_now, bytes);
+        self.shape_output(out)
+    }
+
+    fn processing_delay(&self) -> SimDuration {
+        self.last_delay
+    }
+
+    fn wants_reset(&self) -> bool {
+        self.reset_pending
+    }
+}
+
+impl H2Server {
+    fn byz(&self) -> h2fault::ByzantineSpec {
+        self.behavior().byzantine.unwrap_or_default()
+    }
+
+    /// Applies output-side byzantine faults (truncation, scheduled reset)
+    /// to every batch of octets the engine emits. A no-op spec passes
+    /// bytes through untouched.
+    fn shape_output(&mut self, mut out: Vec<u8>) -> Vec<u8> {
+        if self.silenced {
+            return Vec::new();
+        }
+        let byz = self.byz();
+        if let Some(limit) = byz.truncate_after {
+            let budget = limit.saturating_sub(self.emitted) as usize;
+            if out.len() > budget {
+                out.truncate(budget);
+                self.silenced = true;
+            }
+        }
+        self.emitted += out.len() as u64;
+        if let Some(limit) = byz.reset_after_bytes {
+            if self.emitted >= limit {
+                self.reset_pending = true;
+            }
+        }
+        out
+    }
+
+    fn on_bytes_inner(&mut self, _now: SimTime, bytes: &[u8]) -> Vec<u8> {
         self.last_delay = SimDuration::ZERO;
         if self.closed {
             return Vec::new();
@@ -667,12 +781,6 @@ impl ByteEndpoint for H2Server {
         self.ingest(&owned)
     }
 
-    fn processing_delay(&self) -> SimDuration {
-        self.last_delay
-    }
-}
-
-impl H2Server {
     /// The connection-start frames (announced SETTINGS plus the Nginx
     /// zero-window-then-update pattern).
     fn announce_bytes(&self) -> Vec<u8> {
@@ -696,7 +804,10 @@ impl H2Server {
             self.core.remote_settings().initial_window_size,
             self.core.local_settings().initial_window_size,
         );
-        self.core.streams_mut().get_or_create(stream, send_init, recv_init).recv_headers(true);
+        self.core
+            .streams_mut()
+            .get_or_create(stream, send_init, recv_init)
+            .recv_headers(true);
         let mut frames = Vec::new();
         self.handle_request(stream, headers, &mut frames);
         self.pump(&mut frames);
@@ -742,16 +853,15 @@ impl H2Server {
                 Header::new(":authority", host),
             ]);
             self.preface = leftover; // may already hold the preface
-            let mut out =
-                b"HTTP/1.1 101 Switching Protocols
+            let mut out = b"HTTP/1.1 101 Switching Protocols
 Connection: Upgrade
 Upgrade: h2c
 
 "
-                    .to_vec();
+            .to_vec();
             if !self.preface.is_empty() {
                 let buffered = std::mem::take(&mut self.preface);
-                out.extend(self.on_bytes(_now, &buffered));
+                out.extend(self.on_bytes_inner(_now, &buffered));
             }
             return out;
         }
@@ -828,20 +938,25 @@ mod tests {
                 Header::new(":path", path),
                 Header::new(":authority", "testbed.example"),
             ];
-            let frames =
-                self.core.encode_headers(StreamId::new(stream), &headers, true, None);
+            let frames = self
+                .core
+                .encode_headers(StreamId::new(stream), &headers, true, None);
             encode_all(&frames)
         }
 
         fn parse(&mut self, bytes: &[u8]) -> Vec<Frame> {
-            self.decoder.set_max_frame_size(h2wire::settings::MAX_MAX_FRAME_SIZE);
+            self.decoder
+                .set_max_frame_size(h2wire::settings::MAX_MAX_FRAME_SIZE);
             self.decoder.feed(bytes);
             self.decoder.drain_frames().expect("server output parses")
         }
     }
 
     fn serve(profile: ServerProfile) -> (H2Server, TestClient) {
-        (H2Server::new(profile, SiteSpec::benchmark()), TestClient::new())
+        (
+            H2Server::new(profile, SiteSpec::benchmark()),
+            TestClient::new(),
+        )
     }
 
     #[test]
@@ -885,7 +1000,7 @@ mod tests {
                 Frame::Data(d) => Some(d),
                 _ => None,
             })
-            .last()
+            .next_back()
             .unwrap();
         assert!(last_data.end_stream);
     }
@@ -1068,9 +1183,15 @@ mod tests {
             })
             .collect();
         assert_eq!(data.len(), 1);
-        assert_eq!(data[0].data.len(), 1, "payload limited to the 1-byte window");
-        assert!(frames.iter().any(|f| matches!(f, Frame::Headers(_))),
-            "HEADERS are not flow controlled on a conforming server");
+        assert_eq!(
+            data[0].data.len(),
+            1,
+            "payload limited to the 1-byte window"
+        );
+        assert!(
+            frames.iter().any(|f| matches!(f, Frame::Headers(_))),
+            "HEADERS are not flow controlled on a conforming server"
+        );
     }
 
     #[test]
@@ -1112,7 +1233,10 @@ mod tests {
         server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
         let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
         let frames = client.parse(&reply);
-        let promises = frames.iter().filter(|f| matches!(f, Frame::PushPromise(_))).count();
+        let promises = frames
+            .iter()
+            .filter(|f| matches!(f, Frame::PushPromise(_)))
+            .count();
         assert_eq!(promises, 2);
         // Pushed streams are even.
         for f in &frames {
@@ -1147,6 +1271,118 @@ mod tests {
         let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
         let frames = client.parse(&reply);
         assert!(!frames.iter().any(|f| matches!(f, Frame::PushPromise(_))));
+    }
+
+    #[test]
+    fn byzantine_handshake_stall_never_speaks() {
+        let mut profile = ServerProfile::rfc7540();
+        profile.behavior.byzantine = Some(h2fault::ByzantineSpec {
+            handshake_stall: true,
+            ..h2fault::ByzantineSpec::default()
+        });
+        let (mut server, mut client) = serve(profile);
+        assert!(server.on_connect(SimTime::ZERO).is_empty());
+        assert!(server
+            .on_bytes(SimTime::ZERO, &client.preface_and_settings())
+            .is_empty());
+        assert!(server
+            .on_bytes(SimTime::ZERO, &client.request(1, "/"))
+            .is_empty());
+    }
+
+    #[test]
+    fn byzantine_garbage_preface_is_unparseable_then_silence() {
+        let mut profile = ServerProfile::rfc7540();
+        profile.behavior.byzantine = Some(h2fault::ByzantineSpec {
+            garbage_preface: true,
+            ..h2fault::ByzantineSpec::default()
+        });
+        let (mut server, client) = serve(profile);
+        let greeting = server.on_connect(SimTime::ZERO);
+        assert!(!greeting.is_empty());
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&greeting);
+        assert!(decoder.drain_frames().is_err(), "greeting must not parse");
+        assert!(server
+            .on_bytes(SimTime::ZERO, &client.preface_and_settings())
+            .is_empty());
+    }
+
+    #[test]
+    fn byzantine_truncation_cuts_output_then_goes_silent() {
+        let mut profile = ServerProfile::rfc7540();
+        profile.behavior.byzantine = Some(h2fault::ByzantineSpec {
+            truncate_after: Some(16),
+            ..h2fault::ByzantineSpec::default()
+        });
+        let (mut server, mut client) = serve(profile);
+        let greeting = server.on_connect(SimTime::ZERO);
+        let reply = server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        assert!(greeting.len() + reply.len() <= 16);
+        assert!(server
+            .on_bytes(SimTime::ZERO, &client.request(1, "/"))
+            .is_empty());
+    }
+
+    #[test]
+    fn byzantine_reset_raises_wants_reset_after_budget() {
+        let mut profile = ServerProfile::rfc7540();
+        profile.behavior.byzantine = Some(h2fault::ByzantineSpec {
+            reset_after_bytes: Some(64),
+            ..h2fault::ByzantineSpec::default()
+        });
+        let (mut server, mut client) = serve(profile);
+        server.on_connect(SimTime::ZERO);
+        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        assert!(!server.wants_reset(), "greeting alone is under budget");
+        server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        assert!(
+            server.wants_reset(),
+            "response pushes emitted past 64 octets"
+        );
+    }
+
+    #[test]
+    fn byzantine_trickle_emits_one_tiny_chunk_per_exchange() {
+        let mut profile = ServerProfile::rfc7540();
+        profile.behavior.byzantine = Some(h2fault::ByzantineSpec {
+            trickle_data: Some(16),
+            trickle_delay: SimDuration::from_millis(300),
+            ..h2fault::ByzantineSpec::default()
+        });
+        let (mut server, mut client) = serve(profile);
+        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/big/0"));
+        let frames = client.parse(&reply);
+        let data: Vec<_> = frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Data(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(data.len(), 1, "one dribble per exchange: {frames:?}");
+        assert!(data[0].data.len() <= 16);
+        assert!(!data[0].end_stream);
+        assert!(server.processing_delay() >= SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn no_byzantine_spec_means_identical_output() {
+        let (mut plain, mut client_a) = serve(ServerProfile::nginx());
+        let mut noop = ServerProfile::nginx();
+        noop.behavior.byzantine = Some(h2fault::ByzantineSpec::default());
+        let (mut shaped, mut client_b) = serve(noop);
+        for server in [&mut plain, &mut shaped] {
+            server.on_connect(SimTime::ZERO);
+        }
+        let a = plain.on_bytes(SimTime::ZERO, &client_a.preface_and_settings());
+        let b = shaped.on_bytes(SimTime::ZERO, &client_b.preface_and_settings());
+        assert_eq!(a, b);
+        let a = plain.on_bytes(SimTime::ZERO, &client_a.request(1, "/"));
+        let b = shaped.on_bytes(SimTime::ZERO, &client_b.request(1, "/"));
+        assert_eq!(a, b);
+        assert!(!plain.wants_reset() && !shaped.wants_reset());
     }
 
     #[test]

@@ -54,7 +54,11 @@ impl ServerProfile {
             .with(SettingId::MaxFrameSize, 16_384);
         b.zero_window_then_update = Some(65_535);
         b.h2c_upgrade = false; // stock nginx 1.9 had no h2c upgrade path
-        ServerProfile { name: "Nginx".into(), version: "1.9.15".into(), behavior: b }
+        ServerProfile {
+            name: "Nginx".into(),
+            version: "1.9.15".into(),
+            behavior: b,
+        }
     }
 
     /// LiteSpeed v5.0.11 (column 2).
@@ -74,7 +78,11 @@ impl ServerProfile {
             .with(SettingId::InitialWindowSize, 65_536)
             .with(SettingId::MaxFrameSize, 16_384);
         b.h2c_upgrade = false;
-        ServerProfile { name: "LiteSpeed".into(), version: "5.0.11".into(), behavior: b }
+        ServerProfile {
+            name: "LiteSpeed".into(),
+            version: "5.0.11".into(),
+            behavior: b,
+        }
     }
 
     /// H2O v1.6.2 (column 3).
@@ -92,7 +100,11 @@ impl ServerProfile {
             .with(SettingId::MaxConcurrentStreams, 100)
             .with(SettingId::InitialWindowSize, 16_777_216)
             .with(SettingId::MaxFrameSize, 16_384);
-        ServerProfile { name: "H2O".into(), version: "1.6.2".into(), behavior: b }
+        ServerProfile {
+            name: "H2O".into(),
+            version: "1.6.2".into(),
+            behavior: b,
+        }
     }
 
     /// nghttpd v1.12.0 (column 4).
@@ -110,7 +122,11 @@ impl ServerProfile {
             .with(SettingId::MaxConcurrentStreams, 100)
             .with(SettingId::InitialWindowSize, 65_535)
             .with(SettingId::MaxFrameSize, 16_384);
-        ServerProfile { name: "nghttpd".into(), version: "1.12.0".into(), behavior: b }
+        ServerProfile {
+            name: "nghttpd".into(),
+            version: "1.12.0".into(),
+            behavior: b,
+        }
     }
 
     /// Tengine v2.1.2 (column 5) — an Nginx derivative and it shows.
@@ -137,7 +153,11 @@ impl ServerProfile {
             .with(SettingId::MaxConcurrentStreams, 100)
             .with(SettingId::InitialWindowSize, 65_535)
             .with(SettingId::MaxFrameSize, 16_384);
-        ServerProfile { name: "Apache".into(), version: "2.4.23".into(), behavior: b }
+        ServerProfile {
+            name: "Apache".into(),
+            version: "2.4.23".into(),
+            behavior: b,
+        }
     }
 
     /// The RFC 7540 reference endpoint — Table III's final column.
@@ -166,7 +186,11 @@ impl ServerProfile {
             .with(SettingId::MaxFrameSize, 16_777_215)
             .with(SettingId::MaxHeaderListSize, 16_384);
         b.h2c_upgrade = false;
-        ServerProfile { name: "GSE".into(), version: "-".into(), behavior: b }
+        ServerProfile {
+            name: "GSE".into(),
+            version: "-".into(),
+            behavior: b,
+        }
     }
 
     /// cloudflare-nginx: an Nginx derivative with Cloudflare patches
@@ -201,7 +225,11 @@ impl ServerProfile {
             .with(SettingId::InitialWindowSize, 65_535)
             .with(SettingId::MaxFrameSize, 16_384)
             .with(SettingId::MaxHeaderListSize, 16_384);
-        ServerProfile { name: "IdeaWebServer".into(), version: "0.80".into(), behavior: b }
+        ServerProfile {
+            name: "IdeaWebServer".into(),
+            version: "0.80".into(),
+            behavior: b,
+        }
     }
 
     /// Tengine/Aserver — the tmall.com fleet that renamed itself between
@@ -226,9 +254,14 @@ mod tests {
 
     #[test]
     fn testbed_has_six_profiles_in_paper_order() {
-        let names: Vec<String> =
-            ServerProfile::testbed().into_iter().map(|p| p.name).collect();
-        assert_eq!(names, ["Nginx", "LiteSpeed", "H2O", "nghttpd", "Tengine", "Apache"]);
+        let names: Vec<String> = ServerProfile::testbed()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(
+            names,
+            ["Nginx", "LiteSpeed", "H2O", "nghttpd", "Tengine", "Apache"]
+        );
     }
 
     #[test]
@@ -240,8 +273,16 @@ mod tests {
             .iter()
             .zip(expected_stream.iter().zip(expected_conn.iter()))
         {
-            assert_eq!(&profile.behavior.zero_window_update_stream, s, "{}", profile.name);
-            assert_eq!(&profile.behavior.zero_window_update_conn, c, "{}", profile.name);
+            assert_eq!(
+                &profile.behavior.zero_window_update_stream, s,
+                "{}",
+                profile.name
+            );
+            assert_eq!(
+                &profile.behavior.zero_window_update_conn, c,
+                "{}",
+                profile.name
+            );
         }
     }
 
@@ -249,8 +290,9 @@ mod tests {
     fn table_iii_push_and_priority_rows() {
         let push = [false, false, true, true, false, true];
         let priority = [false, false, true, true, false, true];
-        for (profile, (p, pr)) in
-            ServerProfile::testbed().iter().zip(push.iter().zip(priority.iter()))
+        for (profile, (p, pr)) in ServerProfile::testbed()
+            .iter()
+            .zip(push.iter().zip(priority.iter()))
         {
             assert_eq!(&profile.behavior.push, p, "{} push", profile.name);
             assert_eq!(
@@ -293,8 +335,17 @@ mod tests {
 
     #[test]
     fn nginx_family_announces_zero_window_then_updates() {
-        assert_eq!(ServerProfile::nginx().behavior.zero_window_then_update, Some(65_535));
-        assert_eq!(ServerProfile::tengine().behavior.zero_window_then_update, Some(65_535));
-        assert_eq!(ServerProfile::apache().behavior.zero_window_then_update, None);
+        assert_eq!(
+            ServerProfile::nginx().behavior.zero_window_then_update,
+            Some(65_535)
+        );
+        assert_eq!(
+            ServerProfile::tengine().behavior.zero_window_then_update,
+            Some(65_535)
+        );
+        assert_eq!(
+            ServerProfile::apache().behavior.zero_window_then_update,
+            None
+        );
     }
 }

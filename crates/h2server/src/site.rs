@@ -18,12 +18,22 @@ pub struct Resource {
 
 impl Resource {
     /// Creates a resource with a synthetic body of `size` octets.
-    pub fn synthetic(path: impl Into<String>, content_type: impl Into<String>, size: usize) -> Resource {
+    pub fn synthetic(
+        path: impl Into<String>,
+        content_type: impl Into<String>,
+        size: usize,
+    ) -> Resource {
         let path = path.into();
         // Deterministic, mildly compressible content keyed by the path.
         let seed = path.bytes().fold(0u8, u8::wrapping_add);
-        let body: Vec<u8> = (0..size).map(|i| seed.wrapping_add((i % 251) as u8)).collect();
-        Resource { path, content_type: content_type.into(), body: Bytes::from(body) }
+        let body: Vec<u8> = (0..size)
+            .map(|i| seed.wrapping_add((i % 251) as u8))
+            .collect();
+        Resource {
+            path,
+            content_type: content_type.into(),
+            body: Bytes::from(body),
+        }
     }
 }
 
@@ -41,7 +51,10 @@ pub struct SiteSpec {
 impl SiteSpec {
     /// An empty site for `authority`.
     pub fn new(authority: impl Into<String>) -> SiteSpec {
-        SiteSpec { authority: authority.into(), ..SiteSpec::default() }
+        SiteSpec {
+            authority: authority.into(),
+            ..SiteSpec::default()
+        }
     }
 
     /// Adds a resource, replacing any previous one at the same path.
@@ -82,7 +95,11 @@ impl SiteSpec {
             ));
         }
         site.add(Resource::synthetic("/style.css", "text/css", 8_192));
-        site.add(Resource::synthetic("/app.js", "application/javascript", 16_384));
+        site.add(Resource::synthetic(
+            "/app.js",
+            "application/javascript",
+            16_384,
+        ));
         site.add(Resource::synthetic("/logo.png", "image/png", 32_768));
         site
     }
@@ -128,7 +145,10 @@ mod tests {
         let site = SiteSpec::benchmark();
         assert!(site.resource("/").is_some());
         let big = site.resource("/big/0").unwrap();
-        assert!(big.body.len() >= 4 * 65_535, "must span multiple flow-control windows");
+        assert!(
+            big.body.len() >= 4 * 65_535,
+            "must span multiple flow-control windows"
+        );
     }
 
     #[test]

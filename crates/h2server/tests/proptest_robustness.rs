@@ -2,8 +2,9 @@
 //! bytes arrive — junk, truncated frames, or valid-but-hostile sequences.
 
 use h2server::{H2Server, ServerProfile, SiteSpec};
-use h2wire::{encode_all, Frame, PingFrame, SettingsFrame, StreamId, WindowUpdateFrame,
-             CONNECTION_PREFACE};
+use h2wire::{
+    encode_all, Frame, PingFrame, SettingsFrame, StreamId, WindowUpdateFrame, CONNECTION_PREFACE,
+};
 use netsim::pipe::ByteEndpoint;
 use netsim::SimTime;
 use proptest::prelude::*;

@@ -43,7 +43,11 @@ impl Client {
             Header::new(":path", path),
             Header::new(":authority", "testbed.example"),
         ];
-        encode_all(&self.core.encode_headers(StreamId::new(stream), &headers, true, None))
+        encode_all(
+            &self
+                .core
+                .encode_headers(StreamId::new(stream), &headers, true, None),
+        )
     }
 
     fn frames(&mut self, bytes: &[u8]) -> Vec<Frame> {
@@ -82,7 +86,10 @@ fn round_robin_servers_interleave_fairly() {
     // remainder frame; both streams must appear before either repeats
     // twice in a row more than once.
     assert!(sequence.len() >= 4, "{sequence:?}");
-    assert!(sequence.contains(&1) && sequence.contains(&3), "{sequence:?}");
+    assert!(
+        sequence.contains(&1) && sequence.contains(&3),
+        "{sequence:?}"
+    );
     let switches = sequence.windows(2).filter(|w| w[0] != w[1]).count();
     assert!(switches >= 2, "round-robin must alternate: {sequence:?}");
 }
@@ -100,7 +107,10 @@ fn sequential_server_finishes_one_response_before_the_next() {
     let sequence = data_sequence(&client.frames(&reply));
     let first_3 = sequence.iter().position(|&s| s == 3).unwrap();
     let last_1 = sequence.iter().rposition(|&s| s == 1).unwrap();
-    assert!(last_1 < first_3, "stream 1 completes before stream 3 starts: {sequence:?}");
+    assert!(
+        last_1 < first_3,
+        "stream 1 completes before stream 3 starts: {sequence:?}"
+    );
 }
 
 #[test]

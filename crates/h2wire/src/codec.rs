@@ -23,7 +23,10 @@ pub fn decode_one(
     }
     let header = FrameHeader::decode(buf)?;
     if header.length > max_frame_size {
-        return Err(DecodeFrameError::FrameTooLarge { length: header.length, max: max_frame_size });
+        return Err(DecodeFrameError::FrameTooLarge {
+            length: header.length,
+            max: max_frame_size,
+        });
     }
     let total = FRAME_HEADER_LEN + header.length as usize;
     if buf.len() < total {
@@ -52,7 +55,10 @@ impl Default for FrameDecoder {
 impl FrameDecoder {
     /// Creates a decoder with the protocol-default max frame size (16,384).
     pub fn new() -> FrameDecoder {
-        FrameDecoder { buf: Vec::new(), max_frame_size: crate::settings::DEFAULT_MAX_FRAME_SIZE }
+        FrameDecoder {
+            buf: Vec::new(),
+            max_frame_size: crate::settings::DEFAULT_MAX_FRAME_SIZE,
+        }
     }
 
     /// Adjusts the maximum frame size this decoder will accept, typically
@@ -166,7 +172,13 @@ mod tests {
         // Header declaring a 17-byte DATA payload on stream 1.
         dec.feed(&[0, 0, 17, 0, 0, 0, 0, 0, 1]);
         let err = dec.next_frame().unwrap_err();
-        assert_eq!(err, DecodeFrameError::FrameTooLarge { length: 17, max: 16 });
+        assert_eq!(
+            err,
+            DecodeFrameError::FrameTooLarge {
+                length: 17,
+                max: 16
+            }
+        );
     }
 
     #[test]

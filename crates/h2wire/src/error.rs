@@ -163,7 +163,10 @@ impl fmt::Display for DecodeFrameError {
                 write!(f, "frame length {length} exceeds max frame size {max}")
             }
             DecodeFrameError::InvalidLength { kind, length } => {
-                write!(f, "invalid payload length {length} for frame type {kind:#x}")
+                write!(
+                    f,
+                    "invalid payload length {length} for frame type {kind:#x}"
+                )
             }
             DecodeFrameError::InvalidStreamId { kind, stream_id } => {
                 write!(f, "invalid stream id {stream_id} for frame type {kind:#x}")
@@ -221,16 +224,25 @@ mod tests {
 
     #[test]
     fn display_names_match_rfc() {
-        assert_eq!(ErrorCode::FlowControlError.to_string(), "FLOW_CONTROL_ERROR");
+        assert_eq!(
+            ErrorCode::FlowControlError.to_string(),
+            "FLOW_CONTROL_ERROR"
+        );
         assert_eq!(ErrorCode::EnhanceYourCalm.to_string(), "ENHANCE_YOUR_CALM");
         assert_eq!(ErrorCode::Unknown(0x20).to_string(), "UNKNOWN(0x20)");
     }
 
     #[test]
     fn decode_error_maps_to_h2_code() {
-        let err = DecodeFrameError::FrameTooLarge { length: 1 << 20, max: 16_384 };
+        let err = DecodeFrameError::FrameTooLarge {
+            length: 1 << 20,
+            max: 16_384,
+        };
         assert_eq!(err.h2_error_code(), ErrorCode::FrameSizeError);
-        let err = DecodeFrameError::InvalidSettingValue { id: 0x4, value: u32::MAX };
+        let err = DecodeFrameError::InvalidSettingValue {
+            id: 0x4,
+            value: u32::MAX,
+        };
         assert_eq!(err.h2_error_code(), ErrorCode::FlowControlError);
         let err = DecodeFrameError::InvalidPadding;
         assert_eq!(err.h2_error_code(), ErrorCode::ProtocolError);

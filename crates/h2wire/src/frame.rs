@@ -23,7 +23,11 @@ impl PrioritySpec {
     /// The default priority given to new streams: non-exclusive dependency
     /// on stream 0 with weight 16 (RFC 7540 §5.3.5).
     pub fn default_spec() -> PrioritySpec {
-        PrioritySpec { exclusive: false, dependency: StreamId::CONNECTION, weight: 16 }
+        PrioritySpec {
+            exclusive: false,
+            dependency: StreamId::CONNECTION,
+            weight: 16,
+        }
     }
 
     fn encode(&self, out: &mut Vec<u8>) {
@@ -126,13 +130,19 @@ pub struct SettingsFrame {
 impl SettingsFrame {
     /// An acknowledgement frame.
     pub fn ack() -> SettingsFrame {
-        SettingsFrame { ack: true, settings: Settings::new() }
+        SettingsFrame {
+            ack: true,
+            settings: Settings::new(),
+        }
     }
 }
 
 impl From<Settings> for SettingsFrame {
     fn from(settings: Settings) -> SettingsFrame {
-        SettingsFrame { ack: false, settings }
+        SettingsFrame {
+            ack: false,
+            settings,
+        }
     }
 }
 
@@ -163,12 +173,18 @@ pub struct PingFrame {
 impl PingFrame {
     /// A ping request carrying `payload`.
     pub fn request(payload: [u8; 8]) -> PingFrame {
-        PingFrame { ack: false, payload }
+        PingFrame {
+            ack: false,
+            payload,
+        }
     }
 
     /// The acknowledgement for a received ping.
     pub fn ack_of(&self) -> PingFrame {
-        PingFrame { ack: true, payload: self.payload }
+        PingFrame {
+            ack: true,
+            payload: self.payload,
+        }
     }
 }
 
@@ -375,8 +391,13 @@ impl Frame {
                 (FrameKind::Unknown(f.kind), f.flags, f.stream_id)
             }
         };
-        FrameHeader { length: payload.len() as u32, kind, flags: frame_flags, stream_id }
-            .encode(out);
+        FrameHeader {
+            length: payload.len() as u32,
+            kind,
+            flags: frame_flags,
+            stream_id,
+        }
+        .encode(out);
         out.extend_from_slice(&payload);
     }
 
@@ -402,7 +423,10 @@ impl Frame {
         let kind_byte = header.kind.to_u8();
         let require_stream = |hdr: &FrameHeader| {
             if hdr.stream_id.is_connection() {
-                Err(DecodeFrameError::InvalidStreamId { kind: kind_byte, stream_id: 0 })
+                Err(DecodeFrameError::InvalidStreamId {
+                    kind: kind_byte,
+                    stream_id: 0,
+                })
             } else {
                 Ok(())
             }
@@ -508,7 +532,10 @@ impl Frame {
                 }
                 let mut buf = [0u8; 8];
                 buf.copy_from_slice(payload);
-                Ok(Frame::Ping(PingFrame { ack: header.has_flag(flags::ACK), payload: buf }))
+                Ok(Frame::Ping(PingFrame {
+                    ack: header.has_flag(flags::ACK),
+                    payload: buf,
+                }))
             }
             FrameKind::Goaway => {
                 require_connection(&header)?;
@@ -621,7 +648,11 @@ mod tests {
     fn priority_frame_round_trip() {
         let frame = Frame::Priority(PriorityFrame {
             stream_id: StreamId::new(7),
-            spec: PrioritySpec { exclusive: false, dependency: StreamId::new(5), weight: 1 },
+            spec: PrioritySpec {
+                exclusive: false,
+                dependency: StreamId::new(5),
+                weight: 1,
+            },
         });
         assert_eq!(round_trip(frame.clone()), frame);
     }
@@ -689,8 +720,10 @@ mod tests {
     fn zero_window_update_is_representable() {
         // The paper sends zero increments on purpose (§III-B3); the codec
         // must carry them so the *endpoint* can classify the violation.
-        let frame =
-            Frame::WindowUpdate(WindowUpdateFrame { stream_id: StreamId::new(1), increment: 0 });
+        let frame = Frame::WindowUpdate(WindowUpdateFrame {
+            stream_id: StreamId::new(1),
+            increment: 0,
+        });
         assert_eq!(round_trip(frame.clone()), frame);
     }
 
@@ -700,7 +733,13 @@ mod tests {
         bytes[2] = 7; // shrink declared length
         bytes.truncate(9 + 7);
         let err = decode_one(&bytes, 16_384).unwrap_err();
-        assert!(matches!(err, DecodeFrameError::InvalidLength { kind: 0x6, length: 7 }));
+        assert!(matches!(
+            err,
+            DecodeFrameError::InvalidLength {
+                kind: 0x6,
+                length: 7
+            }
+        ));
     }
 
     #[test]
@@ -714,7 +753,13 @@ mod tests {
         let mut bytes = frame.to_bytes();
         bytes[5..9].copy_from_slice(&0u32.to_be_bytes()); // rewrite stream id to 0
         let err = decode_one(&bytes, 16_384).unwrap_err();
-        assert!(matches!(err, DecodeFrameError::InvalidStreamId { kind: 0x0, stream_id: 0 }));
+        assert!(matches!(
+            err,
+            DecodeFrameError::InvalidStreamId {
+                kind: 0x0,
+                stream_id: 0
+            }
+        ));
     }
 
     #[test]
@@ -722,7 +767,13 @@ mod tests {
         let mut bytes = Frame::Settings(SettingsFrame::ack()).to_bytes();
         bytes[5..9].copy_from_slice(&3u32.to_be_bytes());
         let err = decode_one(&bytes, 16_384).unwrap_err();
-        assert!(matches!(err, DecodeFrameError::InvalidStreamId { kind: 0x4, stream_id: 3 }));
+        assert!(matches!(
+            err,
+            DecodeFrameError::InvalidStreamId {
+                kind: 0x4,
+                stream_id: 3
+            }
+        ));
     }
 
     #[test]
@@ -755,7 +806,11 @@ mod tests {
     fn weight_encodes_as_value_minus_one() {
         let frame = Frame::Priority(PriorityFrame {
             stream_id: StreamId::new(3),
-            spec: PrioritySpec { exclusive: false, dependency: StreamId::CONNECTION, weight: 1 },
+            spec: PrioritySpec {
+                exclusive: false,
+                dependency: StreamId::CONNECTION,
+                weight: 1,
+            },
         });
         let bytes = frame.to_bytes();
         assert_eq!(bytes[9 + 4], 0); // weight 1 -> wire 0

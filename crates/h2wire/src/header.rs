@@ -113,7 +113,12 @@ impl FrameHeader {
         let kind = FrameKind::from(buf[3]);
         let flags = buf[4];
         let raw_id = u32::from_be_bytes([buf[5], buf[6], buf[7], buf[8]]);
-        Ok(FrameHeader { length, kind, flags, stream_id: StreamId::new(raw_id) })
+        Ok(FrameHeader {
+            length,
+            kind,
+            flags,
+            stream_id: StreamId::new(raw_id),
+        })
     }
 
     /// Serializes this header into nine octets.
@@ -159,7 +164,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_short_input() {
-        assert_eq!(FrameHeader::decode(&[0; 8]), Err(DecodeFrameError::Truncated));
+        assert_eq!(
+            FrameHeader::decode(&[0; 8]),
+            Err(DecodeFrameError::Truncated)
+        );
     }
 
     #[test]

@@ -37,8 +37,7 @@ pub use codec::{decode_one, encode_all, FrameDecoder};
 pub use error::{DecodeFrameError, ErrorCode};
 pub use frame::{
     ContinuationFrame, DataFrame, Frame, GoawayFrame, HeadersFrame, PingFrame, PriorityFrame,
-    PrioritySpec, PushPromiseFrame, RstStreamFrame, SettingsFrame, UnknownFrame,
-    WindowUpdateFrame,
+    PrioritySpec, PushPromiseFrame, RstStreamFrame, SettingsFrame, UnknownFrame, WindowUpdateFrame,
 };
 pub use header::{FrameHeader, FrameKind, FRAME_HEADER_LEN};
 pub use settings::{SettingId, Settings};

@@ -97,7 +97,11 @@ impl Settings {
 
     /// The effective value of a parameter: the last occurrence wins.
     pub fn get(&self, id: SettingId) -> Option<u32> {
-        self.params.iter().rev().find(|(i, _)| *i == id).map(|(_, v)| *v)
+        self.params
+            .iter()
+            .rev()
+            .find(|(i, _)| *i == id)
+            .map(|(_, v)| *v)
     }
 
     /// Iterates parameters in wire order.
@@ -133,7 +137,10 @@ impl Settings {
                 _ => false,
             };
             if bad {
-                return Err(DecodeFrameError::InvalidSettingValue { id: id.to_u16(), value });
+                return Err(DecodeFrameError::InvalidSettingValue {
+                    id: id.to_u16(),
+                    value,
+                });
             }
         }
         Ok(())
@@ -154,7 +161,7 @@ impl Settings {
     /// Returns [`DecodeFrameError::InvalidLength`] when the payload is not
     /// a multiple of six octets, and propagates value validation errors.
     pub fn decode(payload: &[u8]) -> Result<Settings, DecodeFrameError> {
-        if payload.len() % 6 != 0 {
+        if !payload.len().is_multiple_of(6) {
             return Err(DecodeFrameError::InvalidLength {
                 kind: 0x4,
                 length: payload.len() as u32,
@@ -173,7 +180,9 @@ impl Settings {
 
 impl FromIterator<(SettingId, u32)> for Settings {
     fn from_iter<T: IntoIterator<Item = (SettingId, u32)>>(iter: T) -> Settings {
-        Settings { params: iter.into_iter().collect() }
+        Settings {
+            params: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -210,7 +219,10 @@ mod tests {
     fn decode_rejects_misaligned_payload() {
         assert!(matches!(
             Settings::decode(&[0; 5]),
-            Err(DecodeFrameError::InvalidLength { kind: 0x4, length: 5 })
+            Err(DecodeFrameError::InvalidLength {
+                kind: 0x4,
+                length: 5
+            })
         ));
     }
 
@@ -230,9 +242,18 @@ mod tests {
 
     #[test]
     fn validate_enforces_max_frame_size_bounds() {
-        assert!(Settings::new().with(SettingId::MaxFrameSize, 16_383).validate().is_err());
-        assert!(Settings::new().with(SettingId::MaxFrameSize, 16_384).validate().is_ok());
-        assert!(Settings::new().with(SettingId::MaxFrameSize, MAX_MAX_FRAME_SIZE).validate().is_ok());
+        assert!(Settings::new()
+            .with(SettingId::MaxFrameSize, 16_383)
+            .validate()
+            .is_err());
+        assert!(Settings::new()
+            .with(SettingId::MaxFrameSize, 16_384)
+            .validate()
+            .is_ok());
+        assert!(Settings::new()
+            .with(SettingId::MaxFrameSize, MAX_MAX_FRAME_SIZE)
+            .validate()
+            .is_ok());
         assert!(Settings::new()
             .with(SettingId::MaxFrameSize, MAX_MAX_FRAME_SIZE + 1)
             .validate()

@@ -38,7 +38,7 @@ impl StreamId {
 
     /// `true` when this id can be initiated by a server (even, nonzero).
     pub fn is_server_initiated(self) -> bool {
-        self.0 != 0 && self.0 % 2 == 0
+        self.0 != 0 && self.0.is_multiple_of(2)
     }
 
     /// The next stream id initiated by the same endpoint, if any remain.
@@ -91,8 +91,14 @@ mod tests {
 
     #[test]
     fn next_for_same_peer_steps_by_two() {
-        assert_eq!(StreamId::new(1).next_for_same_peer(), Some(StreamId::new(3)));
-        assert_eq!(StreamId::new(2).next_for_same_peer(), Some(StreamId::new(4)));
+        assert_eq!(
+            StreamId::new(1).next_for_same_peer(),
+            Some(StreamId::new(3))
+        );
+        assert_eq!(
+            StreamId::new(2).next_for_same_peer(),
+            Some(StreamId::new(4))
+        );
         assert_eq!(StreamId::MAX.next_for_same_peer(), None);
     }
 }

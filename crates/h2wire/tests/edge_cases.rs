@@ -51,7 +51,11 @@ fn priority_spec_reserved_bit_reads_as_exclusive() {
     // The E bit is the MSB of the dependency word.
     let frame = Frame::Priority(h2wire::PriorityFrame {
         stream_id: StreamId::new(9),
-        spec: PrioritySpec { exclusive: true, dependency: StreamId::MAX, weight: 1 },
+        spec: PrioritySpec {
+            exclusive: true,
+            dependency: StreamId::MAX,
+            weight: 1,
+        },
     });
     let bytes = frame.to_bytes();
     assert_eq!(bytes[9] & 0x80, 0x80, "E bit set on the wire");
@@ -70,7 +74,10 @@ fn extension_frames_respect_the_frame_size_limit_too() {
     let bytes = frame.to_bytes();
     assert_eq!(
         decode_one(&bytes, 16_384),
-        Err(DecodeFrameError::FrameTooLarge { length: 20_000, max: 16_384 })
+        Err(DecodeFrameError::FrameTooLarge {
+            length: 20_000,
+            max: 16_384
+        })
     );
     // ...but decode fine under a raised limit.
     let (decoded, _) = decode_one(&bytes, MAX_MAX_FRAME_SIZE).unwrap().unwrap();
@@ -90,7 +97,10 @@ fn goaway_shorter_than_eight_octets_is_invalid() {
     bytes.extend_from_slice(&[0; 7]);
     assert!(matches!(
         decode_one(&bytes, 16_384),
-        Err(DecodeFrameError::InvalidLength { kind: 0x7, length: 7 })
+        Err(DecodeFrameError::InvalidLength {
+            kind: 0x7,
+            length: 7
+        })
     ));
 }
 
@@ -107,7 +117,10 @@ fn rst_stream_with_wrong_length_is_invalid() {
     bytes.extend_from_slice(&[0; 5]);
     assert!(matches!(
         decode_one(&bytes, 16_384),
-        Err(DecodeFrameError::InvalidLength { kind: 0x3, length: 5 })
+        Err(DecodeFrameError::InvalidLength {
+            kind: 0x3,
+            length: 5
+        })
     ));
 }
 

@@ -16,7 +16,11 @@ fn arb_any_stream_id() -> impl Strategy<Value = StreamId> {
 
 fn arb_priority_spec() -> impl Strategy<Value = PrioritySpec> {
     (any::<bool>(), arb_any_stream_id(), 1u16..=256).prop_map(|(exclusive, dependency, weight)| {
-        PrioritySpec { exclusive, dependency, weight }
+        PrioritySpec {
+            exclusive,
+            dependency,
+            weight,
+        }
     })
 }
 
@@ -31,36 +35,59 @@ fn arb_setting_id() -> impl Strategy<Value = SettingId> {
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        (arb_stream_id(), prop::collection::vec(any::<u8>(), 0..512), any::<bool>(),
-         prop::option::of(0u8..=32))
-            .prop_map(|(stream_id, data, end_stream, pad_len)| Frame::Data(DataFrame {
-                stream_id,
-                data: Bytes::from(data),
-                end_stream,
-                pad_len,
-            })),
-        (arb_stream_id(), prop::collection::vec(any::<u8>(), 0..256), any::<bool>(),
-         any::<bool>(), prop::option::of(arb_priority_spec()), prop::option::of(0u8..=16))
-            .prop_map(|(stream_id, frag, end_stream, end_headers, priority, pad_len)| {
-                Frame::Headers(HeadersFrame {
+        (
+            arb_stream_id(),
+            prop::collection::vec(any::<u8>(), 0..512),
+            any::<bool>(),
+            prop::option::of(0u8..=32)
+        )
+            .prop_map(
+                |(stream_id, data, end_stream, pad_len)| Frame::Data(DataFrame {
                     stream_id,
-                    fragment: Bytes::from(frag),
+                    data: Bytes::from(data),
                     end_stream,
-                    end_headers,
-                    priority,
                     pad_len,
                 })
-            }),
+            ),
+        (
+            arb_stream_id(),
+            prop::collection::vec(any::<u8>(), 0..256),
+            any::<bool>(),
+            any::<bool>(),
+            prop::option::of(arb_priority_spec()),
+            prop::option::of(0u8..=16)
+        )
+            .prop_map(
+                |(stream_id, frag, end_stream, end_headers, priority, pad_len)| {
+                    Frame::Headers(HeadersFrame {
+                        stream_id,
+                        fragment: Bytes::from(frag),
+                        end_stream,
+                        end_headers,
+                        priority,
+                        pad_len,
+                    })
+                }
+            ),
         (arb_stream_id(), arb_priority_spec())
             .prop_map(|(stream_id, spec)| Frame::Priority(PriorityFrame { stream_id, spec })),
         (arb_stream_id(), any::<u32>()).prop_map(|(stream_id, code)| {
-            Frame::RstStream(RstStreamFrame { stream_id, code: ErrorCode::from(code) })
+            Frame::RstStream(RstStreamFrame {
+                stream_id,
+                code: ErrorCode::from(code),
+            })
         }),
         prop::collection::vec((arb_setting_id(), any::<u32>()), 0..8).prop_map(|params| {
-            Frame::Settings(SettingsFrame::from(params.into_iter().collect::<Settings>()))
+            Frame::Settings(SettingsFrame::from(
+                params.into_iter().collect::<Settings>(),
+            ))
         }),
-        (arb_stream_id(), arb_stream_id(), prop::collection::vec(any::<u8>(), 0..128),
-         any::<bool>())
+        (
+            arb_stream_id(),
+            arb_stream_id(),
+            prop::collection::vec(any::<u8>(), 0..128),
+            any::<bool>()
+        )
             .prop_map(|(stream_id, promised, frag, end_headers)| {
                 Frame::PushPromise(PushPromiseFrame {
                     stream_id,
@@ -72,16 +99,27 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             }),
         (any::<bool>(), any::<[u8; 8]>())
             .prop_map(|(ack, payload)| Frame::Ping(PingFrame { ack, payload })),
-        (arb_any_stream_id(), any::<u32>(), prop::collection::vec(any::<u8>(), 0..64))
+        (
+            arb_any_stream_id(),
+            any::<u32>(),
+            prop::collection::vec(any::<u8>(), 0..64)
+        )
             .prop_map(|(last, code, debug)| Frame::Goaway(GoawayFrame {
                 last_stream_id: last,
                 code: ErrorCode::from(code),
                 debug_data: Bytes::from(debug),
             })),
         (arb_any_stream_id(), 0u32..=0x7fff_ffff).prop_map(|(stream_id, increment)| {
-            Frame::WindowUpdate(WindowUpdateFrame { stream_id, increment })
+            Frame::WindowUpdate(WindowUpdateFrame {
+                stream_id,
+                increment,
+            })
         }),
-        (arb_stream_id(), prop::collection::vec(any::<u8>(), 0..128), any::<bool>())
+        (
+            arb_stream_id(),
+            prop::collection::vec(any::<u8>(), 0..128),
+            any::<bool>()
+        )
             .prop_map(|(stream_id, frag, end_headers)| {
                 Frame::Continuation(ContinuationFrame {
                     stream_id,

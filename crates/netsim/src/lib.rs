@@ -39,7 +39,7 @@ pub mod time;
 pub mod tls;
 
 pub use link::LinkSpec;
-pub use pipe::{Arrival, ByteEndpoint, Pipe};
+pub use pipe::{Arrival, ByteEndpoint, Pipe, PipeFaults, RunOutcome};
 pub use time::{SimDuration, SimTime};
 pub use tls::{handshake, TlsConfig, TlsHandshake};
 

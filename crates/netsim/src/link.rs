@@ -108,10 +108,10 @@ impl LinkSpec {
         let tx_done = start + self.serialization_time(bytes);
         let mut arrival = tx_done + self.delay;
         if self.jitter > SimDuration::ZERO {
-            arrival = arrival + SimDuration::from_nanos(rng.gen_range(0..=self.jitter.as_nanos()));
+            arrival += SimDuration::from_nanos(rng.gen_range(0..=self.jitter.as_nanos()));
         }
         if self.loss > 0.0 && rng.gen_bool(self.loss.min(0.999_999)) {
-            arrival = arrival + self.retransmit_penalty;
+            arrival += self.retransmit_penalty;
         }
         (arrival, tx_done)
     }
@@ -125,15 +125,24 @@ mod tests {
 
     #[test]
     fn serialization_time_scales_with_bytes() {
-        let link = LinkSpec { bandwidth_bps: Some(8_000_000), ..LinkSpec::lan() };
+        let link = LinkSpec {
+            bandwidth_bps: Some(8_000_000),
+            ..LinkSpec::lan()
+        };
         // 8 Mbps = 1 byte per microsecond.
-        assert_eq!(link.serialization_time(1_000), SimDuration::from_micros(1_000));
+        assert_eq!(
+            link.serialization_time(1_000),
+            SimDuration::from_micros(1_000)
+        );
         assert_eq!(link.serialization_time(0), SimDuration::ZERO);
     }
 
     #[test]
     fn infinite_bandwidth_serializes_instantly() {
-        let link = LinkSpec { bandwidth_bps: None, ..LinkSpec::lan() };
+        let link = LinkSpec {
+            bandwidth_bps: None,
+            ..LinkSpec::lan()
+        };
         assert_eq!(link.serialization_time(1 << 20), SimDuration::ZERO);
     }
 
@@ -147,7 +156,10 @@ mod tests {
             retransmit_penalty: SimDuration::ZERO,
         };
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(link.transit_time(500, &mut rng), SimDuration::from_millis(10));
+        assert_eq!(
+            link.transit_time(500, &mut rng),
+            SimDuration::from_millis(10)
+        );
     }
 
     #[test]
@@ -161,8 +173,14 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(7);
         let samples: Vec<SimDuration> = (0..100).map(|_| link.transit_time(1, &mut rng)).collect();
-        let slow = samples.iter().filter(|d| **d > SimDuration::from_millis(50)).count();
-        assert!((20..=80).contains(&slow), "retransmits in a plausible band: {slow}");
+        let slow = samples
+            .iter()
+            .filter(|d| **d > SimDuration::from_millis(50))
+            .count();
+        assert!(
+            (20..=80).contains(&slow),
+            "retransmits in a plausible band: {slow}"
+        );
     }
 
     #[test]
@@ -175,8 +193,7 @@ mod tests {
             retransmit_penalty: SimDuration::ZERO,
         };
         let mut rng = StdRng::seed_from_u64(3);
-        let (arrival1, busy1) =
-            link.schedule(SimTime::ZERO, SimTime::ZERO, 1_000, &mut rng);
+        let (arrival1, busy1) = link.schedule(SimTime::ZERO, SimTime::ZERO, 1_000, &mut rng);
         assert_eq!(busy1, SimTime::ZERO + SimDuration::from_millis(1));
         assert_eq!(arrival1, SimTime::ZERO + SimDuration::from_millis(6));
         // Second send queued while the first is still serializing.

@@ -28,6 +28,53 @@ pub trait ByteEndpoint {
     fn processing_delay(&self) -> SimDuration {
         SimDuration::ZERO
     }
+
+    /// `true` when the endpoint wants the transport torn down with a TCP
+    /// reset (byzantine mid-stream resets). Checked after every
+    /// [`ByteEndpoint::on_bytes`] call.
+    fn wants_reset(&self) -> bool {
+        false
+    }
+}
+
+/// Transport-level fault injection: scheduled connection cuts and
+/// black-hole stalls, layered onto a [`Pipe`] without disturbing its
+/// random stream (a default `PipeFaults` is a strict no-op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipeFaults {
+    /// Cut the connection (TCP reset) once this many octets have crossed
+    /// it, in both directions combined.
+    pub drop_after_bytes: Option<u64>,
+    /// Cut the connection at this virtual time.
+    pub drop_at: Option<SimTime>,
+    /// Silently discard every delivery after this many octets have
+    /// crossed: the connection looks open but nothing ever arrives (the
+    /// stalled-forever link; `Some(0)` black-holes from the first byte).
+    pub stall_after_bytes: Option<u64>,
+}
+
+impl PipeFaults {
+    /// No injected faults (the default).
+    pub fn none() -> PipeFaults {
+        PipeFaults::default()
+    }
+
+    /// `true` when no fault is armed.
+    pub fn is_none(&self) -> bool {
+        *self == PipeFaults::default()
+    }
+}
+
+/// How a delivery-loop run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every queued delivery was processed.
+    Quiescent,
+    /// Deliveries remain, but the next one is past the caller's deadline.
+    DeadlineExpired,
+    /// The connection was cut (scheduled fault or endpoint-requested
+    /// reset); nothing further will ever arrive.
+    ConnectionReset,
 }
 
 #[derive(Debug)]
@@ -89,6 +136,8 @@ pub struct Pipe<E> {
     down_last_arrival: SimTime,
     rng: StdRng,
     inbox: Vec<Arrival>,
+    faults: PipeFaults,
+    reset: bool,
     /// Total octets delivered to the client (response volume accounting).
     pub bytes_to_client: u64,
     /// Total octets delivered to the server.
@@ -122,6 +171,8 @@ impl<E: ByteEndpoint> Pipe<E> {
             down_last_arrival: SimTime::ZERO,
             rng: StdRng::seed_from_u64(seed),
             inbox: Vec::new(),
+            faults: PipeFaults::default(),
+            reset: false,
             bytes_to_client: 0,
             bytes_to_server: 0,
         };
@@ -156,15 +207,29 @@ impl<E: ByteEndpoint> Pipe<E> {
         &mut self.server
     }
 
+    /// Arms transport-level fault injection. A default [`PipeFaults`] is a
+    /// strict no-op: it adds no checks that consume randomness and changes
+    /// no delivery timing.
+    pub fn set_faults(&mut self, faults: PipeFaults) {
+        self.faults = faults;
+    }
+
+    /// `true` once the connection has been cut by a fault or an
+    /// endpoint-requested reset.
+    pub fn is_reset(&self) -> bool {
+        self.reset
+    }
+
     /// Queues client bytes for delivery to the server at the appropriate
-    /// link-modeled time.
+    /// link-modeled time. Silently dropped once the connection is reset.
     pub fn client_send(&mut self, bytes: impl Into<Vec<u8>>) {
         let bytes = bytes.into();
-        if bytes.is_empty() {
+        if bytes.is_empty() || self.reset {
             return;
         }
         let (arrival, busy) =
-            self.uplink.schedule(self.clock, self.up_busy, bytes.len(), &mut self.rng);
+            self.uplink
+                .schedule(self.clock, self.up_busy, bytes.len(), &mut self.rng);
         self.up_busy = busy;
         let arrival = arrival.max(self.up_last_arrival);
         self.up_last_arrival = arrival;
@@ -175,11 +240,57 @@ impl<E: ByteEndpoint> Pipe<E> {
     /// segment that reached the client (time-stamped, in arrival order).
     /// The clock advances to the last processed event.
     pub fn run_to_quiescence(&mut self) -> Vec<Arrival> {
-        while let Some(delivery) = self.queue.pop() {
+        self.run(None).0
+    }
+
+    /// Runs the delivery loop, but stops before processing any delivery
+    /// scheduled after `deadline` (the clock then rests at `deadline`).
+    /// Returns the segments that reached the client plus how the run
+    /// ended. Deliveries past the deadline stay queued.
+    pub fn run_until(&mut self, deadline: SimTime) -> (Vec<Arrival>, RunOutcome) {
+        self.run(Some(deadline))
+    }
+
+    fn run(&mut self, deadline: Option<SimTime>) -> (Vec<Arrival>, RunOutcome) {
+        let mut outcome = if self.reset {
+            RunOutcome::ConnectionReset
+        } else {
+            RunOutcome::Quiescent
+        };
+        while !self.reset {
+            let Some(next_at) = self.queue.peek().map(|d| d.at) else {
+                break;
+            };
+            if let Some(deadline) = deadline {
+                if next_at > deadline {
+                    self.clock = self.clock.max(deadline);
+                    outcome = RunOutcome::DeadlineExpired;
+                    break;
+                }
+            }
+            let delivery = self.queue.pop().expect("peeked above");
+            if let Some(cut_at) = self.faults.drop_at {
+                if delivery.at >= cut_at {
+                    self.clock = self.clock.max(cut_at);
+                    self.cut();
+                    outcome = RunOutcome::ConnectionReset;
+                    break;
+                }
+            }
             self.clock = self.clock.max(delivery.at);
+            if let Some(limit) = self.faults.stall_after_bytes {
+                if self.bytes_to_server + self.bytes_to_client >= limit {
+                    continue; // black hole: the segment never arrives
+                }
+            }
             if delivery.to_server {
                 self.bytes_to_server += delivery.bytes.len() as u64;
                 let response = self.server.on_bytes(self.clock, &delivery.bytes);
+                if self.server.wants_reset() {
+                    self.cut();
+                    outcome = RunOutcome::ConnectionReset;
+                    break;
+                }
                 if !response.is_empty() {
                     let ready = self.clock + self.server.processing_delay();
                     let (arrival, busy) = self.downlink.schedule(
@@ -195,10 +306,25 @@ impl<E: ByteEndpoint> Pipe<E> {
                 }
             } else {
                 self.bytes_to_client += delivery.bytes.len() as u64;
-                self.inbox.push(Arrival { at: delivery.at, bytes: delivery.bytes });
+                self.inbox.push(Arrival {
+                    at: delivery.at,
+                    bytes: delivery.bytes,
+                });
+            }
+            if let Some(limit) = self.faults.drop_after_bytes {
+                if self.bytes_to_server + self.bytes_to_client >= limit {
+                    self.cut();
+                    outcome = RunOutcome::ConnectionReset;
+                    break;
+                }
             }
         }
-        std::mem::take(&mut self.inbox)
+        (std::mem::take(&mut self.inbox), outcome)
+    }
+
+    fn cut(&mut self) {
+        self.reset = true;
+        self.queue.clear();
     }
 
     /// Advances the clock without traffic (think `sleep`).
@@ -208,7 +334,12 @@ impl<E: ByteEndpoint> Pipe<E> {
 
     fn enqueue(&mut self, at: SimTime, bytes: Vec<u8>, to_server: bool) {
         self.seq += 1;
-        self.queue.push(Delivery { at, seq: self.seq, bytes, to_server });
+        self.queue.push(Delivery {
+            at,
+            seq: self.seq,
+            bytes,
+            to_server,
+        });
     }
 }
 
@@ -245,7 +376,13 @@ mod tests {
 
     #[test]
     fn greeting_arrives_after_one_way_delay() {
-        let mut pipe = Pipe::connect(Echo { delay: SimDuration::ZERO }, clean_link(10), 1);
+        let mut pipe = Pipe::connect(
+            Echo {
+                delay: SimDuration::ZERO,
+            },
+            clean_link(10),
+            1,
+        );
         let arrivals = pipe.run_to_quiescence();
         assert_eq!(arrivals.len(), 1);
         assert_eq!(arrivals[0].bytes, b"hello");
@@ -254,7 +391,13 @@ mod tests {
 
     #[test]
     fn echo_round_trip_takes_two_one_way_delays() {
-        let mut pipe = Pipe::connect(Echo { delay: SimDuration::ZERO }, clean_link(10), 1);
+        let mut pipe = Pipe::connect(
+            Echo {
+                delay: SimDuration::ZERO,
+            },
+            clean_link(10),
+            1,
+        );
         pipe.run_to_quiescence(); // drain greeting
         let t0 = pipe.now();
         pipe.client_send(b"ping".to_vec());
@@ -265,8 +408,13 @@ mod tests {
 
     #[test]
     fn processing_delay_adds_to_round_trip() {
-        let mut pipe =
-            Pipe::connect(Echo { delay: SimDuration::from_millis(7) }, clean_link(10), 1);
+        let mut pipe = Pipe::connect(
+            Echo {
+                delay: SimDuration::from_millis(7),
+            },
+            clean_link(10),
+            1,
+        );
         pipe.run_to_quiescence();
         let t0 = pipe.now();
         pipe.client_send(b"ping".to_vec());
@@ -276,7 +424,13 @@ mod tests {
 
     #[test]
     fn deliveries_are_time_ordered() {
-        let mut pipe = Pipe::connect(Echo { delay: SimDuration::ZERO }, clean_link(5), 1);
+        let mut pipe = Pipe::connect(
+            Echo {
+                delay: SimDuration::ZERO,
+            },
+            clean_link(5),
+            1,
+        );
         pipe.run_to_quiescence();
         pipe.client_send(b"a".to_vec());
         pipe.client_send(b"b".to_vec());
@@ -289,8 +443,172 @@ mod tests {
     }
 
     #[test]
+    fn run_until_leaves_late_deliveries_queued() {
+        let mut pipe = Pipe::connect(
+            Echo {
+                delay: SimDuration::ZERO,
+            },
+            clean_link(10),
+            1,
+        );
+        // The greeting arrives at t=10ms; a 5ms deadline misses it.
+        let deadline = SimTime::ZERO + SimDuration::from_millis(5);
+        let (arrivals, outcome) = pipe.run_until(deadline);
+        assert!(arrivals.is_empty());
+        assert_eq!(outcome, RunOutcome::DeadlineExpired);
+        assert_eq!(pipe.now(), deadline);
+        // A later run picks the delivery back up.
+        let (arrivals, outcome) = pipe.run_until(SimTime::ZERO + SimDuration::from_millis(20));
+        assert_eq!(arrivals.len(), 1);
+        assert_eq!(outcome, RunOutcome::Quiescent);
+    }
+
+    #[test]
+    fn run_until_matches_quiescence_when_deadline_is_generous() {
+        let mk = || {
+            Pipe::connect(
+                Echo {
+                    delay: SimDuration::ZERO,
+                },
+                clean_link(10),
+                9,
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        a.client_send(b"ping".to_vec());
+        b.client_send(b"ping".to_vec());
+        let via_quiescence = a.run_to_quiescence();
+        let (via_deadline, outcome) = b.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+        assert_eq!(via_quiescence, via_deadline);
+        assert_eq!(outcome, RunOutcome::Quiescent);
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn drop_after_bytes_cuts_the_connection() {
+        let mut pipe = Pipe::connect(
+            Echo {
+                delay: SimDuration::ZERO,
+            },
+            clean_link(1),
+            1,
+        );
+        pipe.set_faults(PipeFaults {
+            drop_after_bytes: Some(10),
+            ..PipeFaults::none()
+        });
+        pipe.run_to_quiescence(); // greeting: 5 octets, under the limit
+        assert!(!pipe.is_reset());
+        pipe.client_send(vec![0u8; 20]);
+        let (arrivals, outcome) = pipe.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(outcome, RunOutcome::ConnectionReset);
+        assert!(arrivals.is_empty(), "the echo died with the connection");
+        assert!(pipe.is_reset());
+        // Sends after the reset are swallowed.
+        pipe.client_send(b"more".to_vec());
+        let (arrivals, outcome) = pipe.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        assert!(arrivals.is_empty());
+        assert_eq!(outcome, RunOutcome::ConnectionReset);
+    }
+
+    #[test]
+    fn drop_at_cuts_at_the_scheduled_time() {
+        let mut pipe = Pipe::connect(
+            Echo {
+                delay: SimDuration::ZERO,
+            },
+            clean_link(10),
+            1,
+        );
+        pipe.set_faults(PipeFaults {
+            drop_at: Some(SimTime::ZERO + SimDuration::from_millis(5)),
+            ..PipeFaults::none()
+        });
+        let (arrivals, outcome) = pipe.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        assert!(arrivals.is_empty());
+        assert_eq!(outcome, RunOutcome::ConnectionReset);
+        assert_eq!(pipe.now(), SimTime::ZERO + SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn stalled_link_black_holes_without_resetting() {
+        let mut pipe = Pipe::connect(
+            Echo {
+                delay: SimDuration::ZERO,
+            },
+            clean_link(10),
+            1,
+        );
+        pipe.set_faults(PipeFaults {
+            stall_after_bytes: Some(0),
+            ..PipeFaults::none()
+        });
+        pipe.client_send(b"ping".to_vec());
+        let (arrivals, outcome) = pipe.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        assert!(arrivals.is_empty(), "everything vanished in transit");
+        assert_eq!(outcome, RunOutcome::Quiescent, "the connection looks open");
+        assert!(!pipe.is_reset());
+        assert_eq!(pipe.bytes_to_server + pipe.bytes_to_client, 0);
+    }
+
+    /// Endpoint that demands a TCP reset after its first reply.
+    struct ResettingEcho {
+        replied: bool,
+    }
+
+    impl ByteEndpoint for ResettingEcho {
+        fn on_bytes(&mut self, _now: SimTime, bytes: &[u8]) -> Vec<u8> {
+            self.replied = true;
+            bytes.to_vec()
+        }
+        fn wants_reset(&self) -> bool {
+            self.replied
+        }
+    }
+
+    #[test]
+    fn endpoint_requested_reset_cuts_the_connection() {
+        let mut pipe = Pipe::connect(ResettingEcho { replied: false }, clean_link(1), 1);
+        pipe.client_send(b"hello".to_vec());
+        let (arrivals, outcome) = pipe.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        assert!(arrivals.is_empty(), "the reset beat the reply");
+        assert_eq!(outcome, RunOutcome::ConnectionReset);
+    }
+
+    #[test]
+    fn default_faults_are_a_noop() {
+        let mk = |faulted: bool| {
+            let mut pipe = Pipe::connect(
+                Echo {
+                    delay: SimDuration::from_millis(2),
+                },
+                LinkSpec {
+                    loss: 0.3,
+                    jitter: SimDuration::from_millis(4),
+                    ..LinkSpec::wan(15)
+                },
+                77,
+            );
+            if faulted {
+                pipe.set_faults(PipeFaults::none());
+            }
+            pipe.client_send(vec![1u8; 3_000]);
+            pipe.client_send(vec![2u8; 500]);
+            pipe.run_to_quiescence()
+        };
+        assert_eq!(mk(false), mk(true));
+    }
+
+    #[test]
     fn byte_counters_accumulate() {
-        let mut pipe = Pipe::connect(Echo { delay: SimDuration::ZERO }, clean_link(1), 1);
+        let mut pipe = Pipe::connect(
+            Echo {
+                delay: SimDuration::ZERO,
+            },
+            clean_link(1),
+            1,
+        );
         pipe.run_to_quiescence();
         pipe.client_send(vec![0u8; 100]);
         pipe.run_to_quiescence();

@@ -67,7 +67,10 @@ mod tests {
     #[test]
     fn icmp_rtt_is_twice_one_way_delay_on_clean_link() {
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(icmp_rtt(&clean(25), &mut rng), Some(SimDuration::from_millis(50)));
+        assert_eq!(
+            icmp_rtt(&clean(25), &mut rng),
+            Some(SimDuration::from_millis(50))
+        );
     }
 
     #[test]
@@ -81,7 +84,10 @@ mod tests {
 
     #[test]
     fn lossy_link_drops_some_icmp_samples() {
-        let link = LinkSpec { loss: 0.3, ..clean(10) };
+        let link = LinkSpec {
+            loss: 0.3,
+            ..clean(10)
+        };
         let mut rng = StdRng::seed_from_u64(9);
         let samples = sample_rtts(200, || icmp_rtt(&link, &mut rng));
         assert!(samples.len() < 200, "some losses expected");
@@ -90,10 +96,14 @@ mod tests {
 
     #[test]
     fn tcp_pays_retransmit_penalty_instead_of_losing_samples() {
-        let link = LinkSpec { loss: 0.3, ..clean(10) };
+        let link = LinkSpec {
+            loss: 0.3,
+            ..clean(10)
+        };
         let mut rng = StdRng::seed_from_u64(9);
-        let samples: Vec<SimDuration> =
-            (0..200).map(|_| tcp_handshake_rtt(&link, &mut rng)).collect();
+        let samples: Vec<SimDuration> = (0..200)
+            .map(|_| tcp_handshake_rtt(&link, &mut rng))
+            .collect();
         assert_eq!(samples.len(), 200, "TCP never loses a sample");
         assert!(samples.iter().any(|d| *d > SimDuration::from_millis(100)));
     }

@@ -153,6 +153,9 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(SimDuration::from_millis(1).to_string(), "1.000ms");
-        assert_eq!((SimTime::ZERO + SimDuration::from_micros(1500)).to_string(), "t=1.500ms");
+        assert_eq!(
+            (SimTime::ZERO + SimDuration::from_micros(1500)).to_string(),
+            "t=1.500ms"
+        );
     }
 }

@@ -32,19 +32,29 @@ impl TlsConfig {
     pub fn h2_full() -> TlsConfig {
         TlsConfig {
             alpn: Some(vec![PROTO_H2.into(), PROTO_HTTP11.into()]),
-            npn: Some(vec![PROTO_H2.into(), PROTO_SPDY31.into(), PROTO_HTTP11.into()]),
+            npn: Some(vec![
+                PROTO_H2.into(),
+                PROTO_SPDY31.into(),
+                PROTO_HTTP11.into(),
+            ]),
         }
     }
 
     /// A server supporting h2 via ALPN only (like Apache in Table III).
     pub fn h2_alpn_only() -> TlsConfig {
-        TlsConfig { alpn: Some(vec![PROTO_H2.into(), PROTO_HTTP11.into()]), npn: None }
+        TlsConfig {
+            alpn: Some(vec![PROTO_H2.into(), PROTO_HTTP11.into()]),
+            npn: None,
+        }
     }
 
     /// A server that only speaks NPN (the paper found more than one
     /// hundred server types that "just speak NPN").
     pub fn h2_npn_only() -> TlsConfig {
-        TlsConfig { npn: Some(vec![PROTO_H2.into(), PROTO_HTTP11.into()]), alpn: None }
+        TlsConfig {
+            npn: Some(vec![PROTO_H2.into(), PROTO_HTTP11.into()]),
+            alpn: None,
+        }
     }
 
     /// An HTTPS-only server with no h2 anywhere.
@@ -77,7 +87,10 @@ impl TlsHandshake {
 /// *its own* preferences that the client also offered.
 pub fn negotiate_alpn(server: &TlsConfig, client_offer: &[&str]) -> Option<String> {
     let server_list = server.alpn.as_ref()?;
-    server_list.iter().find(|p| client_offer.contains(&p.as_str())).cloned()
+    server_list
+        .iter()
+        .find(|p| client_offer.contains(&p.as_str()))
+        .cloned()
 }
 
 /// Runs the NPN half: the server advertises, the client selects the first
@@ -158,7 +171,10 @@ mod tests {
 
     #[test]
     fn no_common_protocol_yields_none() {
-        let server = TlsConfig { alpn: Some(vec![PROTO_SPDY31.into()]), npn: None };
+        let server = TlsConfig {
+            alpn: Some(vec![PROTO_SPDY31.into()]),
+            npn: None,
+        };
         assert_eq!(negotiate_alpn(&server, &[PROTO_H2]), None);
     }
 }

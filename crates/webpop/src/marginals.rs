@@ -142,8 +142,11 @@ pub fn draw(marginal: &[ValueCount], second_experiment: bool, u: f64) -> Option<
 /// Draws from a marginal *excluding* the NULL row (for sites that do
 /// announce the parameter).
 pub fn draw_non_null(marginal: &[ValueCount], second_experiment: bool, u: f64) -> u32 {
-    let rows: Vec<ValueCount> =
-        marginal.iter().filter(|vc| vc.value.is_some()).copied().collect();
+    let rows: Vec<ValueCount> = marginal
+        .iter()
+        .filter(|vc| vc.value.is_some())
+        .copied()
+        .collect();
     draw(&rows, second_experiment, u).expect("non-null rows only")
 }
 
@@ -152,7 +155,10 @@ mod tests {
     use super::*;
 
     fn column_sum(marginal: &[ValueCount], second: bool) -> u64 {
-        marginal.iter().map(|vc| if second { vc.exp2 } else { vc.exp1 }).sum()
+        marginal
+            .iter()
+            .map(|vc| if second { vc.exp2 } else { vc.exp1 })
+            .sum()
     }
 
     #[test]

@@ -30,8 +30,8 @@ use netsim::time::SimDuration;
 use netsim::{LinkSpec, TlsConfig};
 
 use crate::marginals::{
-    draw_non_null, Family, FAMILIES, INITIAL_WINDOW_SIZE, MAX_CONCURRENT_STREAMS,
-    MAX_FRAME_SIZE, MAX_HEADER_LIST_SIZE, SERVER_KINDS, UNLIMITED,
+    draw_non_null, Family, FAMILIES, INITIAL_WINDOW_SIZE, MAX_CONCURRENT_STREAMS, MAX_FRAME_SIZE,
+    MAX_HEADER_LIST_SIZE, SERVER_KINDS, UNLIMITED,
 };
 use crate::spec::ExperimentSpec;
 
@@ -58,6 +58,9 @@ impl SiteSample {
             site: self.site.clone(),
             link: self.link,
             seed: 0xbeef ^ self.index,
+            pipe_faults: netsim::PipeFaults::none(),
+            patience: None,
+            fault_log: h2scope::FaultLog::default(),
         }
     }
 }
@@ -208,10 +211,13 @@ impl Population {
     /// Panics when `i` is outside the h2 population.
     pub fn site(&self, i: u64) -> SiteSample {
         assert!(i < self.h2_count(), "site index out of range");
-        let mut rng =
-            StdRng::seed_from_u64(splitmix64(self.spec.seed ^ (i << 1) ^ 0x5173));
+        let mut rng = StdRng::seed_from_u64(splitmix64(self.spec.seed ^ (i << 1) ^ 0x5173));
         let mute = i >= self.headers_count();
-        let family = if mute { Family::Tail } else { self.family_of(i) };
+        let family = if mute {
+            Family::Tail
+        } else {
+            self.family_of(i)
+        };
         let mut profile = self.base_profile(family, i);
         profile.behavior.mute = mute;
 
@@ -225,18 +231,20 @@ impl Population {
         let extras = rng.gen_range(0..=8);
         for j in 0..extras {
             let len = rng.gen_range(4..=40);
-            let value: String =
-                (0..len).map(|k| (b'a' + ((k * 7 + j) % 26) as u8) as char).collect();
-            profile.behavior.extra_response_headers.push((format!("x-h{j}"), value));
+            let value: String = (0..len)
+                .map(|k| (b'a' + ((k * 7 + j) % 26) as u8) as char)
+                .collect();
+            profile
+                .behavior
+                .extra_response_headers
+                .push((format!("x-h{j}"), value));
         }
-        profile.behavior.processing_delay =
-            SimDuration::from_micros(rng.gen_range(200..5_000));
+        profile.behavior.processing_delay = SimDuration::from_micros(rng.gen_range(200..5_000));
 
         // The push population is tiny (6 / 15 sites at full scale); keep
         // at least one per campaign so Figure 3 is runnable at any scale.
         let push_quota = ((self.spec.push_sites as f64 * self.scale).round() as u64).max(1);
-        let push_position =
-            permuted_position(i, self.headers_count(), dim::PUSH, self.spec.seed);
+        let push_position = permuted_position(i, self.headers_count(), dim::PUSH, self.spec.seed);
         let push_site = !mute && push_position < push_quota;
         if push_site {
             // The paper's push sites are the handful that demonstrably
@@ -250,7 +258,13 @@ impl Population {
         }
         let site = self.site_spec(i, push_site, &mut rng);
         let link = self.link(&mut rng);
-        SiteSample { index: i, family, profile, site, link }
+        SiteSample {
+            index: i,
+            family,
+            profile,
+            site,
+            link,
+        }
     }
 
     fn family_of(&self, i: u64) -> Family {
@@ -272,7 +286,11 @@ impl Population {
             Family::IdeaWeb => ServerProfile::ideaweb(),
             Family::TengineAserver => ServerProfile::tengine_aserver(),
             Family::Tail => {
-                let kinds = if self.spec.second { SERVER_KINDS.1 } else { SERVER_KINDS.0 };
+                let kinds = if self.spec.second {
+                    SERVER_KINDS.1
+                } else {
+                    SERVER_KINDS.0
+                };
                 let kind = splitmix64(self.spec.seed ^ i ^ 0x7a11) % kinds.max(1);
                 let mut profile = match kind % 3 {
                     0 => ServerProfile::rfc7540(),
@@ -283,8 +301,7 @@ impl Population {
                 // The name must depend on the *kind* only, so the number
                 // of distinct server strings the scanner sees tracks the
                 // paper's 223/345 counts.
-                profile.behavior.server_name =
-                    format!("srv-{kind}/{}.{}", kind % 4, kind % 10);
+                profile.behavior.server_name = format!("srv-{kind}/{}.{}", kind % 4, kind % 10);
                 profile
             }
         }
@@ -294,8 +311,7 @@ impl Population {
         // The NULL rows of Tables V–VII all count the same 1,050 / 1,015
         // sites: those whose SETTINGS frame announces nothing.
         let null_count = if self.spec.second { 1_015 } else { 1_050 };
-        let announces_nothing =
-            self.quota_category(i, dim::SETTINGS_NULL, &[null_count]) == 0;
+        let announces_nothing = self.quota_category(i, dim::SETTINGS_NULL, &[null_count]) == 0;
         if announces_nothing {
             profile.behavior.announced = Settings::new();
             profile.behavior.zero_window_then_update = None;
@@ -315,19 +331,15 @@ impl Population {
             draw_non_null(MAX_FRAME_SIZE, second, rng.gen()),
         );
         let mhl = draw_non_null(MAX_HEADER_LIST_SIZE, second, rng.gen());
-        settings.push(SettingId::MaxHeaderListSize, if mhl == UNLIMITED { u32::MAX } else { mhl });
-        profile.behavior.zero_window_then_update =
-            if iws == 0 { Some(65_535) } else { None };
+        settings.push(
+            SettingId::MaxHeaderListSize,
+            if mhl == UNLIMITED { u32::MAX } else { mhl },
+        );
+        profile.behavior.zero_window_then_update = if iws == 0 { Some(65_535) } else { None };
         profile.behavior.announced = settings;
     }
 
-    fn apply_quirks(
-        &self,
-        i: u64,
-        family: Family,
-        profile: &mut ServerProfile,
-        rng: &mut StdRng,
-    ) {
+    fn apply_quirks(&self, i: u64, family: Family, profile: &mut ServerProfile, rng: &mut StdRng) {
         let spec = &self.spec;
         let b = &mut profile.behavior;
 
@@ -353,17 +365,18 @@ impl Population {
             b.zero_len_data_when_blocked = self.quota_category(
                 i,
                 dim::SMALL_WINDOW,
-                &[spec.small_window_zero_len, zero_len_pool - spec.small_window_zero_len],
+                &[
+                    spec.small_window_zero_len,
+                    zero_len_pool - spec.small_window_zero_len,
+                ],
             ) == 0;
             // §V-D2: sites that gate HEADERS on a non-zero window. The
             // quota permutation covers *all* headers sites but only
             // applies to non-fc sites, so inflate the target by the fc
             // share to land on the paper's count among the eligible.
-            let gated = spec.headers_sites
-                - spec.small_window_no_response
-                - spec.headers_at_zero_window;
-            let fc_share =
-                spec.small_window_no_response as f64 / spec.headers_sites as f64;
+            let gated =
+                spec.headers_sites - spec.small_window_no_response - spec.headers_at_zero_window;
+            let fc_share = spec.small_window_no_response as f64 / spec.headers_sites as f64;
             let inflated = (gated as f64 / (1.0 - fc_share)).round() as u64;
             b.headers_gated_at_zero_window =
                 self.quota_category(i, dim::HEADERS_ZERO, &[inflated]) == 0;
@@ -371,46 +384,36 @@ impl Population {
 
         // §V-D3: zero WINDOW_UPDATE reactions.
         let z = &spec.zero_update_stream;
-        b.zero_window_update_stream = match self.quota_category(
-            i,
-            dim::ZWU_STREAM,
-            &[z.rst, z.goaway, z.goaway_debug],
-        ) {
-            0 => QuirkAction::RstStream,
-            1 => QuirkAction::Goaway,
-            2 => {
-                b.zero_window_debug =
-                    Some("the window update shouldn't be zero".to_string());
+        b.zero_window_update_stream =
+            match self.quota_category(i, dim::ZWU_STREAM, &[z.rst, z.goaway, z.goaway_debug]) {
+                0 => QuirkAction::RstStream,
+                1 => QuirkAction::Goaway,
+                2 => {
+                    b.zero_window_debug = Some("the window update shouldn't be zero".to_string());
+                    QuirkAction::Goaway
+                }
+                _ => QuirkAction::Ignore,
+            };
+        b.zero_window_update_conn =
+            if self.quota_category(i, dim::ZWU_CONN, &[spec.zero_update_conn_goaway]) == 0 {
                 QuirkAction::Goaway
-            }
-            _ => QuirkAction::Ignore,
-        };
-        b.zero_window_update_conn = if self
-            .quota_category(i, dim::ZWU_CONN, &[spec.zero_update_conn_goaway])
-            == 0
-        {
-            QuirkAction::Goaway
-        } else {
-            QuirkAction::Ignore
-        };
+            } else {
+                QuirkAction::Ignore
+            };
 
         // §V-D4: window-overflow reactions.
-        b.large_window_update_stream = if self
-            .quota_category(i, dim::LWU_STREAM, &[spec.large_update_stream_rst])
-            == 0
-        {
-            QuirkAction::RstStream
-        } else {
-            QuirkAction::Ignore
-        };
-        b.large_window_update_conn = if self
-            .quota_category(i, dim::LWU_CONN, &[spec.large_update_conn_goaway])
-            == 0
-        {
-            QuirkAction::Goaway
-        } else {
-            QuirkAction::Ignore
-        };
+        b.large_window_update_stream =
+            if self.quota_category(i, dim::LWU_STREAM, &[spec.large_update_stream_rst]) == 0 {
+                QuirkAction::RstStream
+            } else {
+                QuirkAction::Ignore
+            };
+        b.large_window_update_conn =
+            if self.quota_category(i, dim::LWU_CONN, &[spec.large_update_conn_goaway]) == 0 {
+                QuirkAction::Goaway
+            } else {
+                QuirkAction::Ignore
+            };
 
         // §V-E1: the four priority populations.
         b.priority_mode = match self.quota_category(
@@ -430,12 +433,11 @@ impl Population {
 
         // §V-E2: self-dependency reactions.
         let s = &spec.self_dependency;
-        b.self_dependency =
-            match self.quota_category(i, dim::SELF_DEP, &[s.rst, s.goaway]) {
-                0 => QuirkAction::RstStream,
-                1 => QuirkAction::Goaway,
-                _ => QuirkAction::Ignore,
-            };
+        b.self_dependency = match self.quota_category(i, dim::SELF_DEP, &[s.rst, s.goaway]) {
+            0 => QuirkAction::RstStream,
+            1 => QuirkAction::Goaway,
+            _ => QuirkAction::Ignore,
+        };
 
         // Figures 4/5: family-conditioned HPACK variation.
         match family {
@@ -444,13 +446,12 @@ impl Population {
                 // the Figure 4 CDF).
                 b.hpack_index_responses = rng.gen_bool(0.065);
             }
-            Family::Litespeed => {
+            Family::Litespeed
                 // ~20% of LiteSpeed sites land at ratios above 0.3
                 // through per-response cookies.
-                if rng.gen_bool(0.2) {
+                if rng.gen_bool(0.2) => {
                     b.cookie_injection = true;
                 }
-            }
             Family::Tail => {
                 b.hpack_index_responses = rng.gen_bool(0.5);
             }
@@ -466,8 +467,7 @@ impl Population {
         let n = self.h2_count();
         let position = permuted_position(i, n, dim::NEGOTIATION, spec.seed);
         let npn_boundary = (npn_only as f64 * self.scale).round() as u64;
-        let alpn_boundary =
-            npn_boundary + (alpn_only as f64 * self.scale).round() as u64;
+        let alpn_boundary = npn_boundary + (alpn_only as f64 * self.scale).round() as u64;
         profile.behavior.tls = if position < npn_boundary {
             TlsConfig::h2_npn_only()
         } else if position < alpn_boundary {
@@ -581,8 +581,10 @@ mod tests {
     #[test]
     fn push_sites_exist_even_at_reduced_scale() {
         let pop = Population::new(ExperimentSpec::second(), 0.1);
-        let push_sites: Vec<SiteSample> =
-            pop.iter_headers_sites().filter(|s| !s.site.push_manifest.is_empty()).collect();
+        let push_sites: Vec<SiteSample> = pop
+            .iter_headers_sites()
+            .filter(|s| !s.site.push_manifest.is_empty())
+            .collect();
         // 15 sites at 10% → expect ~2.
         assert!(!push_sites.is_empty());
         for site in &push_sites {
@@ -603,7 +605,11 @@ mod tests {
     fn settings_draws_respect_validation() {
         let pop = small_population();
         for site in pop.iter_headers_sites().take(200) {
-            site.profile.behavior.announced.validate().expect("announced settings valid");
+            site.profile
+                .behavior
+                .announced
+                .validate()
+                .expect("announced settings valid");
         }
     }
 
@@ -612,7 +618,13 @@ mod tests {
         let pop = Population::new(ExperimentSpec::first(), 0.05);
         let mut checked = 0;
         for site in pop.iter_headers_sites() {
-            if site.profile.behavior.announced.get(SettingId::InitialWindowSize) == Some(0) {
+            if site
+                .profile
+                .behavior
+                .announced
+                .get(SettingId::InitialWindowSize)
+                == Some(0)
+            {
                 assert!(site.profile.behavior.zero_window_then_update.is_some());
                 checked += 1;
             }

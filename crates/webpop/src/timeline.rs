@@ -29,7 +29,10 @@ fn lerp(a: u64, b: u64, t: f64) -> u64 {
 /// Panics when `t` is outside `[0, 1.5]` — extrapolating further than a
 /// quarter beyond the measured data has no empirical basis.
 pub fn interpolate(t: f64) -> ExperimentSpec {
-    assert!((0.0..=1.5).contains(&t), "t={t} outside the calibrated range");
+    assert!(
+        (0.0..=1.5).contains(&t),
+        "t={t} outside the calibrated range"
+    );
     let a = ExperimentSpec::first();
     let b = ExperimentSpec::second();
     let headers = lerp(a.headers_sites, b.headers_sites, t);
@@ -45,7 +48,11 @@ pub fn interpolate(t: f64) -> ExperimentSpec {
         }
     };
     ExperimentSpec {
-        name: if t <= 0.5 { "interpolated-early" } else { "interpolated-late" },
+        name: if t <= 0.5 {
+            "interpolated-early"
+        } else {
+            "interpolated-late"
+        },
         label: "interpolated",
         // The marginal tables only exist for the two endpoints; use the
         // nearer one.
@@ -66,12 +73,8 @@ pub fn interpolate(t: f64) -> ExperimentSpec {
         zero_update_stream: lerp_rc(&a.zero_update_stream, &b.zero_update_stream),
         zero_update_conn_goaway: lerp(a.zero_update_conn_goaway, b.zero_update_conn_goaway, t)
             .min(headers),
-        large_update_conn_goaway: lerp(
-            a.large_update_conn_goaway,
-            b.large_update_conn_goaway,
-            t,
-        )
-        .min(headers),
+        large_update_conn_goaway: lerp(a.large_update_conn_goaway, b.large_update_conn_goaway, t)
+            .min(headers),
         large_update_stream_rst: lerp(a.large_update_stream_rst, b.large_update_stream_rst, t)
             .min(headers),
         priority_by_last: lerp(a.priority_by_last, b.priority_by_last, t),
@@ -106,7 +109,10 @@ mod tests {
         assert_eq!(t0.npn_sites, ExperimentSpec::first().npn_sites);
         let t1 = interpolate(1.0);
         assert_eq!(t1.headers_sites, ExperimentSpec::second().headers_sites);
-        assert_eq!(t1.priority_by_last, ExperimentSpec::second().priority_by_last);
+        assert_eq!(
+            t1.priority_by_last,
+            ExperimentSpec::second().priority_by_last
+        );
     }
 
     #[test]

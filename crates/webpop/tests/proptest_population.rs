@@ -5,7 +5,10 @@ use proptest::prelude::*;
 use webpop::{ExperimentSpec, Population};
 
 fn arb_spec() -> impl Strategy<Value = ExperimentSpec> {
-    prop_oneof![Just(ExperimentSpec::first()), Just(ExperimentSpec::second())]
+    prop_oneof![
+        Just(ExperimentSpec::first()),
+        Just(ExperimentSpec::second())
+    ]
 }
 
 proptest! {

@@ -26,9 +26,8 @@ fn main() {
         let mut deviations: Vec<String> = Vec::new();
 
         if !report.flow_control.headers_at_zero_window {
-            deviations.push(
-                "applies flow control to HEADERS (RFC 7540 §6.9: DATA only)".to_string(),
-            );
+            deviations
+                .push("applies flow control to HEADERS (RFC 7540 §6.9: DATA only)".to_string());
         }
         if report.flow_control.zero_update_stream != Reaction::RstStream {
             deviations.push(format!(
@@ -62,9 +61,8 @@ fn main() {
             deviations.push("server push not implemented (optional feature)".to_string());
         }
         if (report.hpack.ratio - 1.0).abs() < 1e-9 {
-            deviations.push(
-                "HPACK dynamic table unused for response headers (ratio = 1.0)".to_string(),
-            );
+            deviations
+                .push("HPACK dynamic table unused for response headers (ratio = 1.0)".to_string());
         }
 
         println!("{name}  (h2c upgrade: {})", if h2c { "yes" } else { "no" });

@@ -13,7 +13,10 @@ use h2ready::scope::H2Scope;
 use h2ready::webpop::{ExperimentSpec, Population};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.005);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.005);
     let scope = H2Scope::new();
 
     for spec in ExperimentSpec::both() {
@@ -41,18 +44,28 @@ fn main() {
             }
             if report.headers_received {
                 headers += 1;
-                let name =
-                    report.server_name.unwrap_or_else(|| "(no server header)".to_string());
+                let name = report
+                    .server_name
+                    .unwrap_or_else(|| "(no server header)".to_string());
                 *by_server.entry(name).or_default() += 1;
             }
         }
 
-        println!("  NPN h2     : {npn:>7}  (paper {:>7} at full scale)", spec.npn_sites);
-        println!("  ALPN h2    : {alpn:>7}  (paper {:>7} at full scale)", spec.alpn_sites);
-        println!("  HEADERS    : {headers:>7}  (paper {:>7} at full scale)", spec.headers_sites);
+        println!(
+            "  NPN h2     : {npn:>7}  (paper {:>7} at full scale)",
+            spec.npn_sites
+        );
+        println!(
+            "  ALPN h2    : {alpn:>7}  (paper {:>7} at full scale)",
+            spec.alpn_sites
+        );
+        println!(
+            "  HEADERS    : {headers:>7}  (paper {:>7} at full scale)",
+            spec.headers_sites
+        );
 
         let mut ranking: Vec<(String, u64)> = by_server.into_iter().collect();
-        ranking.sort_by(|a, b| b.1.cmp(&a.1));
+        ranking.sort_by_key(|r| std::cmp::Reverse(r.1));
         println!("  top servers:");
         for (name, count) in ranking.into_iter().take(8) {
             println!("    {count:>6}  {name}");

@@ -14,7 +14,10 @@ use h2ready::server::{ServerProfile, SiteSpec};
 fn main() {
     let assets: Vec<String> = (1..=6).map(|k| format!("/big/{k}")).collect();
     println!("transfer: 16 KiB page + 6 x 256 KiB objects, 30 ms one-way, 3 connections\n");
-    println!("{:>7} {:>16} {:>16} {:>12}", "loss", "1 conn (ms)", "3 conns (ms)", "speedup");
+    println!(
+        "{:>7} {:>16} {:>16} {:>12}",
+        "loss", "1 conn (ms)", "3 conns (ms)", "speedup"
+    );
     for loss_pct in [0u32, 1, 2, 5, 8, 12] {
         let mut target = Target::testbed(ServerProfile::h2o(), SiteSpec::benchmark());
         target.link = LinkSpec {

@@ -10,8 +10,7 @@ use h2ready::conn::PriorityTree;
 use h2ready::wire::{PrioritySpec, StreamId};
 
 /// Stream ids standing in for the paper's letters.
-const NAMES: &[(u32, &str)] =
-    &[(1, "A"), (3, "B"), (5, "C"), (7, "D"), (9, "E"), (11, "F")];
+const NAMES: &[(u32, &str)] = &[(1, "A"), (3, "B"), (5, "C"), (7, "D"), (9, "E"), (11, "F")];
 
 fn name(id: StreamId) -> String {
     NAMES
@@ -44,7 +43,11 @@ fn show(label: &str, tree: &PriorityTree) {
 }
 
 fn spec(dep: u32, weight: u16, exclusive: bool) -> PrioritySpec {
-    PrioritySpec { exclusive, dependency: StreamId::new(dep), weight }
+    PrioritySpec {
+        exclusive,
+        dependency: StreamId::new(dep),
+        weight,
+    }
 }
 
 fn table_i_tree() -> PriorityTree {
@@ -60,17 +63,30 @@ fn table_i_tree() -> PriorityTree {
 }
 
 fn main() {
-    show("Figure 1 (1) — the Table I dependency tree:", &table_i_tree());
+    show(
+        "Figure 1 (1) — the Table I dependency tree:",
+        &table_i_tree(),
+    );
 
     // Table II row 1: A depends on B, exclusive.
     let mut exclusive = table_i_tree();
-    exclusive.declare(StreamId::new(1), spec(3, 1, true)).unwrap();
-    show("Figure 1 (2) — after PRIORITY {A -> B, exclusive}:", &exclusive);
+    exclusive
+        .declare(StreamId::new(1), spec(3, 1, true))
+        .unwrap();
+    show(
+        "Figure 1 (2) — after PRIORITY {A -> B, exclusive}:",
+        &exclusive,
+    );
 
     // Table II row 2: A depends on B, non-exclusive.
     let mut non_exclusive = table_i_tree();
-    non_exclusive.declare(StreamId::new(1), spec(3, 1, false)).unwrap();
-    show("Figure 1 (3) — after PRIORITY {A -> B, non-exclusive}:", &non_exclusive);
+    non_exclusive
+        .declare(StreamId::new(1), spec(3, 1, false))
+        .unwrap();
+    show(
+        "Figure 1 (3) — after PRIORITY {A -> B, non-exclusive}:",
+        &non_exclusive,
+    );
 
     // And the self-dependency the paper probes servers with (§III-C2).
     let mut tree = table_i_tree();

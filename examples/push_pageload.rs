@@ -13,7 +13,10 @@ use h2ready::server::{ServerProfile, SiteSpec};
 
 fn main() {
     println!("page: 16 KiB HTML + 8 assets x 20 KiB, server: H2O (push-capable)\n");
-    println!("{:>10} {:>14} {:>14} {:>9}", "RTT", "push (ms)", "no push (ms)", "saving");
+    println!(
+        "{:>10} {:>14} {:>14} {:>9}",
+        "RTT", "push (ms)", "no push (ms)", "saving"
+    );
     for delay_ms in [5u64, 20, 40, 80, 160] {
         let mut target =
             Target::testbed(ServerProfile::h2o(), SiteSpec::page_with_assets(8, 20_000));
@@ -37,8 +40,10 @@ fn main() {
     );
 
     // A push-incapable server for contrast.
-    let mut target =
-        Target::testbed(ServerProfile::nginx(), SiteSpec::page_with_assets(8, 20_000));
+    let mut target = Target::testbed(
+        ServerProfile::nginx(),
+        SiteSpec::page_with_assets(8, 20_000),
+    );
     target.link = LinkSpec::wan(40);
     let report = page_load(&target, true, 42);
     println!(

@@ -18,13 +18,29 @@ fn main() {
     let report = scope.characterize(&testbed);
 
     println!("server          : {} {}", report.server, report.version);
-    println!("ALPN / NPN      : {} / {}", report.negotiation.alpn_h2, report.negotiation.npn_h2);
+    println!(
+        "ALPN / NPN      : {} / {}",
+        report.negotiation.alpn_h2, report.negotiation.npn_h2
+    );
     println!("multiplexing    : {}", report.multiplexing.parallel);
-    println!("max concurrent  : {:?}", report.multiplexing.max_concurrent_streams);
+    println!(
+        "max concurrent  : {:?}",
+        report.multiplexing.max_concurrent_streams
+    );
     println!("1-octet window  : {:?}", report.flow_control.small_window);
-    println!("zero WU (stream): {}", report.flow_control.zero_update_stream);
+    println!(
+        "zero WU (stream): {}",
+        report.flow_control.zero_update_stream
+    );
     println!("zero WU (conn)  : {}", report.flow_control.zero_update_conn);
-    println!("priority test   : {}", if report.priority.passes() { "pass" } else { "fail" });
+    println!(
+        "priority test   : {}",
+        if report.priority.passes() {
+            "pass"
+        } else {
+            "fail"
+        }
+    );
     println!("self-dependency : {}", report.priority.self_dependency);
     println!("HPACK ratio     : {:.3}", report.hpack.ratio);
     println!(

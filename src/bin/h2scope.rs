@@ -15,8 +15,9 @@
 use h2ready::netsim::time::SimDuration;
 use h2ready::netsim::LinkSpec;
 use h2ready::scope::pageload;
-use h2ready::scope::probes::{flow_control, hpack, multiplexing, negotiation, ping, priority,
-                             push, settings};
+use h2ready::scope::probes::{
+    flow_control, hpack, multiplexing, negotiation, ping, priority, push, settings,
+};
 use h2ready::scope::testbed::Testbed;
 use h2ready::scope::{storage, trace, H2Scope, ProbeConn, Target};
 use h2ready::server::{ServerProfile, SiteSpec};
@@ -41,8 +42,17 @@ fn profile_by_name(name: &str) -> Option<ServerProfile> {
 }
 
 const SERVER_NAMES: &[&str] = &[
-    "nginx", "litespeed", "h2o", "nghttpd", "tengine", "apache", "rfc7540", "gse",
-    "cloudflare-nginx", "ideaweb", "tengine-aserver",
+    "nginx",
+    "litespeed",
+    "h2o",
+    "nghttpd",
+    "tengine",
+    "apache",
+    "rfc7540",
+    "gse",
+    "cloudflare-nginx",
+    "ideaweb",
+    "tengine-aserver",
 ];
 
 struct Args {
@@ -105,7 +115,11 @@ fn print_usage() {
 
 fn resolve_target(args: &Args) -> Target {
     let Some(profile) = profile_by_name(&args.server) else {
-        eprintln!("unknown server '{}'; try: {}", args.server, SERVER_NAMES.join(", "));
+        eprintln!(
+            "unknown server '{}'; try: {}",
+            args.server,
+            SERVER_NAMES.join(", ")
+        );
         std::process::exit(2);
     };
     Target::testbed(profile, SiteSpec::benchmark())
@@ -123,28 +137,77 @@ fn characterize(args: &Args) {
         &["/"],
     );
     let h2c = negotiation::h2c_upgrade(&Target::testbed(profile, SiteSpec::benchmark()));
-    println!("server                       : {} {}", report.server, report.version);
-    println!("ALPN h2 / NPN h2 / h2c       : {} / {} / {}",
-        report.negotiation.alpn_h2, report.negotiation.npn_h2, h2c);
-    println!("request multiplexing         : {}", report.multiplexing.parallel);
-    println!("max concurrent streams       : {:?}", report.multiplexing.max_concurrent_streams);
-    println!("announced initial window     : {:?}", report.settings.initial_window_size);
-    println!("zero-window-then-update      : {}", report.settings.zero_window_then_update);
-    println!("1-octet window outcome       : {:?}", report.flow_control.small_window);
-    println!("HEADERS at zero window       : {}", report.flow_control.headers_at_zero_window);
-    println!("zero WINDOW_UPDATE (stream)  : {}", report.flow_control.zero_update_stream);
-    println!("zero WINDOW_UPDATE (conn)    : {}", report.flow_control.zero_update_conn);
-    println!("window overflow (stream)     : {}", report.flow_control.large_update_stream);
-    println!("window overflow (conn)       : {}", report.flow_control.large_update_conn);
-    println!("priority Algorithm 1         : {}",
-        if report.priority.passes() { "pass" } else { "fail" });
-    println!("  by first / last / both     : {} / {} / {}",
-        report.priority.by_first_frame, report.priority.by_last_frame, report.priority.by_both);
-    println!("self-dependent stream        : {}", report.priority.self_dependency);
+    println!(
+        "server                       : {} {}",
+        report.server, report.version
+    );
+    println!(
+        "ALPN h2 / NPN h2 / h2c       : {} / {} / {}",
+        report.negotiation.alpn_h2, report.negotiation.npn_h2, h2c
+    );
+    println!(
+        "request multiplexing         : {}",
+        report.multiplexing.parallel
+    );
+    println!(
+        "max concurrent streams       : {:?}",
+        report.multiplexing.max_concurrent_streams
+    );
+    println!(
+        "announced initial window     : {:?}",
+        report.settings.initial_window_size
+    );
+    println!(
+        "zero-window-then-update      : {}",
+        report.settings.zero_window_then_update
+    );
+    println!(
+        "1-octet window outcome       : {:?}",
+        report.flow_control.small_window
+    );
+    println!(
+        "HEADERS at zero window       : {}",
+        report.flow_control.headers_at_zero_window
+    );
+    println!(
+        "zero WINDOW_UPDATE (stream)  : {}",
+        report.flow_control.zero_update_stream
+    );
+    println!(
+        "zero WINDOW_UPDATE (conn)    : {}",
+        report.flow_control.zero_update_conn
+    );
+    println!(
+        "window overflow (stream)     : {}",
+        report.flow_control.large_update_stream
+    );
+    println!(
+        "window overflow (conn)       : {}",
+        report.flow_control.large_update_conn
+    );
+    println!(
+        "priority Algorithm 1         : {}",
+        if report.priority.passes() {
+            "pass"
+        } else {
+            "fail"
+        }
+    );
+    println!(
+        "  by first / last / both     : {} / {} / {}",
+        report.priority.by_first_frame, report.priority.by_last_frame, report.priority.by_both
+    );
+    println!(
+        "self-dependent stream        : {}",
+        report.priority.self_dependency
+    );
     println!("server push                  : {}", push_report.supported);
     println!("HPACK compression ratio      : {:.3}", report.hpack.ratio);
-    println!("HTTP/2 PING                  : {} ({:.3} ms median)",
-        report.ping.supported, ping::median(&report.ping.rtt_ms));
+    println!(
+        "HTTP/2 PING                  : {} ({:.3} ms median)",
+        report.ping.supported,
+        ping::median(&report.ping.rtt_ms)
+    );
 }
 
 fn run_probe(args: &Args, which: &str) {
@@ -152,22 +215,28 @@ fn run_probe(args: &Args, which: &str) {
     match which {
         "negotiation" => {
             let report = negotiation::probe(&target);
-            println!("ALPN h2: {}  NPN h2: {}  h2: {}", report.alpn_h2, report.npn_h2, report.h2());
+            println!(
+                "ALPN h2: {}  NPN h2: {}  h2: {}",
+                report.alpn_h2,
+                report.npn_h2,
+                report.h2()
+            );
         }
         "settings" => println!("{:#?}", settings::probe(&target)),
         "multiplex" => println!("{:#?}", multiplexing::probe(&target, 4)),
         "flowcontrol" => println!("{:#?}", flow_control::probe(&target)),
         "priority" => println!("{:#?}", priority::algorithm1(&target)),
         "push" => {
-            let push_target = Target::testbed(
-                target.profile.clone(),
-                SiteSpec::page_with_assets(3, 2_000),
-            );
+            let push_target =
+                Target::testbed(target.profile.clone(), SiteSpec::page_with_assets(3, 2_000));
             println!("{:#?}", push::probe(&push_target, &["/"]));
         }
         "hpack" => {
             let report = hpack::probe(&target, 8);
-            println!("H = {}   sizes = {:?}   r = {:.4}", report.h, report.sizes, report.ratio);
+            println!(
+                "H = {}   sizes = {:?}   r = {:.4}",
+                report.h, report.sizes, report.ratio
+            );
         }
         "ping" => {
             let report = ping::probe(&target, args.samples);
@@ -251,7 +320,10 @@ fn rtt(args: &Args) {
     println!("h2-ping        {:>10.2}", ping::median(&comparison.h2_ping));
     println!("icmp           {:>10.2}", ping::median(&comparison.icmp));
     println!("tcp-rtt        {:>10.2}", ping::median(&comparison.tcp));
-    println!("h1-request     {:>10.2}", ping::median(&comparison.h1_request));
+    println!(
+        "h1-request     {:>10.2}",
+        ping::median(&comparison.h1_request)
+    );
 }
 
 fn pageload_cmd(args: &Args) {

@@ -1,10 +1,10 @@
 //! Cross-crate integration: the probe client, connection core, HPACK and
 //! framing layers working together over the simulated network.
 
+use h2ready::netsim::LinkSpec;
 use h2ready::scope::{ProbeConn, Target};
 use h2ready::server::{ServerProfile, SiteSpec};
 use h2ready::wire::{Frame, SettingId, Settings};
-use h2ready::netsim::LinkSpec;
 
 fn target(profile: ServerProfile) -> Target {
     Target::testbed(profile, SiteSpec::benchmark())
@@ -23,9 +23,17 @@ fn large_transfer_is_byte_exact_through_flow_control() {
             received.extend_from_slice(&d.data);
         }
     }
-    let expected = SiteSpec::benchmark().resource("/big/0").unwrap().body.clone();
+    let expected = SiteSpec::benchmark()
+        .resource("/big/0")
+        .unwrap()
+        .body
+        .clone();
     assert_eq!(received.len(), expected.len());
-    assert_eq!(received, expected.to_vec(), "payload integrity across chunking");
+    assert_eq!(
+        received,
+        expected.to_vec(),
+        "payload integrity across chunking"
+    );
 }
 
 #[test]
@@ -42,7 +50,11 @@ fn transfer_survives_a_lossy_jittery_link() {
             _ => None,
         })
         .sum();
-    assert_eq!(received, 256 * 1024, "loss shows up as delay, not corruption");
+    assert_eq!(
+        received,
+        256 * 1024,
+        "loss shows up as delay, not corruption"
+    );
     assert!(at.as_nanos() > 0);
 }
 
@@ -63,8 +75,18 @@ fn hpack_contexts_stay_synchronized_across_many_requests() {
                 }
             })
             .expect("response headers");
-        assert!(headers.iter().any(|h| h.name == ":status" && h.value == "200"), "req {k}");
-        assert!(headers.iter().any(|h| h.name == "server" && h.value == "GSE"), "req {k}");
+        assert!(
+            headers
+                .iter()
+                .any(|h| h.name == ":status" && h.value == "200"),
+            "req {k}"
+        );
+        assert!(
+            headers
+                .iter()
+                .any(|h| h.name == "server" && h.value == "GSE"),
+            "req {k}"
+        );
     }
 }
 
@@ -111,9 +133,15 @@ fn giant_response_headers_split_into_continuations_and_reassemble() {
     let mut conn = ProbeConn::establish(&t, Settings::new(), 21);
     conn.exchange();
     let (frames, _) = conn.fetch(1, "/");
-    let continuations =
-        frames.iter().filter(|tf| matches!(tf.frame, Frame::Continuation(_))).count();
-    assert!(continuations >= 1, "block must span frames: {} continuations", continuations);
+    let continuations = frames
+        .iter()
+        .filter(|tf| matches!(tf.frame, Frame::Continuation(_)))
+        .count();
+    assert!(
+        continuations >= 1,
+        "block must span frames: {} continuations",
+        continuations
+    );
     // The decoded list arrives on the frame that completes the block.
     let decoded = frames
         .iter()
@@ -166,7 +194,10 @@ fn padded_client_data_is_flow_accounted_by_the_server() {
             _ => None,
         })
         .collect();
-    assert!(updates.contains(&156), "window replenishment covers padding: {updates:?}");
+    assert!(
+        updates.contains(&156),
+        "window replenishment covers padding: {updates:?}"
+    );
 }
 
 #[test]

@@ -96,19 +96,17 @@ fn table_iii_regenerates_cell_for_cell() {
         assert_eq!(profile.name, expected.name, "column order");
         let push_site = SiteSpec::page_with_assets(2, 1_000);
         let report = scope.characterize(&Testbed::new(profile.clone(), SiteSpec::benchmark()));
-        let push =
-            h2ready::scope::probes::push::probe(
-                &h2ready::scope::Target::testbed(profile, push_site),
-                &["/"],
-            );
+        let push = h2ready::scope::probes::push::probe(
+            &h2ready::scope::Target::testbed(profile, push_site),
+            &["/"],
+        );
         let name = expected.name;
 
         assert!(report.negotiation.alpn_h2, "{name}: ALPN");
         assert_eq!(report.negotiation.npn_h2, expected.npn, "{name}: NPN");
         assert!(report.multiplexing.parallel, "{name}: multiplexing");
         assert_eq!(
-            !report.flow_control.headers_at_zero_window,
-            expected.fc_on_headers,
+            !report.flow_control.headers_at_zero_window, expected.fc_on_headers,
             "{name}: flow control on HEADERS"
         );
         assert_eq!(
@@ -130,8 +128,15 @@ fn table_iii_regenerates_cell_for_cell() {
             "{name}: large WU conn"
         );
         assert_eq!(push.supported, expected.push, "{name}: push");
-        assert_eq!(report.priority.passes(), expected.priority_pass, "{name}: Algorithm 1");
-        assert_eq!(report.priority.self_dependency, expected.self_dep, "{name}: self-dep");
+        assert_eq!(
+            report.priority.passes(),
+            expected.priority_pass,
+            "{name}: Algorithm 1"
+        );
+        assert_eq!(
+            report.priority.self_dependency, expected.self_dep,
+            "{name}: self-dep"
+        );
         assert_eq!(
             (report.hpack.ratio - 1.0).abs() < 1e-9,
             expected.hpack_partial,
@@ -142,7 +147,10 @@ fn table_iii_regenerates_cell_for_cell() {
         // Flow control on DATA: either the 1-byte frame or (LiteSpeed)
         // total silence — never an oversized frame.
         assert!(
-            !matches!(report.flow_control.small_window, SmallWindowOutcome::Oversized),
+            !matches!(
+                report.flow_control.small_window,
+                SmallWindowOutcome::Oversized
+            ),
             "{name}: DATA flow control"
         );
     }
@@ -151,11 +159,16 @@ fn table_iii_regenerates_cell_for_cell() {
 #[test]
 fn rfc_reference_is_fully_conformant() {
     let scope = H2Scope::new();
-    let report =
-        scope.characterize(&Testbed::new(ServerProfile::rfc7540(), SiteSpec::benchmark()));
+    let report = scope.characterize(&Testbed::new(
+        ServerProfile::rfc7540(),
+        SiteSpec::benchmark(),
+    ));
     assert!(report.negotiation.alpn_h2 && report.negotiation.npn_h2);
     assert!(report.multiplexing.parallel);
-    assert_eq!(report.flow_control.small_window, SmallWindowOutcome::OneByteData);
+    assert_eq!(
+        report.flow_control.small_window,
+        SmallWindowOutcome::OneByteData
+    );
     assert!(report.flow_control.headers_at_zero_window);
     assert_eq!(report.flow_control.zero_update_stream, Reaction::RstStream);
     assert_eq!(report.flow_control.zero_update_conn, Reaction::Goaway);

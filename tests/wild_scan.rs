@@ -21,10 +21,12 @@ fn scan_campaign_reproduces_the_papers_shapes() {
     assert!(total > 150.0, "population too small to be meaningful");
 
     // Funnel: headers-returning sites are ~85% of h2 sites (44,390/52,300).
-    let headers =
-        reports.iter().filter(|(_, r)| r.headers_received).count() as f64;
+    let headers = reports.iter().filter(|(_, r)| r.headers_received).count() as f64;
     let ratio = headers / total;
-    assert!((0.78..=0.92).contains(&ratio), "headers funnel ratio {ratio}");
+    assert!(
+        (0.78..=0.92).contains(&ratio),
+        "headers funnel ratio {ratio}"
+    );
 
     // §V-D1: the large majority respects the 1-octet window.
     let one_byte = reports
@@ -50,7 +52,11 @@ fn scan_campaign_reproduces_the_papers_shapes() {
                 .is_some_and(|fc| fc.zero_update_stream == Reaction::RstStream)
         })
         .count() as f64;
-    assert!((0.4..=0.68).contains(&(rst / headers)), "zero-WU RST share {}", rst / headers);
+    assert!(
+        (0.4..=0.68).contains(&(rst / headers)),
+        "zero-WU RST share {}",
+        rst / headers
+    );
 
     // §V-E: priority support is rare (~2.6% by the last-frame rule).
     let by_last = reports
@@ -90,11 +96,15 @@ fn scan_campaign_reproduces_the_papers_shapes() {
         .iter()
         .filter(|(f, r)| {
             *f == Family::Litespeed
-                && r.server_name.as_deref().is_some_and(|n| n.starts_with("LiteSpeed"))
+                && r.server_name
+                    .as_deref()
+                    .is_some_and(|n| n.starts_with("LiteSpeed"))
         })
         .count();
-    let litespeed_total =
-        reports.iter().filter(|(f, r)| *f == Family::Litespeed && r.headers_received).count();
+    let litespeed_total = reports
+        .iter()
+        .filter(|(f, r)| *f == Family::Litespeed && r.headers_received)
+        .count();
     assert_eq!(litespeed_named, litespeed_total);
 }
 
@@ -106,8 +116,12 @@ fn both_experiments_generate_and_differ() {
     assert!(second.h2_count() > first.h2_count());
     // Tengine/Aserver exists only in experiment 2 (at sufficient scale).
     let has_aserver = |pop: &Population| {
-        pop.iter_headers_sites().any(|s| s.family == Family::TengineAserver)
+        pop.iter_headers_sites()
+            .any(|s| s.family == Family::TengineAserver)
     };
     assert!(!has_aserver(&first));
-    assert!(has_aserver(&Population::new(ExperimentSpec::second(), 0.01)));
+    assert!(has_aserver(&Population::new(
+        ExperimentSpec::second(),
+        0.01
+    )));
 }
