@@ -29,11 +29,21 @@
 //!                      flaky, byzantine, chaos (default none)
 //!   --seed N           campaign seed; same seed replays the exact same
 //!                      faults at any thread count (default 0)
+//!
+//! OBSERVABILITY
+//!   --metrics          record campaign metrics (frame counters, wire
+//!                      bytes, latency histograms); prints a table after
+//!                      the experiments and writes OBS_campaign.json.
+//!                      Everything above the metrics table stays
+//!                      byte-identical to a --metrics-less run.
+//!   --trace-sites N    additionally keep frame-level event traces for
+//!                      the first N sites of each experiment (default 0)
 //! ```
 
 use std::time::Instant;
 
 use h2fault::FaultProfile;
+use h2obs::Obs;
 use h2ready_bench::{figures, scan, tables, wild};
 use webpop::{ExperimentSpec, Population};
 
@@ -45,6 +55,8 @@ struct Options {
     loads: usize,
     faults: FaultProfile,
     seed: u64,
+    metrics: bool,
+    trace_sites: u64,
 }
 
 fn parse_args() -> Options {
@@ -57,6 +69,8 @@ fn parse_args() -> Options {
     let mut loads = 10;
     let mut faults = FaultProfile::none();
     let mut seed = 0u64;
+    let mut metrics = false;
+    let mut trace_sites = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -97,8 +111,16 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 });
             }
+            "--metrics" => metrics = true,
+            "--trace-sites" => {
+                trace_sites = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--trace-sites needs an unsigned integer");
+                    std::process::exit(2);
+                });
+                metrics = true;
+            }
             "--help" | "-h" => {
-                println!("see crate docs: repro [COMMAND] [--scale S] [--exp 1|2|both] [--threads N] [--loads L] [--faults PROFILE] [--seed N]");
+                println!("see crate docs: repro [COMMAND] [--scale S] [--exp 1|2|both] [--threads N] [--loads L] [--faults PROFILE] [--seed N] [--metrics] [--trace-sites N]");
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => command = other.to_string(),
@@ -116,6 +138,8 @@ fn parse_args() -> Options {
         loads,
         faults,
         seed,
+        metrics,
+        trace_sites,
     }
 }
 
@@ -158,12 +182,23 @@ fn main() {
         println!("{}", wild::trend(options.scale, options.threads));
     }
 
+    let obs = if options.metrics {
+        Obs::campaign(options.trace_sites)
+    } else {
+        Obs::off()
+    };
+
     for spec in &options.experiments {
         let population = Population::new(spec.clone(), options.scale);
         let records = if needs_scan(command) {
             let started = Instant::now();
-            let records =
-                scan::scan_faulted(&population, options.threads, options.faults, options.seed);
+            let records = scan::scan_faulted_with_obs(
+                &population,
+                options.threads,
+                options.faults,
+                options.seed,
+                &obs,
+            );
             eprintln!(
                 "[{}] scanned {} h2 sites in {:.1}s",
                 spec.name,
@@ -219,6 +254,18 @@ fn main() {
         }
         if matches!(command, "fig6" | "all") {
             println!("{}", figures::fig6(&population, 60, 10));
+        }
+    }
+
+    // The metrics table is the last stdout section, below the marker, so
+    // consumers can strip it and diff the experiment output byte-for-byte
+    // against a --metrics-less run.
+    if let Some(snapshot) = obs.snapshot() {
+        println!("{}", h2obs::render_table(&snapshot));
+        let path = "OBS_campaign.json";
+        match std::fs::write(path, h2obs::render_json(&snapshot)) {
+            Ok(()) => eprintln!("[obs] wrote {path}"),
+            Err(err) => eprintln!("[obs] failed to write {path}: {err}"),
         }
     }
 }

@@ -7,6 +7,7 @@ use crossbeam::channel;
 use crossbeam::thread;
 
 use h2fault::{splitmix64, FaultPlan, FaultProfile};
+use h2obs::Obs;
 use h2scope::{survey_with_retries, H2Scope, ProbeOutcome, SiteReport};
 use netsim::time::SimDuration;
 use webpop::{Family, Population};
@@ -26,19 +27,34 @@ pub struct ScanRecord {
 /// Scans every h2 site of the population with `threads` worker threads,
 /// returning records in index order.
 pub fn scan(population: &Population, threads: usize) -> Vec<ScanRecord> {
+    scan_with_obs(population, threads, &Obs::off())
+}
+
+/// [`scan`] with an observability handle: per-site metrics and (for sites
+/// under the `--trace-sites` limit) frame-level traces are recorded into
+/// `obs`. With `Obs::off()` this is exactly [`scan`].
+///
+/// Workers *borrow* the population through the scoped threads — an earlier
+/// version cloned the whole `Population` into every worker, which is
+/// O(threads × population) memory at campaign scale.
+pub fn scan_with_obs(population: &Population, threads: usize, obs: &Obs) -> Vec<ScanRecord> {
     let threads = threads.max(1);
     let total = population.h2_count();
     let (tx, rx) = channel::unbounded::<ScanRecord>();
     thread::scope(|scope| {
         for worker in 0..threads as u64 {
             let tx = tx.clone();
-            let population = population.clone();
+            let obs = obs.clone();
             scope.spawn(move |_| {
                 let scope_tool = H2Scope::new();
                 let mut i = worker;
                 while i < total {
                     let site = population.site(i);
-                    let report = scope_tool.survey(&site.target());
+                    let site_obs = obs.for_site(i);
+                    let mut target = site.target();
+                    target.obs = site_obs.clone();
+                    let report = scope_tool.survey(&target);
+                    site_obs.finish_site();
                     let record = ScanRecord {
                         index: i,
                         family: site.family,
@@ -79,8 +95,21 @@ pub fn scan_faulted(
     profile: FaultProfile,
     seed: u64,
 ) -> Vec<ScanRecord> {
+    scan_faulted_with_obs(population, threads, profile, seed, &Obs::off())
+}
+
+/// [`scan_faulted`] with an observability handle (see [`scan_with_obs`]).
+/// All of a site's retry attempts share one per-site context, so retry
+/// telemetry and trace events accumulate across attempts.
+pub fn scan_faulted_with_obs(
+    population: &Population,
+    threads: usize,
+    profile: FaultProfile,
+    seed: u64,
+    obs: &Obs,
+) -> Vec<ScanRecord> {
     if profile.is_none() {
-        return scan(population, threads);
+        return scan_with_obs(population, threads, obs);
     }
     let plan = FaultPlan::new(profile, seed);
     let threads = threads.max(1);
@@ -89,12 +118,13 @@ pub fn scan_faulted(
     thread::scope(|scope| {
         for worker in 0..threads as u64 {
             let tx = tx.clone();
-            let population = population.clone();
+            let obs = obs.clone();
             scope.spawn(move |_| {
                 let scope_tool = H2Scope::new();
                 let mut i = worker;
                 while i < total {
                     let site = population.site(i);
+                    let site_obs = obs.for_site(i);
                     let report = survey_with_retries(
                         &scope_tool,
                         plan.profile().retry,
@@ -102,6 +132,7 @@ pub fn scan_faulted(
                         |attempt| {
                             let injection = plan.injection(i, attempt);
                             let mut target = site.target();
+                            target.obs = site_obs.clone();
                             target.link = injection.impairment.apply(target.link);
                             target.pipe_faults = injection.impairment.pipe_faults();
                             target.patience = Some(plan.profile().deadline);
@@ -112,6 +143,7 @@ pub fn scan_faulted(
                             target
                         },
                     );
+                    site_obs.finish_site();
                     let record = ScanRecord {
                         index: i,
                         family: site.family,
@@ -255,6 +287,50 @@ mod tests {
             serialize(&b),
             "different seeds, different faults"
         );
+    }
+
+    #[test]
+    fn metrics_recording_does_not_perturb_the_records() {
+        // The tentpole's contract: --metrics is observation only. The
+        // serialized reports of an instrumented scan must be byte-identical
+        // to the uninstrumented baseline.
+        let population = Population::new(ExperimentSpec::first(), 0.0005);
+        let serialize = |records: &[ScanRecord]| {
+            h2scope::storage::write_reports(records.iter().map(|r| &r.report))
+        };
+        let plain = serialize(&scan(&population, 4));
+        let obs = Obs::campaign(2);
+        let observed = serialize(&scan_with_obs(&population, 4, &obs));
+        assert_eq!(plain, observed, "plain scan perturbed by metrics");
+        let faulted = serialize(&scan_faulted(&population, 4, FaultProfile::flaky(), 7));
+        let obs = Obs::campaign(2);
+        let observed = serialize(&scan_faulted_with_obs(
+            &population,
+            4,
+            FaultProfile::flaky(),
+            7,
+            &obs,
+        ));
+        assert_eq!(faulted, observed, "faulted scan perturbed by metrics");
+    }
+
+    #[test]
+    fn obs_snapshot_is_identical_across_thread_counts() {
+        // Counters are order-independent sums and traces are flushed as
+        // per-site batches, so the whole rendered snapshot — table and
+        // JSON — must not depend on worker scheduling.
+        let population = Population::new(ExperimentSpec::first(), 0.0005);
+        let run = |threads: usize| {
+            let obs = Obs::campaign(3);
+            scan_faulted_with_obs(&population, threads, FaultProfile::flaky(), 7, &obs);
+            let snap = obs.snapshot().expect("campaign obs snapshots");
+            (h2obs::render_table(&snap), h2obs::render_json(&snap))
+        };
+        let (table1, json1) = run(1);
+        let (table8, json8) = run(8);
+        assert_eq!(table1, table8);
+        assert_eq!(json1, json8);
+        assert!(json1.contains("\"schema\": \"h2obs-campaign-v1\""));
     }
 
     #[test]

@@ -286,6 +286,10 @@ pub struct ConnectionCore {
     /// default, 4,096) while an obedient one honors any peer value — the
     /// memory-pressure vector the paper's discussion section warns about.
     encoder_table_cap: u32,
+    /// Observability handle (off by default; a no-op unless enabled).
+    obs: h2obs::Obs,
+    /// HPACK evictions already reported to `obs`, so deltas are exact.
+    evictions_reported: u64,
 }
 
 impl ConnectionCore {
@@ -310,7 +314,24 @@ impl ConnectionCore {
             next_push_id: 2,
             goaway_received: false,
             encoder_table_cap: DEFAULT_HEADER_TABLE_SIZE,
+            obs: h2obs::Obs::off(),
+            evictions_reported: 0,
         }
+    }
+
+    /// Attaches an observability handle; `Obs::off()` (the default)
+    /// records nothing.
+    pub fn set_obs(&mut self, obs: h2obs::Obs) {
+        self.obs = obs;
+    }
+
+    /// Reports the HPACK eviction delta accrued since the last call to
+    /// the observability handle (both directions: our encoder table and
+    /// our decoder table).
+    fn report_hpack_evictions(&mut self) {
+        let total = self.encoder.table().evictions() + self.decoder.table().evictions();
+        self.obs.hpack_evictions(total - self.evictions_reported);
+        self.evictions_reported = total;
     }
 
     /// Sets the ceiling applied to peer-requested encoder table sizes.
@@ -385,6 +406,7 @@ impl ConnectionCore {
                 Err(e) => return Err(ConnError::Decode(e)),
             }
         }
+        self.report_hpack_evictions();
         Ok(events)
     }
 
@@ -394,6 +416,7 @@ impl ConnectionCore {
     ///
     /// See [`ConnectionCore::recv_bytes`].
     pub fn handle_frame(&mut self, frame: Frame) -> Result<Vec<CoreEvent>, ConnError> {
+        self.obs.server_frame(frame.kind().to_u8());
         // CONTINUATION discipline: while a header block is open, only
         // CONTINUATION for the same stream is legal.
         if !matches!(frame, Frame::Continuation(_)) {
@@ -658,6 +681,7 @@ impl ConnectionCore {
         priority: Option<PrioritySpec>,
     ) -> Vec<Frame> {
         let block = self.encoder.encode_block(headers);
+        self.report_hpack_evictions();
         let max = self.remote.max_frame_size as usize;
         let stream = self.streams.get_or_create(
             stream_id,
@@ -1239,5 +1263,37 @@ mod tests {
         let updates = core.replenish_recv_windows(sid(1), 100);
         assert_eq!(updates.len(), 2);
         assert_eq!(core.connection_recv_window(), 65_535);
+    }
+
+    #[test]
+    fn hpack_evictions_reach_the_observability_handle() {
+        // Squeeze the encoder's dynamic table so distinct response headers
+        // evict each other, and check the delta reporting in
+        // `encode_headers` forwards every eviction to the obs handle.
+        let obs = h2obs::Obs::campaign(0);
+        let mut core = server();
+        core.set_obs(obs.for_site(0));
+        let mut client = ConnectionCore::new(
+            Role::Client,
+            EffectiveSettings::default(),
+            EncoderOptions::default(),
+        );
+        for frame in client.encode_headers(sid(1), &client_headers(), true, None) {
+            feed(&mut core, frame);
+        }
+        core.encoder.resize_table(128);
+        for i in 0..8 {
+            let headers = vec![
+                Header::new(":status", "200"),
+                Header::new("x-filler", format!("{i}-{}", "v".repeat(40))),
+            ];
+            let _ = core.encode_headers(sid(1), &headers, true, None);
+        }
+        assert!(core.encoder.table().evictions() > 0, "table never evicted");
+        let snap = obs.snapshot().expect("campaign obs snapshots");
+        assert_eq!(
+            snap.hpack_evictions,
+            core.encoder.table().evictions() + core.decoder.table().evictions()
+        );
     }
 }

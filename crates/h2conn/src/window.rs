@@ -86,7 +86,10 @@ impl FlowWindow {
     /// makes it a PROTOCOL_ERROR that callers classify explicitly, because
     /// the paper probes exactly how servers react to it.
     pub fn expand(&mut self, increment: u32) -> Result<(), WindowError> {
-        let next = self.available + i64::from(increment);
+        let next = self
+            .available
+            .checked_add(i64::from(increment))
+            .ok_or(WindowError::Overflow)?;
         if next > MAX_WINDOW {
             return Err(WindowError::Overflow);
         }
@@ -115,9 +118,15 @@ impl FlowWindow {
     /// # Errors
     ///
     /// [`WindowError::Overflow`] when the adjustment would exceed the
-    /// maximum window (§6.9.2 makes that a FLOW_CONTROL_ERROR).
+    /// maximum window (§6.9.2 makes that a FLOW_CONTROL_ERROR) or when the
+    /// arithmetic itself would wrap `i64` — repeated adversarial
+    /// `SETTINGS_INITIAL_WINDOW_SIZE` swings must not become wrap-around
+    /// in release builds.
     pub fn adjust(&mut self, delta: i64) -> Result<(), WindowError> {
-        let next = self.available + delta;
+        let next = self
+            .available
+            .checked_add(delta)
+            .ok_or(WindowError::Overflow)?;
         if next > MAX_WINDOW {
             return Err(WindowError::Overflow);
         }
@@ -193,6 +202,31 @@ mod tests {
         assert_eq!(w.sendable(16_384), 16_384);
         let w = FlowWindow::new(5);
         assert_eq!(w.sendable(16_384), 5);
+    }
+
+    #[test]
+    fn adjust_never_wraps_i64() {
+        // Regression: `adjust` used unchecked `+`, so driving the window
+        // deeply negative and then applying i64::MIN wrapped in release
+        // builds (and panicked in debug). It must report Overflow instead.
+        let mut w = FlowWindow::new(0);
+        w.adjust(i64::MIN + 1).unwrap();
+        assert_eq!(w.available(), i64::MIN + 1);
+        assert_eq!(w.adjust(-2), Err(WindowError::Overflow));
+        // The window is untouched after a failed adjustment.
+        assert_eq!(w.available(), i64::MIN + 1);
+
+        let mut w = FlowWindow::new(DEFAULT_WINDOW);
+        assert_eq!(w.adjust(i64::MAX), Err(WindowError::Overflow));
+        assert_eq!(w.available(), i64::from(DEFAULT_WINDOW));
+    }
+
+    #[test]
+    fn expand_at_the_cap_still_reports_overflow() {
+        let mut w = FlowWindow::new(DEFAULT_WINDOW);
+        w.adjust(MAX_WINDOW - i64::from(DEFAULT_WINDOW)).unwrap();
+        assert_eq!(w.available(), MAX_WINDOW);
+        assert_eq!(w.expand(1), Err(WindowError::Overflow));
     }
 
     #[test]

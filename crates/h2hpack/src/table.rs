@@ -137,6 +137,9 @@ pub struct DynamicTable {
     /// Upper bound the decoder's peer fixed via SETTINGS; size updates may
     /// not exceed it.
     protocol_max_size: u32,
+    /// Running count of entries evicted over the table's lifetime (size
+    /// pressure, size updates, and §4.4 whole-table clears alike).
+    evictions: u64,
 }
 
 impl DynamicTable {
@@ -148,7 +151,13 @@ impl DynamicTable {
             size: 0,
             max_size,
             protocol_max_size: max_size,
+            evictions: 0,
         }
+    }
+
+    /// Total entries evicted since the table was created.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Current occupancy in octets.
@@ -198,6 +207,7 @@ impl DynamicTable {
     pub fn insert(&mut self, header: Header) {
         let entry_size = header.hpack_size();
         if entry_size > self.max_size {
+            self.evictions += self.entries.len() as u64;
             self.entries.clear();
             self.size = 0;
             return;
@@ -232,6 +242,7 @@ impl DynamicTable {
         while self.size > budget {
             let evicted = self.entries.pop_back().expect("size > 0 implies entries");
             self.size -= evicted.hpack_size();
+            self.evictions += 1;
         }
     }
 }
@@ -252,6 +263,26 @@ mod tests {
         );
         assert_eq!(static_entry(0), None);
         assert_eq!(static_entry(62), None);
+    }
+
+    #[test]
+    fn eviction_counter_tracks_all_eviction_paths() {
+        let mut table = DynamicTable::new(100);
+        assert_eq!(table.evictions(), 0);
+        // Header::hpack_size = name + value + 32; "aa"+"bbbb" = 38 octets.
+        table.insert(Header::new("aa", "bbbb"));
+        table.insert(Header::new("aa", "bbbb"));
+        assert_eq!(table.evictions(), 0);
+        // Third insert (38*3 = 114 > 100) evicts one from the tail.
+        table.insert(Header::new("aa", "bbbb"));
+        assert_eq!(table.evictions(), 1);
+        // A size update shrinking to one entry evicts one more.
+        table.set_max_size(40);
+        assert_eq!(table.evictions(), 2);
+        // An entry larger than the table clears it (§4.4): +1 eviction.
+        table.insert(Header::new("xxxxxxxxxxxxxxxx", "yyyyyyyyyyyyyyyy"));
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.evictions(), 3);
     }
 
     #[test]

@@ -1,0 +1,521 @@
+//! The `Obs` handle: a cheap, cloneable recorder threaded through the
+//! simulation, connection, probing and bench layers.
+//!
+//! When observability is disabled (`Obs::off()`, the default everywhere)
+//! every method is a no-op on a `None` inner — no allocation, no atomics,
+//! no locks — so the instrumented hot paths cost one branch and campaign
+//! output stays bit-identical to the uninstrumented baseline.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{FrameCounters, Histogram, HistogramSnapshot, FRAME_KINDS};
+use crate::trace::{EventKind, Ring, SiteTrace, TraceEvent};
+
+/// Maximum trace events retained per traced site (oldest evicted first).
+pub const TRACE_RING_CAP: usize = 512;
+
+/// Which probe of the paper's funnel a connection belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ProbeKind {
+    /// Outside any named probe (setup traffic, ad-hoc connections).
+    Other = 0,
+    /// §III-A protocol negotiation (ALPN / h2c upgrade).
+    Negotiation = 1,
+    /// §III-B SETTINGS handling.
+    Settings = 2,
+    /// Baseline HEADERS request/response exchange.
+    Headers = 3,
+    /// §III-B flow-control conformance.
+    FlowControl = 4,
+    /// §III-C priority handling.
+    Priority = 5,
+    /// Server push behavior.
+    Push = 6,
+    /// HPACK dynamic-table behavior.
+    Hpack = 7,
+    /// Concurrent-stream multiplexing.
+    Multiplexing = 8,
+    /// PING liveness/RTT.
+    Ping = 9,
+}
+
+/// Number of [`ProbeKind`] variants.
+pub const PROBE_KINDS: usize = 10;
+
+impl ProbeKind {
+    /// All variants, in funnel order.
+    pub const ALL: [ProbeKind; PROBE_KINDS] = [
+        ProbeKind::Other,
+        ProbeKind::Negotiation,
+        ProbeKind::Settings,
+        ProbeKind::Headers,
+        ProbeKind::FlowControl,
+        ProbeKind::Priority,
+        ProbeKind::Push,
+        ProbeKind::Hpack,
+        ProbeKind::Multiplexing,
+        ProbeKind::Ping,
+    ];
+
+    /// Stable lower-case name used in tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeKind::Other => "other",
+            ProbeKind::Negotiation => "negotiation",
+            ProbeKind::Settings => "settings",
+            ProbeKind::Headers => "headers",
+            ProbeKind::FlowControl => "flow_control",
+            ProbeKind::Priority => "priority",
+            ProbeKind::Push => "push",
+            ProbeKind::Hpack => "hpack",
+            ProbeKind::Multiplexing => "multiplexing",
+            ProbeKind::Ping => "ping",
+        }
+    }
+
+    fn from_u8(v: u8) -> ProbeKind {
+        ProbeKind::ALL
+            .get(v as usize)
+            .copied()
+            .unwrap_or(ProbeKind::Other)
+    }
+}
+
+/// Campaign-wide atomic metric store.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    /// Frames written by probe clients, by wire kind.
+    pub client_sent: FrameCounters,
+    /// Frames observed arriving at probe clients, by wire kind.
+    pub client_received: FrameCounters,
+    /// Frames handled by simulated server connection cores, by wire kind.
+    pub server_handled: FrameCounters,
+    /// Bytes delivered client → server across all pipes.
+    pub bytes_to_server: AtomicU64,
+    /// Bytes delivered server → client across all pipes.
+    pub bytes_to_client: AtomicU64,
+    /// HPACK dynamic-table entries evicted (encoder + decoder sides).
+    pub hpack_evictions: AtomicU64,
+    /// Simulated connections opened.
+    pub conns_opened: AtomicU64,
+    /// Probe attempts retried after a failure.
+    pub retries: AtomicU64,
+    /// Backoff pauses between retries, in virtual nanoseconds.
+    pub backoff_nanos: Histogram,
+    /// Probe attempts that hit the patience deadline.
+    pub timeouts: AtomicU64,
+    /// Probe attempts killed by a connection reset.
+    pub resets: AtomicU64,
+    /// Probe attempts aborted on malformed peer bytes.
+    pub malformed: AtomicU64,
+    /// Connection lifetimes per probe kind, in virtual nanoseconds.
+    pub probe_latency: [Histogram; PROBE_KINDS],
+    /// Total per-site virtual time across all of a site's connections.
+    pub site_latency: Histogram,
+    /// Sites fully surveyed.
+    pub sites_finished: AtomicU64,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an all-zero registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            client_sent: FrameCounters::new(),
+            client_received: FrameCounters::new(),
+            server_handled: FrameCounters::new(),
+            bytes_to_server: AtomicU64::new(0),
+            bytes_to_client: AtomicU64::new(0),
+            hpack_evictions: AtomicU64::new(0),
+            conns_opened: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            backoff_nanos: Histogram::new(),
+            timeouts: AtomicU64::new(0),
+            resets: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            probe_latency: std::array::from_fn(|_| Histogram::new()),
+            site_latency: Histogram::new(),
+            sites_finished: AtomicU64::new(0),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ObsShared {
+    metrics: MetricsRegistry,
+    traces: Mutex<Vec<SiteTrace>>,
+    /// Sites with population index below this limit get an event ring.
+    trace_limit: u64,
+}
+
+/// Per-site mutable context shared by every `Obs` clone for that site.
+#[derive(Debug)]
+struct SiteCtx {
+    index: u64,
+    probe: AtomicU8,
+    /// Virtual nanoseconds accumulated across the site's connections.
+    nanos: AtomicU64,
+    ring: Option<Mutex<Ring>>,
+}
+
+impl SiteCtx {
+    fn detached() -> Arc<SiteCtx> {
+        Arc::new(SiteCtx {
+            index: u64::MAX,
+            probe: AtomicU8::new(ProbeKind::Other as u8),
+            nanos: AtomicU64::new(0),
+            ring: None,
+        })
+    }
+}
+
+/// Cheap observability handle. Cloning shares the underlying campaign
+/// registry and per-site context; `Obs::off()` handles record nothing.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    inner: Option<Arc<ObsShared>>,
+    site: Arc<SiteCtx>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::off()
+    }
+}
+
+impl Obs {
+    /// The disabled handle: every recording method is a no-op.
+    pub fn off() -> Obs {
+        Obs {
+            inner: None,
+            site: SiteCtx::detached(),
+        }
+    }
+
+    /// Creates an enabled campaign-wide handle. Sites with index below
+    /// `trace_sites` additionally collect a frame-level event trace.
+    pub fn campaign(trace_sites: u64) -> Obs {
+        Obs {
+            inner: Some(Arc::new(ObsShared {
+                metrics: MetricsRegistry::new(),
+                traces: Mutex::new(Vec::new()),
+                trace_limit: trace_sites,
+            })),
+            site: SiteCtx::detached(),
+        }
+    }
+
+    /// True when this handle actually records.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Derives the handle for site `index`, attaching a trace ring when
+    /// the site falls under the campaign's `--trace-sites` limit.
+    pub fn for_site(&self, index: u64) -> Obs {
+        let Some(shared) = &self.inner else {
+            return Obs::off();
+        };
+        let ring = if index < shared.trace_limit {
+            Some(Mutex::new(Ring::new(TRACE_RING_CAP)))
+        } else {
+            None
+        };
+        Obs {
+            inner: Some(Arc::clone(shared)),
+            site: Arc::new(SiteCtx {
+                index,
+                probe: AtomicU8::new(ProbeKind::Other as u8),
+                nanos: AtomicU64::new(0),
+                ring,
+            }),
+        }
+    }
+
+    /// Marks subsequent connections as belonging to `probe`.
+    pub fn enter_probe(&self, probe: ProbeKind) {
+        if self.inner.is_some() {
+            self.site.probe.store(probe as u8, Ordering::Relaxed);
+        }
+    }
+
+    /// The probe most recently entered on this site (Other by default).
+    pub fn current_probe(&self) -> ProbeKind {
+        ProbeKind::from_u8(self.site.probe.load(Ordering::Relaxed))
+    }
+
+    fn trace(&self, at_nanos: u64, kind: EventKind) {
+        if self.inner.is_none() {
+            return;
+        }
+        if let Some(ring) = &self.site.ring {
+            ring.lock()
+                .expect("trace ring poisoned")
+                .push(TraceEvent { at_nanos, kind });
+        }
+    }
+
+    /// Records a frame written by the probe client.
+    pub fn frame_sent(&self, kind: u8, at_nanos: u64) {
+        if let Some(shared) = &self.inner {
+            shared.metrics.client_sent.bump(kind);
+            self.trace(at_nanos, EventKind::Send(kind));
+        }
+    }
+
+    /// Records a frame observed arriving at the probe client.
+    pub fn frame_received(&self, kind: u8, at_nanos: u64) {
+        if let Some(shared) = &self.inner {
+            shared.metrics.client_received.bump(kind);
+            self.trace(at_nanos, EventKind::Recv(kind));
+        }
+    }
+
+    /// Records a frame handled by a simulated server core.
+    pub fn server_frame(&self, kind: u8) {
+        if let Some(shared) = &self.inner {
+            shared.metrics.server_handled.bump(kind);
+        }
+    }
+
+    /// Records bytes delivered across a pipe in the given direction.
+    pub fn wire_bytes(&self, to_server: bool, n: u64) {
+        if let Some(shared) = &self.inner {
+            let counter = if to_server {
+                &shared.metrics.bytes_to_server
+            } else {
+                &shared.metrics.bytes_to_client
+            };
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `delta` HPACK dynamic-table evictions.
+    pub fn hpack_evictions(&self, delta: u64) {
+        if let Some(shared) = &self.inner {
+            if delta > 0 {
+                shared
+                    .metrics
+                    .hpack_evictions
+                    .fetch_add(delta, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records a simulated connection being opened.
+    pub fn conn_opened(&self) {
+        if let Some(shared) = &self.inner {
+            shared.metrics.conns_opened.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a finished connection's virtual lifetime against the
+    /// current probe's latency histogram and the site accumulator.
+    pub fn conn_finished(&self, nanos: u64) {
+        if let Some(shared) = &self.inner {
+            let probe = self.current_probe();
+            shared.metrics.probe_latency[probe as usize].record(nanos);
+            self.site.nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a retry of probe attempt `attempt` after a backoff pause.
+    pub fn retry(&self, attempt: u32, pause_nanos: u64, at_nanos: u64) {
+        if let Some(shared) = &self.inner {
+            shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.backoff_nanos.record(pause_nanos);
+            self.trace(at_nanos, EventKind::Retry(attempt));
+        }
+    }
+
+    /// Records a probe attempt expiring at its patience deadline.
+    pub fn timeout(&self, at_nanos: u64) {
+        if let Some(shared) = &self.inner {
+            shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.trace(at_nanos, EventKind::Timeout);
+        }
+    }
+
+    /// Records a probe attempt dying to a connection reset.
+    pub fn reset(&self, at_nanos: u64) {
+        if let Some(shared) = &self.inner {
+            shared.metrics.resets.fetch_add(1, Ordering::Relaxed);
+            self.trace(at_nanos, EventKind::Reset);
+        }
+    }
+
+    /// Records a probe attempt aborting on malformed peer bytes.
+    pub fn malformed(&self, at_nanos: u64) {
+        if let Some(shared) = &self.inner {
+            shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+            self.trace(at_nanos, EventKind::Malformed);
+        }
+    }
+
+    /// Finalizes this site: records its accumulated latency and flushes
+    /// its trace ring (if any) into the campaign trace store.
+    pub fn finish_site(&self) {
+        let Some(shared) = &self.inner else {
+            return;
+        };
+        shared
+            .metrics
+            .site_latency
+            .record(self.site.nanos.load(Ordering::Relaxed));
+        shared
+            .metrics
+            .sites_finished
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(ring) = &self.site.ring {
+            let (events, dropped) = ring.lock().expect("trace ring poisoned").drain();
+            shared
+                .traces
+                .lock()
+                .expect("trace store poisoned")
+                .push(SiteTrace {
+                    site: self.site.index,
+                    events,
+                    dropped,
+                });
+        }
+    }
+
+    /// Takes a campaign snapshot, or `None` when the handle is off.
+    /// Traces are sorted by site index so the result is independent of
+    /// worker scheduling.
+    pub fn snapshot(&self) -> Option<CampaignSnapshot> {
+        let shared = self.inner.as_ref()?;
+        let m = &shared.metrics;
+        let mut traces = shared.traces.lock().expect("trace store poisoned").clone();
+        traces.sort_by_key(|t| t.site);
+        Some(CampaignSnapshot {
+            client_sent: m.client_sent.snapshot(),
+            client_received: m.client_received.snapshot(),
+            server_handled: m.server_handled.snapshot(),
+            bytes_to_server: m.bytes_to_server.load(Ordering::Relaxed),
+            bytes_to_client: m.bytes_to_client.load(Ordering::Relaxed),
+            hpack_evictions: m.hpack_evictions.load(Ordering::Relaxed),
+            conns_opened: m.conns_opened.load(Ordering::Relaxed),
+            retries: m.retries.load(Ordering::Relaxed),
+            backoff_nanos: m.backoff_nanos.snapshot(),
+            timeouts: m.timeouts.load(Ordering::Relaxed),
+            resets: m.resets.load(Ordering::Relaxed),
+            malformed: m.malformed.load(Ordering::Relaxed),
+            probe_latency: ProbeKind::ALL
+                .iter()
+                .map(|&p| (p, m.probe_latency[p as usize].snapshot()))
+                .collect(),
+            site_latency: m.site_latency.snapshot(),
+            sites_finished: m.sites_finished.load(Ordering::Relaxed),
+            traces,
+        })
+    }
+}
+
+/// Immutable point-in-time view of a campaign's metrics and traces.
+#[derive(Debug, Clone)]
+pub struct CampaignSnapshot {
+    /// Frames written by probe clients, by wire-kind slot.
+    pub client_sent: [u64; FRAME_KINDS],
+    /// Frames observed by probe clients, by wire-kind slot.
+    pub client_received: [u64; FRAME_KINDS],
+    /// Frames handled by simulated server cores, by wire-kind slot.
+    pub server_handled: [u64; FRAME_KINDS],
+    /// Bytes delivered client → server.
+    pub bytes_to_server: u64,
+    /// Bytes delivered server → client.
+    pub bytes_to_client: u64,
+    /// HPACK dynamic-table evictions.
+    pub hpack_evictions: u64,
+    /// Simulated connections opened.
+    pub conns_opened: u64,
+    /// Probe attempts retried.
+    pub retries: u64,
+    /// Backoff pause distribution, virtual nanoseconds.
+    pub backoff_nanos: HistogramSnapshot,
+    /// Deadline expiries.
+    pub timeouts: u64,
+    /// Connection resets.
+    pub resets: u64,
+    /// Malformed-bytes aborts.
+    pub malformed: u64,
+    /// Connection-lifetime distribution per probe kind.
+    pub probe_latency: Vec<(ProbeKind, HistogramSnapshot)>,
+    /// Per-site total-latency distribution.
+    pub site_latency: HistogramSnapshot,
+    /// Sites fully surveyed.
+    pub sites_finished: u64,
+    /// Frame-level traces for sites under the `--trace-sites` limit,
+    /// sorted by site index.
+    pub traces: Vec<SiteTrace>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_handle_records_nothing() {
+        let obs = Obs::off();
+        obs.frame_sent(0x4, 10);
+        obs.retry(1, 100, 10);
+        obs.finish_site();
+        assert!(!obs.is_on());
+        assert!(obs.snapshot().is_none());
+        // for_site on an off handle stays off.
+        assert!(!obs.for_site(0).is_on());
+    }
+
+    #[test]
+    fn campaign_handle_accumulates() {
+        let obs = Obs::campaign(1);
+        let site0 = obs.for_site(0);
+        let site7 = obs.for_site(7);
+        site0.enter_probe(ProbeKind::Headers);
+        site0.frame_sent(0x4, 5);
+        site0.frame_received(0x4, 9);
+        site0.conn_finished(1000);
+        site0.finish_site();
+        site7.frame_sent(0x1, 3);
+        site7.timeout(44);
+        site7.finish_site();
+        let snap = obs.snapshot().expect("on");
+        assert_eq!(snap.client_sent[4], 1);
+        assert_eq!(snap.client_sent[1], 1);
+        assert_eq!(snap.client_received[4], 1);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.sites_finished, 2);
+        let headers = snap
+            .probe_latency
+            .iter()
+            .find(|(p, _)| *p == ProbeKind::Headers)
+            .map(|(_, h)| h.clone())
+            .expect("headers slot");
+        assert_eq!(headers.count, 1);
+        assert_eq!(headers.sum, 1000);
+        // Only site 0 is under the trace limit.
+        assert_eq!(snap.traces.len(), 1);
+        assert_eq!(snap.traces[0].site, 0);
+        assert_eq!(snap.traces[0].events.len(), 2);
+    }
+
+    #[test]
+    fn traces_sort_by_site_index() {
+        let obs = Obs::campaign(10);
+        for idx in [5u64, 2, 9] {
+            let s = obs.for_site(idx);
+            s.frame_sent(0x0, idx);
+            s.finish_site();
+        }
+        let snap = obs.snapshot().expect("on");
+        let sites: Vec<u64> = snap.traces.iter().map(|t| t.site).collect();
+        assert_eq!(sites, vec![2, 5, 9]);
+    }
+}

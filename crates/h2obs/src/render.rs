@@ -1,0 +1,292 @@
+//! Human-readable table and hand-rolled JSON rendering of a
+//! [`CampaignSnapshot`]. No serde: the schema is small, stable and fully
+//! under our control (same precedent as `h2scope::storage`).
+
+use std::fmt::Write as _;
+
+use crate::metrics::{HistogramSnapshot, FRAME_KINDS, FRAME_KIND_NAMES};
+use crate::obs::CampaignSnapshot;
+
+/// Marker line printed immediately before the metrics table so scripts
+/// (and the CI no-op diff job) can strip everything from here down.
+pub const TABLE_MARKER: &str = "=== h2obs campaign metrics ===";
+
+/// Formats virtual nanoseconds with a human unit suffix.
+fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!(
+            "{}.{:03}s",
+            n / 1_000_000_000,
+            (n % 1_000_000_000) / 1_000_000
+        )
+    } else if n >= 1_000_000 {
+        format!("{}.{:03}ms", n / 1_000_000, (n % 1_000_000) / 1_000)
+    } else if n >= 1_000 {
+        format!("{}.{:03}us", n / 1_000, n % 1_000)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+fn hist_row(label: &str, h: &HistogramSnapshot) -> String {
+    if h.is_empty() {
+        return format!("  {label:<14} (no samples)\n");
+    }
+    format!(
+        "  {label:<14} n={:<7} mean={:<10} p50={:<10} p90={:<10} p99={:<10} max={}\n",
+        h.count,
+        fmt_nanos(h.mean()),
+        fmt_nanos(h.percentile(50)),
+        fmt_nanos(h.percentile(90)),
+        fmt_nanos(h.percentile(99)),
+        fmt_nanos(h.max),
+    )
+}
+
+/// Renders the per-campaign metrics table shown by `repro --metrics`.
+pub fn render_table(snap: &CampaignSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(TABLE_MARKER);
+    out.push('\n');
+    let _ = writeln!(out, "sites surveyed        {}", snap.sites_finished);
+    let _ = writeln!(out, "connections opened    {}", snap.conns_opened);
+    let _ = writeln!(
+        out,
+        "wire bytes            {} to-server / {} to-client",
+        snap.bytes_to_server, snap.bytes_to_client
+    );
+    let _ = writeln!(out, "hpack evictions       {}", snap.hpack_evictions);
+    let _ = writeln!(
+        out,
+        "retries               {} (timeouts {}, resets {}, malformed {})",
+        snap.retries, snap.timeouts, snap.resets, snap.malformed
+    );
+    if !snap.backoff_nanos.is_empty() {
+        let _ = writeln!(
+            out,
+            "backoff waited        {} total across {} pauses",
+            fmt_nanos(snap.backoff_nanos.sum),
+            snap.backoff_nanos.count
+        );
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>12} {:>14}",
+        "frames by kind", "client-sent", "client-recv", "server-handled"
+    );
+    for (i, name) in FRAME_KIND_NAMES.iter().enumerate() {
+        let (s, r, h) = (
+            snap.client_sent[i],
+            snap.client_received[i],
+            snap.server_handled[i],
+        );
+        if s == 0 && r == 0 && h == 0 {
+            continue;
+        }
+        let _ = writeln!(out, "  {name:<14} {s:>12} {r:>12} {h:>14}");
+    }
+    out.push('\n');
+    out.push_str("probe latency (virtual time per connection)\n");
+    for (probe, h) in &snap.probe_latency {
+        if h.is_empty() {
+            continue;
+        }
+        out.push_str(&hist_row(probe.name(), h));
+    }
+    out.push_str("site latency (virtual time per site)\n");
+    out.push_str(&hist_row("all sites", &snap.site_latency));
+    if !snap.traces.is_empty() {
+        let events: usize = snap.traces.iter().map(|t| t.events.len()).sum();
+        let _ = writeln!(
+            out,
+            "traced sites          {} ({} events; see OBS_campaign.json)",
+            snap.traces.len(),
+            events
+        );
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_frames(counts: &[u64; FRAME_KINDS]) -> String {
+    let fields: Vec<String> = (0..FRAME_KINDS)
+        .filter(|&i| counts[i] > 0)
+        .map(|i| format!("\"{}\":{}", FRAME_KIND_NAMES[i], counts[i]))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+fn json_hist(h: &HistogramSnapshot) -> String {
+    if h.is_empty() {
+        return "{\"count\":0}".to_string();
+    }
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        h.mean(),
+        h.percentile(50),
+        h.percentile(90),
+        h.percentile(99),
+    )
+}
+
+/// Renders the `OBS_campaign.json` document. Key order is fixed and all
+/// inputs are order-independent aggregates (traces pre-sorted by site),
+/// so the output is byte-identical at any worker thread count.
+pub fn render_json(snap: &CampaignSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"h2obs-campaign-v1\",\n");
+    let _ = writeln!(out, "  \"sites_finished\": {},", snap.sites_finished);
+    let _ = writeln!(out, "  \"conns_opened\": {},", snap.conns_opened);
+    let _ = writeln!(
+        out,
+        "  \"wire_bytes\": {{\"to_server\":{},\"to_client\":{}}},",
+        snap.bytes_to_server, snap.bytes_to_client
+    );
+    let _ = writeln!(out, "  \"hpack_evictions\": {},", snap.hpack_evictions);
+    let _ = writeln!(
+        out,
+        "  \"failures\": {{\"timeouts\":{},\"resets\":{},\"malformed\":{}}},",
+        snap.timeouts, snap.resets, snap.malformed
+    );
+    let _ = writeln!(
+        out,
+        "  \"retries\": {{\"total\":{},\"backoff_nanos\":{}}},",
+        snap.retries,
+        json_hist(&snap.backoff_nanos)
+    );
+    let _ = writeln!(
+        out,
+        "  \"frames\": {{\"client_sent\":{},\"client_received\":{},\"server_handled\":{}}},",
+        json_frames(&snap.client_sent),
+        json_frames(&snap.client_received),
+        json_frames(&snap.server_handled)
+    );
+    out.push_str("  \"probe_latency_nanos\": {");
+    let probe_fields: Vec<String> = snap
+        .probe_latency
+        .iter()
+        .filter(|(_, h)| !h.is_empty())
+        .map(|(p, h)| format!("\"{}\":{}", p.name(), json_hist(h)))
+        .collect();
+    out.push_str(&probe_fields.join(","));
+    out.push_str("},\n");
+    let _ = writeln!(
+        out,
+        "  \"site_latency_nanos\": {},",
+        json_hist(&snap.site_latency)
+    );
+    out.push_str("  \"traces\": [\n");
+    for (i, t) in snap.traces.iter().enumerate() {
+        let events: Vec<String> = t
+            .events
+            .iter()
+            .map(|e| {
+                let detail = e.kind.detail();
+                if detail.is_empty() {
+                    format!("{{\"at\":{},\"ev\":\"{}\"}}", e.at_nanos, e.kind.tag())
+                } else {
+                    format!(
+                        "{{\"at\":{},\"ev\":\"{}\",\"detail\":\"{}\"}}",
+                        e.at_nanos,
+                        e.kind.tag(),
+                        json_escape(&detail)
+                    )
+                }
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "    {{\"site\":{},\"dropped\":{},\"events\":[{}]}}",
+            t.site,
+            t.dropped,
+            events.join(",")
+        );
+        out.push_str(if i + 1 < snap.traces.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{Obs, ProbeKind};
+
+    fn sample_snapshot() -> CampaignSnapshot {
+        let obs = Obs::campaign(2);
+        let site = obs.for_site(0);
+        site.enter_probe(ProbeKind::Headers);
+        site.frame_sent(0x4, 10);
+        site.frame_received(0x1, 20);
+        site.server_frame(0x4);
+        site.wire_bytes(true, 100);
+        site.wire_bytes(false, 250);
+        site.conn_opened();
+        site.conn_finished(5_000);
+        site.retry(1, 2_000_000, 30);
+        site.timeout(40);
+        site.finish_site();
+        obs.snapshot().expect("on")
+    }
+
+    #[test]
+    fn table_contains_marker_and_counts() {
+        let table = render_table(&sample_snapshot());
+        assert!(table.starts_with(TABLE_MARKER));
+        assert!(table.contains("SETTINGS"));
+        assert!(table.contains("headers"));
+        assert!(table.contains("retries               1"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_stable() {
+        let snap = sample_snapshot();
+        let a = render_json(&snap);
+        let b = render_json(&snap);
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"h2obs-campaign-v1\""));
+        assert!(a.contains("\"client_sent\":{\"SETTINGS\":1}"));
+        assert!(a.contains("\"ev\":\"retry\""));
+        // Balanced braces as a cheap well-formedness proxy.
+        let opens = a.matches('{').count();
+        let closes = a.matches('}').count();
+        assert_eq!(opens, closes);
+        let sq_open = a.matches('[').count();
+        let sq_close = a.matches(']').count();
+        assert_eq!(sq_open, sq_close);
+    }
+
+    #[test]
+    fn fmt_nanos_units() {
+        assert_eq!(fmt_nanos(17), "17ns");
+        assert_eq!(fmt_nanos(1_500), "1.500us");
+        assert_eq!(fmt_nanos(2_000_000), "2.000ms");
+        assert_eq!(fmt_nanos(3_250_000_000), "3.250s");
+    }
+}

@@ -7,6 +7,7 @@
 //! which frames come back and in what order.
 
 use h2hpack::{Decoder as HpackDecoder, Encoder as HpackEncoder, Header};
+use h2obs::Obs;
 use h2server::H2Server;
 use h2wire::settings::MAX_MAX_FRAME_SIZE;
 use h2wire::{
@@ -51,6 +52,17 @@ pub struct ProbeConn {
     dead: bool,
     /// Shared failure channel (clone of the target's).
     log: FaultLog,
+    /// Observability handle (clone of the target's; a no-op by default).
+    obs: Obs,
+}
+
+impl Drop for ProbeConn {
+    fn drop(&mut self) {
+        // The connection's virtual lifetime is its latency contribution:
+        // every probe opens a fresh connection at t=0 and drops it when
+        // done, so `now()` at drop is the whole exchange.
+        self.obs.conn_finished(self.pipe.now().as_nanos());
+    }
 }
 
 impl ProbeConn {
@@ -80,9 +92,12 @@ impl ProbeConn {
             deadline: target.patience.map(|p| SimTime::ZERO + p),
             dead: false,
             log: target.fault_log.clone(),
+            obs: target.obs.clone(),
         };
         let mut hello = CONNECTION_PREFACE.to_vec();
         Frame::Settings(SettingsFrame::from(client_settings)).encode(&mut hello);
+        // The prelude SETTINGS bypasses `send`, so count it here.
+        conn.obs.frame_sent(0x4, conn.pipe.now().as_nanos());
         conn.pipe.client_send(hello);
         conn
     }
@@ -99,11 +114,17 @@ impl ProbeConn {
 
     /// Sends one frame.
     pub fn send(&mut self, frame: Frame) {
+        self.obs
+            .frame_sent(frame.kind().to_u8(), self.pipe.now().as_nanos());
         self.pipe.client_send(frame.to_bytes());
     }
 
     /// Sends several frames as one segment.
     pub fn send_all(&mut self, frames: &[Frame]) {
+        for frame in frames {
+            self.obs
+                .frame_sent(frame.kind().to_u8(), self.pipe.now().as_nanos());
+        }
         self.pipe.client_send(encode_all(frames));
     }
 
@@ -157,6 +178,8 @@ impl ProbeConn {
                     let headers = self
                         .try_decode_block_of(&frame)
                         .unwrap_or_else(|e| panic!("{e}"));
+                    self.obs
+                        .frame_received(frame.kind().to_u8(), arrival.at.as_nanos());
                     new_frames.push(TimedFrame {
                         at: arrival.at,
                         frame,
@@ -178,6 +201,8 @@ impl ProbeConn {
                 match self.decoder.next_frame() {
                     Ok(Some(frame)) => match self.try_decode_block_of(&frame) {
                         Ok(headers) => {
+                            self.obs
+                                .frame_received(frame.kind().to_u8(), arrival.at.as_nanos());
                             new_frames.push(TimedFrame {
                                 at: arrival.at,
                                 frame,
@@ -228,6 +253,12 @@ impl ProbeConn {
 
     fn fail(&mut self, failure: ProbeFailure) {
         self.dead = true;
+        let at = self.pipe.now().as_nanos();
+        match failure {
+            ProbeFailure::Timeout => self.obs.timeout(at),
+            ProbeFailure::ConnReset => self.obs.reset(at),
+            ProbeFailure::Malformed => self.obs.malformed(at),
+        }
         self.log.record(failure);
     }
 

@@ -45,6 +45,7 @@ pub mod target;
 pub mod trace;
 
 pub use client::{ProbeConn, TimedFrame};
+pub use h2obs::{Obs, ProbeKind};
 pub use probes::Reaction;
 pub use report::{ServerCharacterization, SiteReport};
 pub use resilient::{survey_with_retries, FaultLog, ProbeFailure, ProbeOutcome, ProbeStats};

@@ -144,6 +144,7 @@ pub fn large_window_update(target: &Target, on_stream: bool) -> Reaction {
 
 /// Runs all four flow-control probes.
 pub fn probe(target: &Target) -> FlowControlReport {
+    target.obs.enter_probe(h2obs::ProbeKind::FlowControl);
     FlowControlReport {
         small_window: small_window(target),
         headers_at_zero_window: headers_at_zero_window(target),

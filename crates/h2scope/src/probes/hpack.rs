@@ -31,6 +31,7 @@ impl HpackReport {
 
 /// Sends `h` identical GETs for `/` and computes the ratio.
 pub fn probe(target: &Target, h: usize) -> HpackReport {
+    target.obs.enter_probe(h2obs::ProbeKind::Hpack);
     assert!(h >= 2, "the ratio needs at least two samples");
     let mut conn = ProbeConn::establish(target, Settings::new(), 0x4bac);
     conn.exchange();

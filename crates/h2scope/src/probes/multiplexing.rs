@@ -28,6 +28,7 @@ pub struct MultiplexingReport {
 /// the probe cannot discriminate — the reason the paper only runs this in
 /// the testbed.
 pub fn probe(target: &Target, n: usize) -> MultiplexingReport {
+    target.obs.enter_probe(h2obs::ProbeKind::Multiplexing);
     let mut conn = ProbeConn::establish(&with_big_objects(target), Settings::new(), 0x0a11);
     conn.exchange();
     let max_concurrent_streams = conn.announced(SettingId::MaxConcurrentStreams);

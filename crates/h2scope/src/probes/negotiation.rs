@@ -25,6 +25,7 @@ impl NegotiationReport {
 
 /// Runs both negotiation mechanisms against the target, as H2Scope does.
 pub fn probe(target: &Target) -> NegotiationReport {
+    target.obs.enter_probe(h2obs::ProbeKind::Negotiation);
     let hs = handshake(target.tls(), &[PROTO_H2, PROTO_HTTP11]);
     NegotiationReport {
         alpn_h2: hs.alpn_selected.as_deref() == Some(PROTO_H2),

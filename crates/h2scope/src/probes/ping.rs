@@ -38,6 +38,7 @@ pub struct RttComparison {
 
 /// Sends `n` PING frames, one at a time, measuring each round trip.
 pub fn probe(target: &Target, n: usize) -> PingReport {
+    target.obs.enter_probe(h2obs::ProbeKind::Ping);
     let mut conn = ProbeConn::establish(target, Settings::new(), 0x9196);
     conn.exchange();
     let mut rtt_ms = Vec::with_capacity(n);

@@ -70,6 +70,7 @@ impl PriorityReport {
 
 /// Runs Algorithm 1 against the target.
 pub fn algorithm1(target: &Target) -> PriorityReport {
+    target.obs.enter_probe(h2obs::ProbeKind::Priority);
     // Step 0: huge stream windows so only the connection window gates.
     let settings = Settings::new().with(SettingId::InitialWindowSize, 0x7fff_ffff);
     let mut conn = ProbeConn::establish(target, settings, 0xa190);

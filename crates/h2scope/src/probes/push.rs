@@ -21,6 +21,7 @@ pub struct PushReport {
 
 /// Enables push, fetches the given pages, and records every promise.
 pub fn probe(target: &Target, pages: &[&str]) -> PushReport {
+    target.obs.enter_probe(h2obs::ProbeKind::Push);
     let settings = Settings::new().with(SettingId::EnablePush, 1);
     let mut conn = ProbeConn::establish(target, settings, 0x9054);
     conn.exchange();

@@ -51,6 +51,7 @@ impl SettingsReport {
 
 /// Connects and records the server's announced SETTINGS.
 pub fn probe(target: &Target) -> SettingsReport {
+    target.obs.enter_probe(h2obs::ProbeKind::Settings);
     let mut conn = ProbeConn::establish(target, Settings::new(), 0x5e77);
     let frames = conn.exchange();
     let mut report = SettingsReport::default();

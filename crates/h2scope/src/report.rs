@@ -85,6 +85,7 @@ pub struct HeadersProbe {
 /// the paper identifies server families (§V-B2, with the caveat that the
 /// field can be spoofed).
 pub fn headers_probe(target: &Target) -> HeadersProbe {
+    target.obs.enter_probe(h2obs::ProbeKind::Headers);
     let mut conn = ProbeConn::establish(target, Settings::new(), 0x5eb0);
     conn.exchange();
     let (frames, _) = conn.fetch(1, "/");

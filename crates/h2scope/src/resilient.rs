@@ -143,7 +143,13 @@ pub fn survey_with_retries(
             break;
         }
         if attempt + 1 < max_attempts {
-            backoff = backoff + policy.backoff(attempt + 1, seed);
+            let pause = policy.backoff(attempt + 1, seed);
+            backoff = backoff + pause;
+            // Retry telemetry: attempt numbers are 1-based (the retry that
+            // is about to run), stamped at the accumulated backoff offset.
+            target
+                .obs
+                .retry(attempt + 2, pause.as_nanos(), backoff.as_nanos());
         }
     }
     let (mut report, failure) = last.expect("at least one attempt runs");

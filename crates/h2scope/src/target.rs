@@ -1,5 +1,6 @@
 //! Probe targets: something H2Scope can open HTTP/2 connections to.
 
+use h2obs::Obs;
 use h2server::{H2Server, ServerProfile, SiteSpec};
 use netsim::time::SimDuration;
 use netsim::{LinkSpec, Pipe, PipeFaults, TlsConfig};
@@ -32,6 +33,9 @@ pub struct Target {
     /// Where probe connections report failures (shared across the clones
     /// handed to individual probes).
     pub fault_log: FaultLog,
+    /// Observability handle; `Obs::off()` (the default) records nothing
+    /// and keeps probing bit-identical to the uninstrumented baseline.
+    pub obs: Obs,
 }
 
 impl Target {
@@ -45,6 +49,7 @@ impl Target {
             pipe_faults: PipeFaults::none(),
             patience: None,
             fault_log: FaultLog::default(),
+            obs: Obs::off(),
         }
     }
 
@@ -56,9 +61,12 @@ impl Target {
     /// Opens a fresh transport connection (new server instance, new pipe),
     /// as every probe in the paper does.
     pub fn connect(&self, conn_seed: u64) -> Pipe<H2Server> {
-        let server = H2Server::new(self.profile.clone(), self.site.clone());
+        let mut server = H2Server::new(self.profile.clone(), self.site.clone());
+        server.set_obs(self.obs.clone());
         let mut pipe = Pipe::connect(server, self.link, self.seed ^ conn_seed);
         pipe.set_faults(self.pipe_faults);
+        pipe.set_obs(self.obs.clone());
+        self.obs.conn_opened();
         pipe
     }
 }

@@ -126,6 +126,13 @@ impl H2Server {
         }
     }
 
+    /// Attaches an observability handle to the connection core, so frames
+    /// this server handles (and its HPACK eviction pressure) are counted.
+    /// The default `Obs::off()` records nothing.
+    pub fn set_obs(&mut self, obs: h2obs::Obs) {
+        self.core.set_obs(obs);
+    }
+
     /// Creates a *cleartext* server (the port-80 deployment): it stays
     /// silent on connect and speaks HTTP/1.1 until the client either
     /// upgrades via `Upgrade: h2c` or opens with the HTTP/2 preface

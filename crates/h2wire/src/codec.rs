@@ -44,6 +44,7 @@ pub fn decode_one(
 pub struct FrameDecoder {
     buf: Vec<u8>,
     max_frame_size: u32,
+    reject_zero_window_update: bool,
 }
 
 impl Default for FrameDecoder {
@@ -58,7 +59,22 @@ impl FrameDecoder {
         FrameDecoder {
             buf: Vec::new(),
             max_frame_size: crate::settings::DEFAULT_MAX_FRAME_SIZE,
+            reject_zero_window_update: false,
         }
+    }
+
+    /// Opts in to strict RFC 7540 §6.9 handling: a WINDOW_UPDATE whose
+    /// increment is zero becomes a decode error
+    /// ([`DecodeFrameError::InvalidWindowIncrement`], surfacing
+    /// PROTOCOL_ERROR) instead of a decoded frame.
+    ///
+    /// This is off by default on purpose: the paper's §III-B3 probe *sends*
+    /// zero increments to classify server reactions, so the testbed's
+    /// simulated servers must receive them as frames and decide for
+    /// themselves. A conforming endpoint that wants the codec to enforce
+    /// the rule flips this on.
+    pub fn set_reject_zero_window_update(&mut self, strict: bool) {
+        self.reject_zero_window_update = strict;
     }
 
     /// Adjusts the maximum frame size this decoder will accept, typically
@@ -87,6 +103,14 @@ impl FrameDecoder {
     pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeFrameError> {
         match decode_one(&self.buf, self.max_frame_size) {
             Ok(Some((frame, consumed))) => {
+                if self.reject_zero_window_update {
+                    if let Frame::WindowUpdate(wu) = &frame {
+                        if wu.increment == 0 {
+                            self.buf.clear();
+                            return Err(DecodeFrameError::InvalidWindowIncrement);
+                        }
+                    }
+                }
                 self.buf.drain(..consumed);
                 Ok(Some(frame))
             }
@@ -179,6 +203,36 @@ mod tests {
                 max: 16
             }
         );
+    }
+
+    #[test]
+    fn strict_decoder_rejects_zero_window_update() {
+        use crate::frame::WindowUpdateFrame;
+        let zero = Frame::WindowUpdate(WindowUpdateFrame {
+            stream_id: StreamId::new(1),
+            increment: 0,
+        });
+        // Default (probe-friendly) mode: the frame decodes.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&zero.to_bytes());
+        assert_eq!(dec.next_frame().unwrap(), Some(zero.clone()));
+        // Strict mode: PROTOCOL_ERROR per RFC 7540 §6.9, buffer flushed.
+        let mut dec = FrameDecoder::new();
+        dec.set_reject_zero_window_update(true);
+        dec.feed(&zero.to_bytes());
+        let err = dec.next_frame().unwrap_err();
+        assert_eq!(err, DecodeFrameError::InvalidWindowIncrement);
+        assert_eq!(err.h2_error_code(), crate::error::ErrorCode::ProtocolError);
+        assert_eq!(dec.buffered_len(), 0);
+        // Nonzero increments still pass in strict mode.
+        let one = Frame::WindowUpdate(WindowUpdateFrame {
+            stream_id: StreamId::new(1),
+            increment: 1,
+        });
+        let mut dec = FrameDecoder::new();
+        dec.set_reject_zero_window_update(true);
+        dec.feed(&one.to_bytes());
+        assert_eq!(dec.next_frame().unwrap(), Some(one));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Typed frames for all ten RFC 7540 frame types, with encode/decode.
 
+use std::fmt;
+
 use bytes::Bytes;
 
 use crate::error::{DecodeFrameError, ErrorCode};
@@ -200,14 +202,65 @@ pub struct GoawayFrame {
     pub debug_data: Bytes,
 }
 
+/// Largest window increment expressible on the wire: 2^31 - 1 (the field
+/// is 31 bits; the 32nd is a reserved bit senders must leave zero).
+pub const MAX_WINDOW_INCREMENT: u32 = (1 << 31) - 1;
+
 /// A WINDOW_UPDATE frame (RFC 7540 §6.9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WindowUpdateFrame {
     /// Stream 0 adjusts the connection window; otherwise a stream window.
     pub stream_id: StreamId,
     /// Window size increment, 1..=2^31-1. Zero is a protocol violation the
-    /// paper probes servers with, so the codec representation permits it.
+    /// paper probes servers with, so the codec representation permits it —
+    /// but values above [`MAX_WINDOW_INCREMENT`] are *not* representable
+    /// and are refused at encode time rather than silently masked. Use
+    /// [`WindowUpdateFrame::checked`] to construct RFC-conformant frames.
     pub increment: u32,
+}
+
+/// Error from [`WindowUpdateFrame::checked`]: the increment is outside the
+/// legal range `1..=2^31-1` (RFC 7540 §6.9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementOutOfRange {
+    /// The rejected increment.
+    pub increment: u32,
+}
+
+impl fmt::Display for IncrementOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "window update increment {} outside 1..=2^31-1",
+            self.increment
+        )
+    }
+}
+
+impl std::error::Error for IncrementOutOfRange {}
+
+impl WindowUpdateFrame {
+    /// Constructs a WINDOW_UPDATE whose increment is validated against RFC
+    /// 7540 §6.9: nonzero and at most 2^31 - 1.
+    ///
+    /// The struct literal remains available for probes that *intend* to
+    /// violate the protocol with a zero increment; an increment above the
+    /// 31-bit field, however, has no wire representation at all, so every
+    /// path that might carry an untrusted value should come through here.
+    ///
+    /// # Errors
+    ///
+    /// [`IncrementOutOfRange`] when `increment` is zero or exceeds
+    /// [`MAX_WINDOW_INCREMENT`].
+    pub fn checked(stream_id: StreamId, increment: u32) -> Result<Self, IncrementOutOfRange> {
+        if increment == 0 || increment > MAX_WINDOW_INCREMENT {
+            return Err(IncrementOutOfRange { increment });
+        }
+        Ok(WindowUpdateFrame {
+            stream_id,
+            increment,
+        })
+    }
 }
 
 /// A CONTINUATION frame (RFC 7540 §6.10).
@@ -378,7 +431,16 @@ impl Frame {
                 (FrameKind::Goaway, 0, StreamId::CONNECTION)
             }
             Frame::WindowUpdate(f) => {
-                payload.extend_from_slice(&(f.increment & 0x7fff_ffff).to_be_bytes());
+                // An earlier version masked `increment & 0x7fff_ffff` here,
+                // silently corrupting out-of-range increments on the wire.
+                // The 31-bit field simply cannot carry such a value, so an
+                // attempt to encode one is a caller bug, not a wire event.
+                assert!(
+                    f.increment <= MAX_WINDOW_INCREMENT,
+                    "WINDOW_UPDATE increment {} exceeds 2^31-1; use WindowUpdateFrame::checked",
+                    f.increment
+                );
+                payload.extend_from_slice(&f.increment.to_be_bytes());
                 (FrameKind::WindowUpdate, 0, f.stream_id)
             }
             Frame::Continuation(f) => {
@@ -561,6 +623,10 @@ impl Frame {
                     });
                 }
                 let raw = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+                // Masking here is RFC-correct: §6.9 reserves the top bit
+                // and receivers MUST ignore it. (Zero increments decode
+                // fine too — a strict endpoint rejects them via
+                // `FrameDecoder::reject_zero_window_update`.)
                 Ok(Frame::WindowUpdate(WindowUpdateFrame {
                     stream_id: header.stream_id,
                     increment: raw & 0x7fff_ffff,
@@ -725,6 +791,58 @@ mod tests {
             increment: 0,
         });
         assert_eq!(round_trip(frame.clone()), frame);
+    }
+
+    #[test]
+    fn checked_window_update_rejects_out_of_range_increments() {
+        assert_eq!(
+            WindowUpdateFrame::checked(StreamId::new(1), 0),
+            Err(IncrementOutOfRange { increment: 0 })
+        );
+        assert_eq!(
+            WindowUpdateFrame::checked(StreamId::CONNECTION, MAX_WINDOW_INCREMENT + 1),
+            Err(IncrementOutOfRange {
+                increment: MAX_WINDOW_INCREMENT + 1
+            })
+        );
+        assert_eq!(
+            WindowUpdateFrame::checked(StreamId::CONNECTION, u32::MAX)
+                .unwrap_err()
+                .to_string(),
+            format!("window update increment {} outside 1..=2^31-1", u32::MAX)
+        );
+        let ok = WindowUpdateFrame::checked(StreamId::new(3), MAX_WINDOW_INCREMENT).unwrap();
+        assert_eq!(ok.increment, MAX_WINDOW_INCREMENT);
+        assert_eq!(round_trip(Frame::WindowUpdate(ok)), Frame::WindowUpdate(ok));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 2^31-1")]
+    fn encode_refuses_to_mask_an_oversized_increment() {
+        // Regression: encode used to apply `& 0x7fff_ffff`, silently
+        // turning e.g. 2^31 into 0 on the wire. It must refuse instead.
+        let frame = Frame::WindowUpdate(WindowUpdateFrame {
+            stream_id: StreamId::new(1),
+            increment: 1 << 31,
+        });
+        let mut out = Vec::new();
+        frame.encode(&mut out);
+    }
+
+    #[test]
+    fn decode_ignores_the_reserved_increment_bit() {
+        // §6.9: the top bit is reserved; receivers MUST ignore it rather
+        // than reject the frame.
+        let legal = Frame::WindowUpdate(WindowUpdateFrame {
+            stream_id: StreamId::new(5),
+            increment: 7,
+        });
+        let mut bytes = legal.to_bytes();
+        let payload_start = bytes.len() - 4;
+        bytes[payload_start] |= 0x80;
+        let header = FrameHeader::decode(&bytes).unwrap();
+        let decoded = Frame::decode(header, &bytes[crate::header::FRAME_HEADER_LEN..]).unwrap();
+        assert_eq!(decoded, legal);
     }
 
     #[test]

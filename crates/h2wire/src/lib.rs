@@ -6,11 +6,13 @@
 //! [`FrameDecoder`].
 //!
 //! It deliberately allows *constructing* protocol-violating frames (zero
-//! window updates, self-dependent priorities, oversized increments) because
-//! the H2Scope probes in this workspace exist to send exactly those frames
-//! and observe how servers react — the paper's core methodology. Violations
-//! are rejected on the *decode* path, where a conforming endpoint must
-//! detect them.
+//! window updates, self-dependent priorities) because the H2Scope probes in
+//! this workspace exist to send exactly those frames and observe how
+//! servers react — the paper's core methodology. Violations are rejected on
+//! the *decode* path, where a conforming endpoint must detect them. The one
+//! exception is a WINDOW_UPDATE increment above 2^31-1: the 31-bit wire
+//! field cannot carry it, so encoding refuses (no silent masking) and
+//! [`frame::WindowUpdateFrame::checked`] is the fallible construction path.
 //!
 //! ```
 //! use h2wire::{Frame, frame::PingFrame, FrameDecoder};
@@ -36,8 +38,9 @@ pub mod stream_id;
 pub use codec::{decode_one, encode_all, FrameDecoder};
 pub use error::{DecodeFrameError, ErrorCode};
 pub use frame::{
-    ContinuationFrame, DataFrame, Frame, GoawayFrame, HeadersFrame, PingFrame, PriorityFrame,
-    PrioritySpec, PushPromiseFrame, RstStreamFrame, SettingsFrame, UnknownFrame, WindowUpdateFrame,
+    ContinuationFrame, DataFrame, Frame, GoawayFrame, HeadersFrame, IncrementOutOfRange, PingFrame,
+    PriorityFrame, PrioritySpec, PushPromiseFrame, RstStreamFrame, SettingsFrame, UnknownFrame,
+    WindowUpdateFrame, MAX_WINDOW_INCREMENT,
 };
 pub use header::{FrameHeader, FrameKind, FRAME_HEADER_LEN};
 pub use settings::{SettingId, Settings};

@@ -4,6 +4,7 @@
 
 use std::collections::BinaryHeap;
 
+use h2obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -138,6 +139,7 @@ pub struct Pipe<E> {
     inbox: Vec<Arrival>,
     faults: PipeFaults,
     reset: bool,
+    obs: Obs,
     /// Total octets delivered to the client (response volume accounting).
     pub bytes_to_client: u64,
     /// Total octets delivered to the server.
@@ -173,6 +175,7 @@ impl<E: ByteEndpoint> Pipe<E> {
             inbox: Vec::new(),
             faults: PipeFaults::default(),
             reset: false,
+            obs: Obs::off(),
             bytes_to_client: 0,
             bytes_to_server: 0,
         };
@@ -212,6 +215,13 @@ impl<E: ByteEndpoint> Pipe<E> {
     /// no delivery timing.
     pub fn set_faults(&mut self, faults: PipeFaults) {
         self.faults = faults;
+    }
+
+    /// Attaches an observability handle. Like [`Pipe::set_faults`], the
+    /// default (`Obs::off()`) is a strict no-op: recording wire bytes never
+    /// consumes randomness or perturbs delivery timing.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// `true` once the connection has been cut by a fault or an
@@ -285,6 +295,7 @@ impl<E: ByteEndpoint> Pipe<E> {
             }
             if delivery.to_server {
                 self.bytes_to_server += delivery.bytes.len() as u64;
+                self.obs.wire_bytes(true, delivery.bytes.len() as u64);
                 let response = self.server.on_bytes(self.clock, &delivery.bytes);
                 if self.server.wants_reset() {
                     self.cut();
@@ -306,6 +317,7 @@ impl<E: ByteEndpoint> Pipe<E> {
                 }
             } else {
                 self.bytes_to_client += delivery.bytes.len() as u64;
+                self.obs.wire_bytes(false, delivery.bytes.len() as u64);
                 self.inbox.push(Arrival {
                     at: delivery.at,
                     bytes: delivery.bytes,

@@ -61,6 +61,7 @@ impl SiteSample {
             pipe_faults: netsim::PipeFaults::none(),
             patience: None,
             fault_log: h2scope::FaultLog::default(),
+            obs: h2scope::Obs::off(),
         }
     }
 }
