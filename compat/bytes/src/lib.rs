@@ -2,9 +2,12 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the small API subset it actually uses: [`Bytes`], a cheaply
-//! cloneable, sliceable, immutable byte buffer backed by `Arc<[u8]>`.
-//! Semantics match the real crate for every operation exposed here;
-//! `slice()` is zero-copy and clones share the same allocation.
+//! cloneable, sliceable, immutable byte buffer backed by a shared
+//! `Arc<Vec<u8>>`. Semantics match the real crate for every operation
+//! exposed here; `slice()` is zero-copy, clones share the same
+//! allocation, and — the property the workspace's zero-copy receive
+//! path leans on — `From<Vec<u8>>` takes ownership of the vector's
+//! existing heap block instead of copying it.
 
 #![warn(missing_docs)]
 
@@ -12,18 +15,35 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
 
+/// One process-wide empty backing store, so `Bytes::new()` never
+/// allocates a fresh `Arc` per empty buffer.
+fn shared_empty() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes {
+            data: shared_empty(),
+            start: 0,
+            end: 0,
+        }
+    }
+}
+
 impl Bytes {
-    /// An empty buffer (no allocation).
+    /// An empty buffer (no new allocation; all empties share one store).
     pub fn new() -> Bytes {
         Bytes::default()
     }
@@ -82,6 +102,25 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Recovers the *full* backing `Vec` without copying when this
+    /// handle is the only one alive, regardless of the range this view
+    /// covers; otherwise the view is returned unchanged as the error.
+    ///
+    /// This is a stand-in extension (the real crate's closest analogue
+    /// is `try_into_mut`): the simulated transport uses it to return a
+    /// fully-decoded segment to its buffer pool once no frame retains a
+    /// payload slice of it. Callers recycle the vector's capacity, so
+    /// getting back more bytes than the view held is the point, not a
+    /// hazard.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when other clones still share the storage.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        let (start, end) = (self.start, self.end);
+        Arc::try_unwrap(self.data).map_err(|data| Bytes { data, start, end })
+    }
 }
 
 impl Deref for Bytes {
@@ -104,10 +143,11 @@ impl Borrow<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of the vector's heap block; no bytes are copied.
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -266,5 +306,28 @@ mod tests {
     #[should_panic]
     fn out_of_range_slice_panics() {
         let _ = Bytes::from(vec![1u8, 2]).slice(0..3);
+    }
+
+    #[test]
+    fn from_vec_preserves_the_heap_block() {
+        let v = vec![7u8; 64];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), ptr, "no copy on Vec -> Bytes");
+        let back = b.try_into_vec().expect("unique handle unwraps");
+        assert_eq!(back.as_ptr(), ptr, "no copy on Bytes -> Vec either");
+    }
+
+    #[test]
+    fn try_into_vec_fails_while_shared_and_recovers_the_full_buffer() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let kept = b.slice(1..3);
+        let b = b.try_into_vec().expect_err("slice still shares storage");
+        drop(kept);
+        // A narrowed, fully-advanced cursor still recovers the whole
+        // backing vector once it is the last handle.
+        let cursor = b.slice(4..4);
+        drop(b);
+        assert_eq!(cursor.try_into_vec().expect("unique"), vec![1, 2, 3, 4]);
     }
 }

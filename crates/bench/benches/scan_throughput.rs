@@ -1,0 +1,84 @@
+//! Scan-throughput benchmark: the campaign-scale number the perf work is
+//! judged by. One 0.2%-scale population (≈105 h2 sites) is scanned at 1,
+//! 4 and 8 worker threads, both clean and under the `flaky` fault profile,
+//! and the resulting sites/sec figures are written to
+//! `BENCH_scan_throughput.json` at the repository root so the trajectory
+//! is tracked as a committed artifact.
+//!
+//! Quick mode (`H2READY_BENCH_QUICK=1`, used by the CI perf-smoke job)
+//! drops the sample count so the bench finishes in seconds while still
+//! exercising the full measurement + JSON emission path.
+
+use std::io::Write as _;
+
+use criterion::{Criterion, Throughput};
+use h2fault::FaultProfile;
+use h2ready_bench::scan::{scan, scan_faulted};
+use webpop::{ExperimentSpec, Population};
+
+/// Campaign seed for the faulted runs: benches must replay exactly.
+const SEED: u64 = 0xbe_ac47;
+
+fn quick_mode() -> bool {
+    std::env::var_os("H2READY_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn bench_scan_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_throughput");
+    group.sample_size(if quick_mode() { 2 } else { 10 });
+    // 0.2% of experiment 1 ≈ 105 h2 sites per iteration, matching the
+    // scan and faulted_scan benches so all three are comparable.
+    let population = Population::new(ExperimentSpec::first(), 0.002);
+    group.throughput(Throughput::Elements(population.h2_count()));
+    for threads in [1usize, 4, 8] {
+        group.bench_function(format!("plain_{threads}t"), |b| {
+            b.iter(|| scan(&population, threads))
+        });
+        group.bench_function(format!("flaky_{threads}t"), |b| {
+            b.iter(|| scan_faulted(&population, threads, FaultProfile::flaky(), SEED))
+        });
+    }
+    group.finish();
+}
+
+fn write_json(c: &Criterion) -> std::io::Result<()> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_scan_throughput.json"
+    );
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    let measurements = c.measurements();
+    for (i, m) in measurements.iter().enumerate() {
+        let elements = match m.throughput {
+            Some(Throughput::Elements(n)) => n,
+            _ => 0,
+        };
+        let median_s = m.median.as_secs_f64();
+        let sites_per_sec = if median_s > 0.0 {
+            elements as f64 / median_s
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"samples\": {}, \"sites\": {}, \"sites_per_sec\": {:.1}}}{}\n",
+            m.id,
+            m.median.as_nanos(),
+            m.min.as_nanos(),
+            m.samples,
+            elements,
+            sites_per_sec,
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_scan_throughput(&mut c);
+    if let Err(e) = write_json(&c) {
+        eprintln!("scan_throughput: could not write BENCH_scan_throughput.json: {e}");
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod figures;
 pub mod scan;
+pub mod sched;
 pub mod stats;
 pub mod tables;
 pub mod wild;

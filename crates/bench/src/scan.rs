@@ -3,7 +3,6 @@
 //! ("we construct a thread pool with configurable number of threads, each
 //! of which will test a web site").
 
-use crossbeam::channel;
 use crossbeam::thread;
 
 use h2fault::{splitmix64, FaultPlan, FaultProfile};
@@ -11,6 +10,8 @@ use h2obs::Obs;
 use h2scope::{survey_with_retries, H2Scope, ProbeOutcome, SiteReport};
 use netsim::time::SimDuration;
 use webpop::{Family, Population};
+
+use crate::sched::{Slots, WorkQueue};
 
 /// One scanned site with its generated family (kept alongside the report
 /// so family-conditioned figures don't have to re-parse server strings).
@@ -36,43 +37,46 @@ pub fn scan(population: &Population, threads: usize) -> Vec<ScanRecord> {
 ///
 /// Workers *borrow* the population through the scoped threads — an earlier
 /// version cloned the whole `Population` into every worker, which is
-/// O(threads × population) memory at campaign scale.
+/// O(threads × population) memory at campaign scale. Work is distributed
+/// by chunked claiming ([`WorkQueue`]) rather than static striding, and
+/// records land directly in index-addressed [`Slots`], so no channel, no
+/// final sort, and a slow site never stalls sites assigned to other
+/// workers' chunks. Every record still depends only on
+/// `(population, index)`, so results are identical at any thread count.
 pub fn scan_with_obs(population: &Population, threads: usize, obs: &Obs) -> Vec<ScanRecord> {
     let threads = threads.max(1);
     let total = population.h2_count();
-    let (tx, rx) = channel::unbounded::<ScanRecord>();
+    let queue = WorkQueue::new(total);
+    let slots = Slots::new(total as usize);
     thread::scope(|scope| {
-        for worker in 0..threads as u64 {
-            let tx = tx.clone();
+        for _ in 0..threads {
             let obs = obs.clone();
+            let (queue, slots) = (&queue, &slots);
             scope.spawn(move |_| {
                 let scope_tool = H2Scope::new();
-                let mut i = worker;
-                while i < total {
-                    let site = population.site(i);
-                    let site_obs = obs.for_site(i);
-                    let mut target = site.target();
-                    target.obs = site_obs.clone();
-                    let report = scope_tool.survey(&target);
-                    site_obs.finish_site();
-                    let record = ScanRecord {
-                        index: i,
-                        family: site.family,
-                        report,
-                    };
-                    if tx.send(record).is_err() {
-                        return;
+                while let Some(range) = queue.claim() {
+                    for i in range {
+                        let site = population.site(i);
+                        let site_obs = obs.for_site(i);
+                        let mut target = site.target();
+                        target.obs = site_obs.clone();
+                        let report = scope_tool.survey(&target);
+                        site_obs.finish_site();
+                        slots.put(
+                            i as usize,
+                            ScanRecord {
+                                index: i,
+                                family: site.family,
+                                report,
+                            },
+                        );
                     }
-                    i += threads as u64;
                 }
             });
         }
-        drop(tx);
     })
     .expect("scan workers do not panic");
-    let mut records: Vec<ScanRecord> = rx.into_iter().collect();
-    records.sort_by_key(|r| r.index);
-    records
+    slots.into_vec()
 }
 
 /// Records restricted to HEADERS-returning sites (the denominator of every
@@ -114,54 +118,59 @@ pub fn scan_faulted_with_obs(
     let plan = FaultPlan::new(profile, seed);
     let threads = threads.max(1);
     let total = population.h2_count();
-    let (tx, rx) = channel::unbounded::<ScanRecord>();
+    let queue = WorkQueue::new(total);
+    let slots = Slots::new(total as usize);
     thread::scope(|scope| {
-        for worker in 0..threads as u64 {
-            let tx = tx.clone();
+        for _ in 0..threads {
             let obs = obs.clone();
+            let (queue, slots) = (&queue, &slots);
             scope.spawn(move |_| {
                 let scope_tool = H2Scope::new();
-                let mut i = worker;
-                while i < total {
-                    let site = population.site(i);
-                    let site_obs = obs.for_site(i);
-                    let report = survey_with_retries(
-                        &scope_tool,
-                        plan.profile().retry,
-                        splitmix64(seed ^ i),
-                        |attempt| {
-                            let injection = plan.injection(i, attempt);
-                            let mut target = site.target();
-                            target.obs = site_obs.clone();
-                            target.link = injection.impairment.apply(target.link);
-                            target.pipe_faults = injection.impairment.pipe_faults();
-                            target.patience = Some(plan.profile().deadline);
-                            target.seed ^= injection.seed_salt;
-                            if !injection.byzantine.is_noop() {
-                                target.profile.behavior.byzantine = Some(injection.byzantine);
-                            }
-                            target
-                        },
-                    );
-                    site_obs.finish_site();
-                    let record = ScanRecord {
-                        index: i,
-                        family: site.family,
-                        report,
-                    };
-                    if tx.send(record).is_err() {
-                        return;
+                while let Some(range) = queue.claim() {
+                    for i in range {
+                        let site = population.site(i);
+                        let site_obs = obs.for_site(i);
+                        let report = survey_with_retries(
+                            &scope_tool,
+                            plan.profile().retry,
+                            splitmix64(seed ^ i),
+                            |attempt| {
+                                let injection = plan.injection(i, attempt);
+                                let mut target = site.target();
+                                target.obs = site_obs.clone();
+                                target.link = injection.impairment.apply(target.link);
+                                target.pipe_faults = injection.impairment.pipe_faults();
+                                target.patience = Some(plan.profile().deadline);
+                                target.seed ^= injection.seed_salt;
+                                if !injection.byzantine.is_noop() {
+                                    // The rare byzantine attempt is the one
+                                    // place a target's shared profile is
+                                    // customized; `make_mut` clones only
+                                    // then, keeping clean attempts at
+                                    // pointer-bump cost.
+                                    std::sync::Arc::make_mut(&mut target.profile)
+                                        .behavior
+                                        .byzantine = Some(injection.byzantine);
+                                }
+                                target
+                            },
+                        );
+                        site_obs.finish_site();
+                        slots.put(
+                            i as usize,
+                            ScanRecord {
+                                index: i,
+                                family: site.family,
+                                report,
+                            },
+                        );
                     }
-                    i += threads as u64;
                 }
             });
         }
-        drop(tx);
     })
     .expect("scan workers do not panic");
-    let mut records: Vec<ScanRecord> = rx.into_iter().collect();
-    records.sort_by_key(|r| r.index);
-    records
+    slots.into_vec()
 }
 
 /// The scan report's resilience section: outcome histogram plus

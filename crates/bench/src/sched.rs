@@ -1,0 +1,173 @@
+//! Work claiming and result collection for the parallel scan driver.
+//!
+//! The original scan loop gave worker `w` the arithmetic stride `w, w+T,
+//! w+2T, …` and funneled every finished record through an unbounded
+//! channel, then sorted the whole campaign by site index afterwards. Both
+//! halves cost more than they need to:
+//!
+//! * static striding load-balances badly when per-site cost varies (mute
+//!   sites finish in microseconds, retry-burning flaky sites take orders
+//!   of magnitude longer), and
+//! * the channel allocates per record and the final sort is an
+//!   O(n log n) pass over data whose order was known all along.
+//!
+//! [`WorkQueue`] replaces the stride with chunked atomic claiming: a
+//! worker grabs the next [`CHUNK`]-sized index range with one
+//! `fetch_add`, so contention is one atomic per chunk instead of any
+//! per-site coordination, and a slow site only delays its own chunk.
+//! [`Slots`] replaces the channel + sort: results are written directly
+//! into a pre-sized slot addressed by site index, so collection is O(n)
+//! and allocation-free per record.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Indices claimed per atomic operation. Small enough that an unlucky
+/// worker stuck behind a pathological chunk strands at most `CHUNK - 1`
+/// cheap sites, large enough that the claim counter never becomes a
+/// contended cache line.
+pub const CHUNK: u64 = 16;
+
+/// A shared counter handing out disjoint index ranges `[0, total)`.
+#[derive(Debug)]
+pub struct WorkQueue {
+    next: AtomicU64,
+    total: u64,
+}
+
+impl WorkQueue {
+    /// A queue over the index space `0..total`.
+    pub fn new(total: u64) -> WorkQueue {
+        WorkQueue {
+            next: AtomicU64::new(0),
+            total,
+        }
+    }
+
+    /// Claims the next unclaimed chunk, or `None` when the index space is
+    /// exhausted. Ranges returned to different callers never overlap,
+    /// which is what makes the per-index [`Slots::put`] writes race-free.
+    pub fn claim(&self) -> Option<Range<u64>> {
+        let start = self.next.fetch_add(CHUNK, Ordering::Relaxed);
+        if start >= self.total {
+            return None;
+        }
+        Some(start..(start + CHUNK).min(self.total))
+    }
+}
+
+/// Pre-sized, index-addressed result collection.
+///
+/// Each slot is a [`OnceLock`], so concurrent workers can fill disjoint
+/// indices through a shared reference without locks or channels; the
+/// scan's claim discipline guarantees each index is written exactly once.
+#[derive(Debug)]
+pub struct Slots<T> {
+    slots: Vec<OnceLock<T>>,
+}
+
+impl<T> Slots<T> {
+    /// `len` empty slots.
+    pub fn new(len: usize) -> Slots<T> {
+        let mut slots = Vec::with_capacity(len);
+        slots.resize_with(len, OnceLock::new);
+        Slots { slots }
+    }
+
+    /// Fills slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was already filled — that would mean two
+    /// workers claimed the same index, which the queue's `fetch_add`
+    /// discipline rules out.
+    pub fn put(&self, index: usize, value: T) {
+        if self.slots[index].set(value).is_err() {
+            panic!("slot {index} filled twice");
+        }
+    }
+
+    /// Unwraps the collection into index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is empty (a worker exited without finishing its
+    /// claimed range, which only happens via a worker panic — already
+    /// propagated by the thread scope).
+    pub fn into_vec(self) -> Vec<T> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match slot.into_inner() {
+                Some(value) => value,
+                None => panic!("slot {i} never filled"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::thread;
+
+    #[test]
+    fn claims_cover_the_index_space_exactly_once() {
+        let queue = WorkQueue::new(103);
+        let mut seen = vec![0u32; 103];
+        while let Some(range) = queue.claim() {
+            for i in range {
+                seen[i as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn empty_queue_yields_nothing() {
+        let queue = WorkQueue::new(0);
+        assert_eq!(queue.claim(), None);
+    }
+
+    #[test]
+    fn slots_collect_in_index_order_regardless_of_fill_order() {
+        let slots = Slots::new(5);
+        for i in [3usize, 0, 4, 1, 2] {
+            slots.put(i, i * 10);
+        }
+        assert_eq!(slots.into_vec(), vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn concurrent_workers_partition_the_space() {
+        let queue = WorkQueue::new(1000);
+        let slots = Slots::new(1000);
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                let (queue, slots) = (&queue, &slots);
+                scope.spawn(move |_| {
+                    while let Some(range) = queue.claim() {
+                        for i in range {
+                            slots.put(i as usize, i * 2);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("workers do not panic");
+        let collected = slots.into_vec();
+        assert!(collected
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == i as u64 * 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "filled twice")]
+    fn double_fill_panics() {
+        let slots = Slots::new(1);
+        slots.put(0, 1);
+        slots.put(0, 2);
+    }
+}

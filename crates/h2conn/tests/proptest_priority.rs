@@ -22,7 +22,7 @@ enum Op {
 fn arb_op(max_stream: u32) -> impl Strategy<Value = Op> {
     let ids = 0..max_stream;
     prop_oneof![
-        4 => (1..max_stream, ids.clone(), 1u16..=256, any::<bool>()).prop_map(
+        4 => (1..max_stream, ids, 1u16..=256, any::<bool>()).prop_map(
             |(stream, dep, weight, exclusive)| Op::Declare {
                 stream: stream * 2 + 1,
                 dep: dep * 2 + 1,

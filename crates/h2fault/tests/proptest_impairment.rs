@@ -15,11 +15,11 @@ struct Echo {
 }
 
 impl ByteEndpoint for Echo {
-    fn on_connect(&mut self, _now: SimTime) -> Vec<u8> {
-        b"greetings".to_vec()
+    fn on_connect(&mut self, _now: SimTime, out: &mut Vec<u8>) {
+        out.extend_from_slice(b"greetings");
     }
-    fn on_bytes(&mut self, _now: SimTime, bytes: &[u8]) -> Vec<u8> {
-        bytes.to_vec()
+    fn on_bytes(&mut self, _now: SimTime, bytes: &[u8], out: &mut Vec<u8>) {
+        out.extend_from_slice(bytes);
     }
     fn processing_delay(&self) -> SimDuration {
         self.delay
@@ -106,8 +106,8 @@ proptest! {
             Echo { delay: SimDuration::from_millis(delay_ms) }, noop.apply(link), seed);
         impaired.set_faults(noop.pipe_faults());
         for payload in &payloads {
-            plain.client_send(payload.clone());
-            impaired.client_send(payload.clone());
+            plain.client_send(payload);
+            impaired.client_send(payload);
             let a = plain.run_to_quiescence();
             let b = impaired.run_to_quiescence();
             prop_assert_eq!(a, b);

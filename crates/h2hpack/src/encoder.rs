@@ -99,18 +99,27 @@ impl Encoder {
         self.pending_size_update = Some(max_size);
     }
 
-    /// Encodes a complete header list into one header block.
+    /// Encodes a complete header list into one header block, appending to
+    /// `out` (not cleared first) so callers can reuse a scratch buffer.
+    pub fn encode_block_into<'a, I>(&mut self, headers: I, out: &mut Vec<u8>)
+    where
+        I: IntoIterator<Item = &'a Header>,
+    {
+        if let Some(size) = self.pending_size_update.take() {
+            integer::encode(u64::from(size), 5, 0b0010_0000, out);
+        }
+        for header in headers {
+            self.encode_field(header, out);
+        }
+    }
+
+    /// Encodes a complete header list into one freshly allocated block.
     pub fn encode_block<'a, I>(&mut self, headers: I) -> Vec<u8>
     where
         I: IntoIterator<Item = &'a Header>,
     {
         let mut out = Vec::new();
-        if let Some(size) = self.pending_size_update.take() {
-            integer::encode(u64::from(size), 5, 0b0010_0000, &mut out);
-        }
-        for header in headers {
-            self.encode_field(header, &mut out);
-        }
+        self.encode_block_into(headers, &mut out);
         out
     }
 

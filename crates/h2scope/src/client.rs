@@ -6,12 +6,13 @@
 //! general-purpose HTTP/2 library would emit, and to observe exactly
 //! which frames come back and in what order.
 
+use bytes::Bytes;
 use h2hpack::{Decoder as HpackDecoder, Encoder as HpackEncoder, Header};
 use h2obs::Obs;
 use h2server::H2Server;
 use h2wire::settings::MAX_MAX_FRAME_SIZE;
 use h2wire::{
-    encode_all, Frame, FrameDecoder, HeadersFrame, PrioritySpec, SettingId, Settings,
+    encode_all_into, Frame, FrameDecoder, HeadersFrame, PrioritySpec, SettingId, Settings,
     SettingsFrame, StreamId, WindowUpdateFrame, CONNECTION_PREFACE,
 };
 use netsim::time::SimTime;
@@ -30,8 +31,11 @@ pub struct TimedFrame {
     /// For HEADERS/PUSH_PROMISE frames completing a header block: the
     /// HPACK-decoded list. Decoded eagerly, in arrival order, because
     /// HPACK contexts are stateful — skipping a block would corrupt every
-    /// later decode.
-    pub headers: Option<Vec<Header>>,
+    /// later decode. Shared (`Arc`) because every frame is retained in
+    /// [`ProbeConn::received`] as well as returned to the probe, and the
+    /// retained copy should be a refcount bump, not a re-allocation of
+    /// every header string.
+    pub headers: Option<std::sync::Arc<Vec<Header>>>,
 }
 
 /// A frame-level HTTP/2 client connection to one [`Target`].
@@ -54,6 +58,13 @@ pub struct ProbeConn {
     log: FaultLog,
     /// Observability handle (clone of the target's; a no-op by default).
     obs: Obs,
+    /// Reusable encode buffer so `send`/`send_all` stop allocating a
+    /// fresh `Vec<u8>` per outgoing segment.
+    wire_scratch: Vec<u8>,
+    /// Reusable request-header template for [`ProbeConn::get`]: built on
+    /// first use, then only the `:path` value is rewritten in place, so
+    /// repeat GETs stop re-allocating seven headers' worth of `String`s.
+    req_scratch: Vec<Header>,
 }
 
 impl Drop for ProbeConn {
@@ -93,12 +104,14 @@ impl ProbeConn {
             dead: false,
             log: target.fault_log.clone(),
             obs: target.obs.clone(),
+            wire_scratch: Vec::new(),
+            req_scratch: Vec::new(),
         };
-        let mut hello = CONNECTION_PREFACE.to_vec();
-        Frame::Settings(SettingsFrame::from(client_settings)).encode(&mut hello);
+        conn.wire_scratch.extend_from_slice(CONNECTION_PREFACE);
+        Frame::Settings(SettingsFrame::from(client_settings)).encode(&mut conn.wire_scratch);
         // The prelude SETTINGS bypasses `send`, so count it here.
         conn.obs.frame_sent(0x4, conn.pipe.now().as_nanos());
-        conn.pipe.client_send(hello);
+        conn.pipe.client_send(&conn.wire_scratch);
         conn
     }
 
@@ -116,7 +129,9 @@ impl ProbeConn {
     pub fn send(&mut self, frame: Frame) {
         self.obs
             .frame_sent(frame.kind().to_u8(), self.pipe.now().as_nanos());
-        self.pipe.client_send(frame.to_bytes());
+        self.wire_scratch.clear();
+        frame.encode(&mut self.wire_scratch);
+        self.pipe.client_send(&self.wire_scratch);
     }
 
     /// Sends several frames as one segment.
@@ -125,14 +140,26 @@ impl ProbeConn {
             self.obs
                 .frame_sent(frame.kind().to_u8(), self.pipe.now().as_nanos());
         }
-        self.pipe.client_send(encode_all(frames));
+        self.wire_scratch.clear();
+        encode_all_into(frames, &mut self.wire_scratch);
+        self.pipe.client_send(&self.wire_scratch);
     }
 
     /// Sends a GET request on `stream`, optionally with priority fields,
     /// returning the encoded HEADERS frame size for reference.
     pub fn get(&mut self, stream: u32, path: &str, priority: Option<PrioritySpec>) -> usize {
-        let headers = self.request_headers(path);
-        let block = self.hpack_encoder.encode_block(&headers);
+        if self.req_scratch.is_empty() {
+            self.req_scratch = self.request_headers(path);
+        } else {
+            let h = self
+                .req_scratch
+                .iter_mut()
+                .find(|h| h.name == ":path")
+                .expect("request template always carries :path");
+            h.value.clear();
+            h.value.push_str(path);
+        }
+        let block = self.hpack_encoder.encode_block(&self.req_scratch);
         let len = block.len();
         self.send(Frame::Headers(HeadersFrame {
             stream_id: StreamId::new(stream),
@@ -173,8 +200,15 @@ impl ProbeConn {
             let arrivals = self.pipe.run_to_quiescence();
             let mut new_frames = Vec::new();
             for arrival in arrivals {
-                self.decoder.feed(&arrival.bytes);
-                while let Some(frame) = self.decoder.next_frame().expect("server output parses") {
+                // Wrapping the delivery in `Bytes` is free (the Vec's
+                // heap block is adopted, not copied) and lets every DATA
+                // payload below be a refcounted slice of the segment.
+                let mut input = Bytes::from(arrival.bytes);
+                while let Some(frame) = self
+                    .decoder
+                    .next_frame_shared(&mut input)
+                    .expect("server output parses")
+                {
                     let headers = self
                         .try_decode_block_of(&frame)
                         .unwrap_or_else(|e| panic!("{e}"));
@@ -186,6 +220,12 @@ impl ProbeConn {
                         headers,
                     });
                 }
+                // If no decoded frame kept a slice of the segment alive
+                // (no DATA in it), hand the buffer back to the pipe's
+                // pool; otherwise the payload slices own it now.
+                if let Ok(buf) = input.try_into_vec() {
+                    self.pipe.recycle(buf);
+                }
             }
             self.received.extend(new_frames.iter().cloned());
             return new_frames;
@@ -196,9 +236,9 @@ impl ProbeConn {
         let (arrivals, outcome) = self.pipe.run_until(deadline);
         let mut new_frames = Vec::new();
         'arrivals: for arrival in arrivals {
-            self.decoder.feed(&arrival.bytes);
+            let mut input = Bytes::from(arrival.bytes);
             loop {
-                match self.decoder.next_frame() {
+                match self.decoder.next_frame_shared(&mut input) {
                     Ok(Some(frame)) => match self.try_decode_block_of(&frame) {
                         Ok(headers) => {
                             self.obs
@@ -220,6 +260,9 @@ impl ProbeConn {
                         break 'arrivals;
                     }
                 }
+            }
+            if let Ok(buf) = input.try_into_vec() {
+                self.pipe.recycle(buf);
             }
         }
         if !self.dead {
@@ -264,7 +307,10 @@ impl ProbeConn {
 
     /// Decodes the header block carried by HEADERS/PUSH_PROMISE/
     /// CONTINUATION frames, maintaining assembly state across fragments.
-    fn try_decode_block_of(&mut self, frame: &Frame) -> Result<Option<Vec<Header>>, &'static str> {
+    fn try_decode_block_of(
+        &mut self,
+        frame: &Frame,
+    ) -> Result<Option<std::sync::Arc<Vec<Header>>>, &'static str> {
         use h2conn::BlockKind;
         let complete = match frame {
             Frame::Headers(h) => self
@@ -298,11 +344,11 @@ impl ProbeConn {
             _ => None,
         };
         match complete {
-            Some(block) => Ok(Some(
+            Some(block) => Ok(Some(std::sync::Arc::new(
                 self.hpack_decoder
                     .decode_block(&block.fragment)
                     .map_err(|_| "server header blocks decode")?,
-            )),
+            ))),
             None => Ok(None),
         }
     }

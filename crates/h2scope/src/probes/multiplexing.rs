@@ -76,8 +76,9 @@ pub fn probe(target: &Target, n: usize) -> MultiplexingReport {
 fn with_big_objects(target: &Target) -> Target {
     let mut target = target.clone();
     if target.site.resource("/big/0").is_none() {
+        let site = std::sync::Arc::make_mut(&mut target.site);
         for (path, resource) in h2server::SiteSpec::benchmark().resources {
-            target.site.resources.entry(path).or_insert(resource);
+            site.resources.entry(path).or_insert(resource);
         }
     }
     target

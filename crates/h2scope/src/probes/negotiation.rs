@@ -44,11 +44,14 @@ pub fn h2c_upgrade(target: &Target) -> bool {
 
     let server = H2Server::new_cleartext(target.profile.clone(), target.site.clone());
     let mut pipe = Pipe::connect(server, target.link, 0x42c);
-    pipe.client_send(format!(
-        "GET / HTTP/1.1\r\nHost: {}\r\nConnection: Upgrade, HTTP2-Settings\r\n\
-         Upgrade: h2c\r\nHTTP2-Settings: AAMAAABkAARAAAAA\r\n\r\n",
-        target.site.authority
-    ));
+    pipe.client_send(
+        format!(
+            "GET / HTTP/1.1\r\nHost: {}\r\nConnection: Upgrade, HTTP2-Settings\r\n\
+             Upgrade: h2c\r\nHTTP2-Settings: AAMAAABkAARAAAAA\r\n\r\n",
+            target.site.authority
+        )
+        .as_bytes(),
+    );
     let arrivals = pipe.run_to_quiescence();
     let first: Vec<u8> = arrivals.iter().flat_map(|a| a.bytes.clone()).collect();
     if !first.starts_with(b"HTTP/1.1 101") {
@@ -58,7 +61,7 @@ pub fn h2c_upgrade(target: &Target) -> bool {
     // server's SETTINGS and a HEADERS frame for stream 1.
     let mut hello = CONNECTION_PREFACE.to_vec();
     Frame::Settings(SettingsFrame::from(h2wire::Settings::new())).encode(&mut hello);
-    pipe.client_send(hello);
+    pipe.client_send(&hello);
     let arrivals = pipe.run_to_quiescence();
     let mut decoder = FrameDecoder::new();
     decoder.set_max_frame_size(h2wire::settings::MAX_MAX_FRAME_SIZE);
@@ -134,7 +137,7 @@ mod tests {
         let target = Target::testbed(ServerProfile::nginx(), SiteSpec::benchmark());
         let server = H2Server::new_cleartext(target.profile.clone(), target.site.clone());
         let mut pipe = Pipe::connect(server, target.link, 1);
-        pipe.client_send(b"GET / HTTP/1.1\r\nHost: x\r\nUpgrade: h2c\r\n\r\n".to_vec());
+        pipe.client_send(b"GET / HTTP/1.1\r\nHost: x\r\nUpgrade: h2c\r\n\r\n");
         let arrivals = pipe.run_to_quiescence();
         let text: Vec<u8> = arrivals.into_iter().flat_map(|a| a.bytes).collect();
         assert!(
@@ -153,7 +156,7 @@ mod tests {
         let mut pipe = Pipe::connect(server, target.link, 2);
         let mut hello = CONNECTION_PREFACE.to_vec();
         Frame::Settings(SettingsFrame::from(h2wire::Settings::new())).encode(&mut hello);
-        pipe.client_send(hello);
+        pipe.client_send(&hello);
         let arrivals = pipe.run_to_quiescence();
         let mut decoder = FrameDecoder::new();
         for arrival in arrivals {

@@ -88,7 +88,7 @@ pub fn compare_rtt(target: &Target, n: usize, seed: u64) -> RttComparison {
     let mut pipe = Pipe::connect(http1, target.link, seed ^ 0x11);
     for _ in 0..n {
         let t0 = pipe.now();
-        pipe.client_send(get_request(&target.site.authority, "/"));
+        pipe.client_send(&get_request(&target.site.authority, "/"));
         let arrivals = pipe.run_to_quiescence();
         if let Some(last) = arrivals.last() {
             comparison.h1_request.push((last.at - t0).as_millis_f64());

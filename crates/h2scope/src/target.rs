@@ -1,5 +1,7 @@
 //! Probe targets: something H2Scope can open HTTP/2 connections to.
 
+use std::sync::Arc;
+
 use h2obs::Obs;
 use h2server::{H2Server, ServerProfile, SiteSpec};
 use netsim::time::SimDuration;
@@ -12,10 +14,12 @@ use crate::resilient::FaultLog;
 /// `webpop` fills in per-site WAN characteristics.
 #[derive(Debug, Clone)]
 pub struct Target {
-    /// The server implementation behind this site.
-    pub profile: ServerProfile,
-    /// The content it serves.
-    pub site: SiteSpec,
+    /// The server implementation behind this site. Shared immutably so
+    /// each of the ~8 probe connections per survey is a pointer-bump, not
+    /// a deep clone of the whole behavior spec.
+    pub profile: Arc<ServerProfile>,
+    /// The content it serves (shared immutably, like `profile`).
+    pub site: Arc<SiteSpec>,
     /// Path characteristics from the vantage point to the site.
     pub link: LinkSpec,
     /// Base seed; each probe connection derives its own stream of
@@ -40,10 +44,14 @@ pub struct Target {
 
 impl Target {
     /// A testbed target: `profile` serving `site` over a clean LAN.
-    pub fn testbed(profile: ServerProfile, site: SiteSpec) -> Target {
+    /// Accepts owned values or `Arc`s.
+    pub fn testbed(
+        profile: impl Into<Arc<ServerProfile>>,
+        site: impl Into<Arc<SiteSpec>>,
+    ) -> Target {
         Target {
-            profile,
-            site,
+            profile: profile.into(),
+            site: site.into(),
             link: LinkSpec::lan(),
             seed: 0x5eed,
             pipe_faults: PipeFaults::none(),
@@ -61,7 +69,8 @@ impl Target {
     /// Opens a fresh transport connection (new server instance, new pipe),
     /// as every probe in the paper does.
     pub fn connect(&self, conn_seed: u64) -> Pipe<H2Server> {
-        let mut server = H2Server::new(self.profile.clone(), self.site.clone());
+        // `Arc` clones: no profile/site deep copy on the per-probe path.
+        let mut server = H2Server::new(Arc::clone(&self.profile), Arc::clone(&self.site));
         server.set_obs(self.obs.clone());
         let mut pipe = Pipe::connect(server, self.link, self.seed ^ conn_seed);
         pipe.set_faults(self.pipe_faults);
@@ -84,7 +93,10 @@ pub mod testbed {
 
     impl Testbed {
         /// Installs `profile` serving `site` in the testbed.
-        pub fn new(profile: ServerProfile, site: SiteSpec) -> Testbed {
+        pub fn new(
+            profile: impl Into<Arc<ServerProfile>>,
+            site: impl Into<Arc<SiteSpec>>,
+        ) -> Testbed {
             Testbed {
                 target: Target::testbed(profile, site),
             }

@@ -102,7 +102,7 @@ pub fn render(frames: &[TimedFrame]) -> String {
             summarize(&tf.frame)
         ));
         if let Some(headers) = &tf.headers {
-            for h in headers {
+            for h in headers.iter() {
                 out.push_str(&format!("                 {}: {}\n", h.name, h.value));
             }
         }

@@ -3,14 +3,15 @@
 //! paper's testbed (plus the RFC reference).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
 use h2conn::{ConnectionCore, CoreEvent, EffectiveSettings, Role, WindowScope};
 use h2hpack::{EncoderOptions, Header, IndexingPolicy};
 use h2wire::{
-    encode_all, ErrorCode, Frame, GoawayFrame, PingFrame, RstStreamFrame, SettingsFrame, StreamId,
-    WindowUpdateFrame, CONNECTION_PREFACE,
+    encode_all_into, ErrorCode, Frame, GoawayFrame, PingFrame, RstStreamFrame, SettingsFrame,
+    StreamId, WindowUpdateFrame, CONNECTION_PREFACE,
 };
 use netsim::pipe::ByteEndpoint;
 use netsim::time::{SimDuration, SimTime};
@@ -58,8 +59,8 @@ impl QueuedResponse {
 /// [`ServerBehavior`].
 #[derive(Debug)]
 pub struct H2Server {
-    profile: ServerProfile,
-    site: SiteSpec,
+    profile: Arc<ServerProfile>,
+    site: Arc<SiteSpec>,
     core: ConnectionCore,
     preface: Vec<u8>,
     preface_done: bool,
@@ -84,11 +85,23 @@ pub struct H2Server {
     silenced: bool,
     /// A byzantine reset is due: the transport should cut the connection.
     reset_pending: bool,
+    /// Reusable frame buffer for [`H2Server::ingest`], so steady-state
+    /// exchanges stop allocating a fresh `Vec<Frame>` per segment.
+    frame_scratch: Vec<Frame>,
+    /// Spent response-header lists, recycled by the pump once their
+    /// HEADERS frame is encoded. `response_headers` rebuilds entries in
+    /// place (reusing each `String`'s capacity) instead of allocating a
+    /// fresh list per response.
+    hdr_pool: Vec<Vec<Header>>,
 }
 
 impl H2Server {
-    /// Creates a server for `profile` serving `site`.
-    pub fn new(profile: ServerProfile, site: SiteSpec) -> H2Server {
+    /// Creates a server for `profile` serving `site`. Accepts either owned
+    /// values or `Arc`s; scan campaigns pass `Arc`s so every connection is
+    /// a pointer-bump instead of a deep clone.
+    pub fn new(profile: impl Into<Arc<ServerProfile>>, site: impl Into<Arc<SiteSpec>>) -> H2Server {
+        let profile = profile.into();
+        let site = site.into();
         let behavior = &profile.behavior;
         let mut local = EffectiveSettings::default();
         local.apply(&behavior.announced);
@@ -123,6 +136,8 @@ impl H2Server {
             emitted: 0,
             silenced: false,
             reset_pending: false,
+            frame_scratch: Vec::new(),
+            hdr_pool: Vec::new(),
         }
     }
 
@@ -137,7 +152,10 @@ impl H2Server {
     /// silent on connect and speaks HTTP/1.1 until the client either
     /// upgrades via `Upgrade: h2c` or opens with the HTTP/2 preface
     /// directly (prior knowledge).
-    pub fn new_cleartext(profile: ServerProfile, site: SiteSpec) -> H2Server {
+    pub fn new_cleartext(
+        profile: impl Into<Arc<ServerProfile>>,
+        site: impl Into<Arc<SiteSpec>>,
+    ) -> H2Server {
         let mut server = H2Server::new(profile, site);
         server.cleartext = true;
         server
@@ -230,14 +248,14 @@ impl H2Server {
         let path = headers
             .iter()
             .find(|h| h.name == ":path")
-            .map(|h| h.value.clone())
-            .unwrap_or_else(|| "/".to_string());
+            .map(|h| h.value.as_str())
+            .unwrap_or("/");
 
         // Server push: promise before the response headers (RFC 7540
         // §8.2.1 requires the PUSH_PROMISE to precede referencing content).
         let mut pushes: Vec<(StreamId, Vec<Header>, Bytes, String)> = Vec::new();
         if self.behavior().push && self.core.remote_settings().enable_push {
-            if let Some(assets) = self.site.push_manifest.get(&path).cloned() {
+            if let Some(assets) = self.site.push_manifest.get(path).cloned() {
                 for asset in assets {
                     let Some(resource) = self.site.resource(&asset) else {
                         continue;
@@ -257,7 +275,7 @@ impl H2Server {
             }
         }
 
-        let (status, body, content_type) = match self.site.resource(&path) {
+        let (status, body, content_type) = match self.site.resource(path) {
             Some(r) => ("200", r.body.clone(), r.content_type.clone()),
             None => (
                 "404",
@@ -274,23 +292,45 @@ impl H2Server {
         }
     }
 
+    /// Overwrites slot `*slot` of `headers` in place (reusing both
+    /// `String`s' capacity), growing the list if the pooled vec is
+    /// shorter than this response. Advances the slot cursor.
+    fn set_hdr(headers: &mut Vec<Header>, slot: &mut usize, name: &str, value: &str) {
+        if let Some(h) = headers.get_mut(*slot) {
+            h.name.clear();
+            h.name.push_str(name);
+            h.value.clear();
+            h.value.push_str(value);
+        } else {
+            headers.push(Header::new(name, value));
+        }
+        *slot += 1;
+    }
+
     fn response_headers(
         &mut self,
         status: &str,
         content_type: &str,
         content_length: usize,
     ) -> Vec<Header> {
-        let mut headers = vec![
-            Header::new(":status", status),
-            Header::new("server", self.behavior().server_name.clone()),
-            Header::new("date", DATE_HEADER),
-            Header::new("content-type", content_type),
-            Header::new("content-length", content_length.to_string()),
-            Header::new("x-frame-options", "SAMEORIGIN"),
-            Header::new("cache-control", "max-age=3600"),
-        ];
+        use std::fmt::Write as _;
+        let mut headers = self.hdr_pool.pop().unwrap_or_default();
+        let mut slot = 0;
+        Self::set_hdr(&mut headers, &mut slot, ":status", status);
+        Self::set_hdr(
+            &mut headers,
+            &mut slot,
+            "server",
+            &self.behavior().server_name,
+        );
+        Self::set_hdr(&mut headers, &mut slot, "date", DATE_HEADER);
+        Self::set_hdr(&mut headers, &mut slot, "content-type", content_type);
+        Self::set_hdr(&mut headers, &mut slot, "content-length", "");
+        let _ = write!(headers[slot - 1].value, "{content_length}");
+        Self::set_hdr(&mut headers, &mut slot, "x-frame-options", "SAMEORIGIN");
+        Self::set_hdr(&mut headers, &mut slot, "cache-control", "max-age=3600");
         for (name, value) in &self.behavior().extra_response_headers {
-            headers.push(Header::new(name.clone(), value.clone()));
+            Self::set_hdr(&mut headers, &mut slot, name, value);
         }
         if self.behavior().cookie_injection {
             self.cookie_counter += 1;
@@ -298,12 +338,15 @@ impl H2Server {
             // starting from the *second* response, making later HEADERS
             // larger than the first and pushing the ratio above 1.
             if self.cookie_counter > 1 {
-                headers.push(Header::new(
-                    "set-cookie",
-                    format!("session={:016x}; Path=/", self.cookie_counter * 0x9e37_79b9),
-                ));
+                Self::set_hdr(&mut headers, &mut slot, "set-cookie", "");
+                let _ = write!(
+                    headers[slot - 1].value,
+                    "session={:016x}; Path=/",
+                    self.cookie_counter * 0x9e37_79b9
+                );
             }
         }
+        headers.truncate(slot);
         headers
     }
 
@@ -384,6 +427,7 @@ impl H2Server {
                     let headers = self.queue[i].headers.take().expect("checked");
                     let end_stream = self.queue[i].body.is_empty();
                     out.extend(self.core.encode_headers(stream, &headers, end_stream, None));
+                    self.hdr_pool.push(headers);
                     if end_stream {
                         self.queue.remove(i);
                         continue;
@@ -683,31 +727,35 @@ impl H2Server {
 const GARBAGE_GREETING: [u8; 14] = [0, 0, 5, 0x04, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5];
 
 impl ByteEndpoint for H2Server {
-    fn on_connect(&mut self, _now: SimTime) -> Vec<u8> {
+    fn on_connect(&mut self, _now: SimTime, out: &mut Vec<u8>) {
         let byz = self.byz();
         if byz.handshake_stall {
             // Accepts the connection, never speaks.
-            return Vec::new();
+            return;
         }
         if byz.garbage_preface {
             self.silenced = true;
-            return GARBAGE_GREETING.to_vec();
+            out.extend_from_slice(&GARBAGE_GREETING);
+            return;
         }
         if self.cleartext {
             // Nothing to say until the client upgrades (§3.2) or sends
             // the prior-knowledge preface (§3.4).
-            return Vec::new();
+            return;
         }
-        self.shape_output(self.announce_bytes())
+        let start = out.len();
+        self.announce_bytes(out);
+        self.shape_output(out, start);
     }
 
-    fn on_bytes(&mut self, _now: SimTime, bytes: &[u8]) -> Vec<u8> {
+    fn on_bytes(&mut self, _now: SimTime, bytes: &[u8], out: &mut Vec<u8>) {
         if self.byz().handshake_stall || self.silenced {
             self.last_delay = SimDuration::ZERO;
-            return Vec::new();
+            return;
         }
-        let out = self.on_bytes_inner(_now, bytes);
-        self.shape_output(out)
+        let start = out.len();
+        self.on_bytes_inner(_now, bytes, out);
+        self.shape_output(out, start);
     }
 
     fn processing_delay(&self) -> SimDuration {
@@ -725,87 +773,84 @@ impl H2Server {
     }
 
     /// Applies output-side byzantine faults (truncation, scheduled reset)
-    /// to every batch of octets the engine emits. A no-op spec passes
-    /// bytes through untouched.
-    fn shape_output(&mut self, mut out: Vec<u8>) -> Vec<u8> {
+    /// to the batch of octets the engine appended to `out` past `start`.
+    /// A no-op spec passes bytes through untouched.
+    fn shape_output(&mut self, out: &mut Vec<u8>, start: usize) {
         if self.silenced {
-            return Vec::new();
+            out.truncate(start);
+            return;
         }
         let byz = self.byz();
         if let Some(limit) = byz.truncate_after {
             let budget = limit.saturating_sub(self.emitted) as usize;
-            if out.len() > budget {
-                out.truncate(budget);
+            if out.len() - start > budget {
+                out.truncate(start + budget);
                 self.silenced = true;
             }
         }
-        self.emitted += out.len() as u64;
+        self.emitted += (out.len() - start) as u64;
         if let Some(limit) = byz.reset_after_bytes {
             if self.emitted >= limit {
                 self.reset_pending = true;
             }
         }
-        out
     }
 
-    fn on_bytes_inner(&mut self, _now: SimTime, bytes: &[u8]) -> Vec<u8> {
+    fn on_bytes_inner(&mut self, _now: SimTime, bytes: &[u8], out: &mut Vec<u8>) {
         self.last_delay = SimDuration::ZERO;
         if self.closed {
-            return Vec::new();
+            return;
         }
         if !self.preface_done {
             self.preface.extend_from_slice(bytes);
             let n = self.preface.len().min(CONNECTION_PREFACE.len());
             if self.preface[..n] == CONNECTION_PREFACE[..n] {
                 if self.preface.len() < CONNECTION_PREFACE.len() {
-                    return Vec::new();
+                    return;
                 }
                 self.preface_done = true;
                 let leftover = self.preface.split_off(CONNECTION_PREFACE.len());
                 self.preface.clear();
-                let mut out = Vec::new();
                 if self.cleartext {
                     // Prior-knowledge or post-upgrade h2: announce now.
-                    out.extend(self.announce_bytes());
+                    self.announce_bytes(out);
                 }
                 if let Some(headers) = self.pending_upgrade.take() {
-                    out.extend(self.serve_upgraded_request(&headers));
+                    self.serve_upgraded_request(&headers, out);
                 }
-                out.extend(self.ingest(&leftover));
-                return out;
+                self.ingest(&leftover, out);
+                return;
             }
             if self.cleartext {
-                return self.try_h1(_now);
+                self.try_h1(_now, out);
+                return;
             }
             // TLS-negotiated h2 with a bad preface: drop the connection.
             self.closed = true;
-            return Vec::new();
+            return;
         }
         if bytes.is_empty() {
-            return Vec::new();
+            return;
         }
-        let owned = bytes.to_vec();
-        self.ingest(&owned)
+        self.ingest(bytes, out);
     }
 
     /// The connection-start frames (announced SETTINGS plus the Nginx
-    /// zero-window-then-update pattern).
-    fn announce_bytes(&self) -> Vec<u8> {
-        let mut frames = vec![Frame::Settings(SettingsFrame::from(
-            self.behavior().announced.clone(),
-        ))];
+    /// zero-window-then-update pattern), appended to `out`.
+    fn announce_bytes(&self, out: &mut Vec<u8>) {
+        Frame::Settings(SettingsFrame::from(self.behavior().announced.clone())).encode(out);
         if let Some(increment) = self.behavior().zero_window_then_update {
-            frames.push(Frame::WindowUpdate(WindowUpdateFrame {
+            Frame::WindowUpdate(WindowUpdateFrame {
                 stream_id: StreamId::CONNECTION,
                 increment,
-            }));
+            })
+            .encode(out);
         }
-        encode_all(&frames)
     }
 
     /// RFC 7540 §3.2: the request that carried the upgrade is served as
     /// HTTP/2 stream 1, already half-closed from the client side.
-    fn serve_upgraded_request(&mut self, headers: &[Header]) -> Vec<u8> {
+    fn serve_upgraded_request(&mut self, headers: &[Header], out: &mut Vec<u8>) {
         let stream = StreamId::new(1);
         let (send_init, recv_init) = (
             self.core.remote_settings().initial_window_size,
@@ -815,23 +860,25 @@ impl H2Server {
             .streams_mut()
             .get_or_create(stream, send_init, recv_init)
             .recv_headers(true);
-        let mut frames = Vec::new();
+        let mut frames = std::mem::take(&mut self.frame_scratch);
+        frames.clear();
         self.handle_request(stream, headers, &mut frames);
         self.pump(&mut frames);
-        encode_all(&frames)
+        encode_all_into(&frames, out);
+        self.frame_scratch = frames;
     }
 
     /// Speaks just enough HTTP/1.1 to run the §IV-A upgrade dance: a
     /// request with `Upgrade: h2c` gets `101 Switching Protocols` when the
     /// profile supports it; anything else gets a plain HTTP/1.1 response.
-    fn try_h1(&mut self, _now: SimTime) -> Vec<u8> {
+    fn try_h1(&mut self, _now: SimTime, out: &mut Vec<u8>) {
         let Some(end) = find_double_crlf(&self.preface) else {
             // Wait for the rest of the request head — unless this cannot
             // be HTTP at all.
             if self.preface.len() > 16_384 {
                 self.closed = true;
             }
-            return Vec::new();
+            return;
         };
         let head = String::from_utf8_lossy(&self.preface[..end]).to_string();
         let leftover = self.preface.split_off(end + 4);
@@ -860,17 +907,18 @@ impl H2Server {
                 Header::new(":authority", host),
             ]);
             self.preface = leftover; // may already hold the preface
-            let mut out = b"HTTP/1.1 101 Switching Protocols
+            out.extend_from_slice(
+                b"HTTP/1.1 101 Switching Protocols
 Connection: Upgrade
 Upgrade: h2c
 
-"
-            .to_vec();
+",
+            );
             if !self.preface.is_empty() {
                 let buffered = std::mem::take(&mut self.preface);
-                out.extend(self.on_bytes_inner(_now, &buffered));
+                self.on_bytes_inner(_now, &buffered, out);
             }
-            return out;
+            return;
         }
         // No upgrade: serve it as ordinary HTTP/1.1 and close.
         self.last_delay = self.behavior().processing_delay;
@@ -879,7 +927,9 @@ Upgrade: h2c
             None => ("404 Not Found", Bytes::from_static(b"not found")),
         };
         self.closed = true;
-        let mut response = format!(
+        use std::io::Write as _;
+        let _ = write!(
+            out,
             "HTTP/1.1 {status}
 Server: {}
 Content-Length: {}
@@ -888,23 +938,23 @@ Connection: close
 ",
             self.behavior().server_name,
             body.len()
-        )
-        .into_bytes();
-        response.extend_from_slice(&body);
-        response
+        );
+        out.extend_from_slice(&body);
     }
 
-    fn ingest(&mut self, bytes: &[u8]) -> Vec<u8> {
-        let mut out = Vec::new();
+    fn ingest(&mut self, bytes: &[u8], out: &mut Vec<u8>) {
+        let mut frames = std::mem::take(&mut self.frame_scratch);
+        frames.clear();
         match self.core.recv_bytes(bytes) {
-            Ok(events) => self.react(events, &mut out),
+            Ok(events) => self.react(events, &mut frames),
             Err(err) => {
                 let detail = err.to_string();
-                self.goaway(err.h2_error_code(), Some(&detail), &mut out);
+                self.goaway(err.h2_error_code(), Some(&detail), &mut frames);
             }
         }
-        self.pump(&mut out);
-        encode_all(&out)
+        self.pump(&mut frames);
+        encode_all_into(&frames, out);
+        self.frame_scratch = frames;
     }
 }
 
@@ -948,7 +998,7 @@ mod tests {
             let frames = self
                 .core
                 .encode_headers(StreamId::new(stream), &headers, true, None);
-            encode_all(&frames)
+            h2wire::encode_all(&frames)
         }
 
         fn parse(&mut self, bytes: &[u8]) -> Vec<Frame> {
@@ -969,7 +1019,7 @@ mod tests {
     #[test]
     fn greeting_carries_announced_settings() {
         let (mut server, mut client) = serve(ServerProfile::nghttpd());
-        let greeting = server.on_connect(SimTime::ZERO);
+        let greeting = server.on_connect_vec(SimTime::ZERO);
         let frames = client.parse(&greeting);
         match &frames[0] {
             Frame::Settings(s) => {
@@ -983,7 +1033,7 @@ mod tests {
     #[test]
     fn nginx_greeting_includes_window_update_after_zero_announcement() {
         let (mut server, mut client) = serve(ServerProfile::nginx());
-        let frames = client.parse(&server.on_connect(SimTime::ZERO));
+        let frames = client.parse(&server.on_connect_vec(SimTime::ZERO));
         assert!(matches!(&frames[0], Frame::Settings(s)
             if s.settings.get(SettingId::InitialWindowSize) == Some(0)));
         assert!(matches!(&frames[1], Frame::WindowUpdate(wu)
@@ -993,9 +1043,9 @@ mod tests {
     #[test]
     fn get_returns_headers_then_data() {
         let (mut server, mut client) = serve(ServerProfile::rfc7540());
-        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
         let req = client.request(1, "/");
-        let reply = server.on_bytes(SimTime::ZERO, &req);
+        let reply = server.on_bytes_vec(SimTime::ZERO, &req);
         let frames = client.parse(&reply);
         let kinds: Vec<_> = frames.iter().map(|f| f.kind()).collect();
         assert!(kinds.contains(&h2wire::FrameKind::Headers));
@@ -1015,8 +1065,8 @@ mod tests {
     #[test]
     fn unknown_path_is_404() {
         let (mut server, mut client) = serve(ServerProfile::rfc7540());
-        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
-        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/missing"));
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+        let reply = server.on_bytes_vec(SimTime::ZERO, &client.request(1, "/missing"));
         let frames = client.parse(&reply);
         let mut saw_404 = false;
         for frame in &frames {
@@ -1036,9 +1086,9 @@ mod tests {
     #[test]
     fn ping_is_acked_without_processing_delay() {
         let (mut server, mut client) = serve(ServerProfile::apache());
-        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
         let ping = Frame::Ping(PingFrame::request(*b"RTTprobe")).to_bytes();
-        let reply = server.on_bytes(SimTime::ZERO, &ping);
+        let reply = server.on_bytes_vec(SimTime::ZERO, &ping);
         assert_eq!(server.processing_delay(), SimDuration::ZERO);
         let frames = client.parse(&reply);
         assert!(frames
@@ -1049,8 +1099,8 @@ mod tests {
     #[test]
     fn request_sets_processing_delay() {
         let (mut server, mut client) = serve(ServerProfile::apache());
-        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
-        server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+        server.on_bytes_vec(SimTime::ZERO, &client.request(1, "/"));
         assert!(server.processing_delay() > SimDuration::ZERO);
     }
 
@@ -1062,14 +1112,14 @@ mod tests {
             (ServerProfile::nghttpd(), false, true),
         ] {
             let (mut server, mut client) = serve(profile.clone());
-            server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
-            server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+            server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+            server.on_bytes_vec(SimTime::ZERO, &client.request(1, "/"));
             let zero = Frame::WindowUpdate(WindowUpdateFrame {
                 stream_id: StreamId::new(1),
                 increment: 0,
             })
             .to_bytes();
-            let reply = server.on_bytes(SimTime::ZERO, &zero);
+            let reply = server.on_bytes_vec(SimTime::ZERO, &zero);
             let frames = client.parse(&reply);
             let got_rst = frames.iter().any(|f| matches!(f, Frame::RstStream(_)));
             let got_goaway = frames.iter().any(|f| matches!(f, Frame::Goaway(_)));
@@ -1081,7 +1131,7 @@ mod tests {
     #[test]
     fn large_window_update_overflow_triggers_goaway_on_connection() {
         let (mut server, mut client) = serve(ServerProfile::nginx());
-        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
         let wu = |inc: u32| {
             Frame::WindowUpdate(WindowUpdateFrame {
                 stream_id: StreamId::CONNECTION,
@@ -1089,8 +1139,8 @@ mod tests {
             })
             .to_bytes()
         };
-        server.on_bytes(SimTime::ZERO, &wu(0x4000_0000));
-        let reply = server.on_bytes(SimTime::ZERO, &wu(0x4000_0000));
+        server.on_bytes_vec(SimTime::ZERO, &wu(0x4000_0000));
+        let reply = server.on_bytes_vec(SimTime::ZERO, &wu(0x4000_0000));
         let frames = client.parse(&reply);
         assert!(
             frames.iter().any(|f| matches!(f, Frame::Goaway(g)
@@ -1107,7 +1157,7 @@ mod tests {
             (ServerProfile::h2o(), "goaway"),
         ] {
             let (mut server, mut client) = serve(profile.clone());
-            server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+            server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
             let frame = Frame::Priority(h2wire::PriorityFrame {
                 stream_id: StreamId::new(5),
                 spec: h2wire::PrioritySpec {
@@ -1117,7 +1167,7 @@ mod tests {
                 },
             })
             .to_bytes();
-            let reply = server.on_bytes(SimTime::ZERO, &frame);
+            let reply = server.on_bytes_vec(SimTime::ZERO, &frame);
             let frames = client.parse(&reply);
             match expect {
                 "rst" => assert!(frames.iter().any(|f| matches!(f, Frame::RstStream(_)))),
@@ -1136,8 +1186,8 @@ mod tests {
             .with(SettingId::InitialWindowSize, 65_535);
         profile.behavior.zero_window_then_update = None;
         let (mut server, mut client) = serve(profile);
-        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
-        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+        let reply = server.on_bytes_vec(SimTime::ZERO, &client.request(1, "/"));
         let frames = client.parse(&reply);
         assert!(frames.iter().any(|f| matches!(f, Frame::RstStream(r)
             if r.code == ErrorCode::RefusedStream)));
@@ -1152,11 +1202,11 @@ mod tests {
             .with(SettingId::InitialWindowSize, 65_535);
         profile.behavior.zero_window_then_update = None;
         let (mut server, mut client) = serve(profile);
-        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
         // Two requests in one segment; /big/0 keeps stream 1 active.
         let mut bytes = client.request(1, "/big/0");
         bytes.extend(client.request(3, "/big/1"));
-        let reply = server.on_bytes(SimTime::ZERO, &bytes);
+        let reply = server.on_bytes_vec(SimTime::ZERO, &bytes);
         let frames = client.parse(&reply);
         let rsts: Vec<&RstStreamFrame> = frames
             .iter()
@@ -1179,8 +1229,8 @@ mod tests {
             Settings::new().with(SettingId::InitialWindowSize, 1),
         ))
         .encode(&mut hello);
-        server.on_bytes(SimTime::ZERO, &hello);
-        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/big/0"));
+        server.on_bytes_vec(SimTime::ZERO, &hello);
+        let reply = server.on_bytes_vec(SimTime::ZERO, &client.request(1, "/big/0"));
         let frames = client.parse(&reply);
         let data: Vec<&h2wire::DataFrame> = frames
             .iter()
@@ -1210,8 +1260,8 @@ mod tests {
             Settings::new().with(SettingId::InitialWindowSize, 0),
         ))
         .encode(&mut hello);
-        server.on_bytes(SimTime::ZERO, &hello);
-        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        server.on_bytes_vec(SimTime::ZERO, &hello);
+        let reply = server.on_bytes_vec(SimTime::ZERO, &client.request(1, "/"));
         let frames = client.parse(&reply);
         assert!(
             !frames.iter().any(|f| matches!(f, Frame::Headers(_))),
@@ -1225,8 +1275,8 @@ mod tests {
             Settings::new().with(SettingId::InitialWindowSize, 0),
         ))
         .encode(&mut hello);
-        server.on_bytes(SimTime::ZERO, &hello);
-        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        server.on_bytes_vec(SimTime::ZERO, &hello);
+        let reply = server.on_bytes_vec(SimTime::ZERO, &client.request(1, "/"));
         let frames = client.parse(&reply);
         assert!(frames.iter().any(|f| matches!(f, Frame::Headers(_))));
         assert!(!frames.iter().any(|f| matches!(f, Frame::Data(_))));
@@ -1237,8 +1287,8 @@ mod tests {
         let site = SiteSpec::page_with_assets(2, 500);
         let mut server = H2Server::new(ServerProfile::h2o(), site);
         let mut client = TestClient::new();
-        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
-        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+        let reply = server.on_bytes_vec(SimTime::ZERO, &client.request(1, "/"));
         let frames = client.parse(&reply);
         let promises = frames
             .iter()
@@ -1258,8 +1308,8 @@ mod tests {
         let site = SiteSpec::page_with_assets(2, 500);
         let mut server = H2Server::new(ServerProfile::nginx(), site);
         let mut client = TestClient::new();
-        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
-        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+        let reply = server.on_bytes_vec(SimTime::ZERO, &client.request(1, "/"));
         let frames = client.parse(&reply);
         assert!(!frames.iter().any(|f| matches!(f, Frame::PushPromise(_))));
     }
@@ -1274,8 +1324,8 @@ mod tests {
             Settings::new().with(SettingId::EnablePush, 0),
         ))
         .encode(&mut hello);
-        server.on_bytes(SimTime::ZERO, &hello);
-        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        server.on_bytes_vec(SimTime::ZERO, &hello);
+        let reply = server.on_bytes_vec(SimTime::ZERO, &client.request(1, "/"));
         let frames = client.parse(&reply);
         assert!(!frames.iter().any(|f| matches!(f, Frame::PushPromise(_))));
     }
@@ -1288,12 +1338,12 @@ mod tests {
             ..h2fault::ByzantineSpec::default()
         });
         let (mut server, mut client) = serve(profile);
-        assert!(server.on_connect(SimTime::ZERO).is_empty());
+        assert!(server.on_connect_vec(SimTime::ZERO).is_empty());
         assert!(server
-            .on_bytes(SimTime::ZERO, &client.preface_and_settings())
+            .on_bytes_vec(SimTime::ZERO, &client.preface_and_settings())
             .is_empty());
         assert!(server
-            .on_bytes(SimTime::ZERO, &client.request(1, "/"))
+            .on_bytes_vec(SimTime::ZERO, &client.request(1, "/"))
             .is_empty());
     }
 
@@ -1305,13 +1355,13 @@ mod tests {
             ..h2fault::ByzantineSpec::default()
         });
         let (mut server, client) = serve(profile);
-        let greeting = server.on_connect(SimTime::ZERO);
+        let greeting = server.on_connect_vec(SimTime::ZERO);
         assert!(!greeting.is_empty());
         let mut decoder = FrameDecoder::new();
         decoder.feed(&greeting);
         assert!(decoder.drain_frames().is_err(), "greeting must not parse");
         assert!(server
-            .on_bytes(SimTime::ZERO, &client.preface_and_settings())
+            .on_bytes_vec(SimTime::ZERO, &client.preface_and_settings())
             .is_empty());
     }
 
@@ -1323,11 +1373,11 @@ mod tests {
             ..h2fault::ByzantineSpec::default()
         });
         let (mut server, mut client) = serve(profile);
-        let greeting = server.on_connect(SimTime::ZERO);
-        let reply = server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        let greeting = server.on_connect_vec(SimTime::ZERO);
+        let reply = server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
         assert!(greeting.len() + reply.len() <= 16);
         assert!(server
-            .on_bytes(SimTime::ZERO, &client.request(1, "/"))
+            .on_bytes_vec(SimTime::ZERO, &client.request(1, "/"))
             .is_empty());
     }
 
@@ -1339,10 +1389,10 @@ mod tests {
             ..h2fault::ByzantineSpec::default()
         });
         let (mut server, mut client) = serve(profile);
-        server.on_connect(SimTime::ZERO);
-        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
+        server.on_connect_vec(SimTime::ZERO);
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
         assert!(!server.wants_reset(), "greeting alone is under budget");
-        server.on_bytes(SimTime::ZERO, &client.request(1, "/"));
+        server.on_bytes_vec(SimTime::ZERO, &client.request(1, "/"));
         assert!(
             server.wants_reset(),
             "response pushes emitted past 64 octets"
@@ -1358,8 +1408,8 @@ mod tests {
             ..h2fault::ByzantineSpec::default()
         });
         let (mut server, mut client) = serve(profile);
-        server.on_bytes(SimTime::ZERO, &client.preface_and_settings());
-        let reply = server.on_bytes(SimTime::ZERO, &client.request(1, "/big/0"));
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+        let reply = server.on_bytes_vec(SimTime::ZERO, &client.request(1, "/big/0"));
         let frames = client.parse(&reply);
         let data: Vec<_> = frames
             .iter()
@@ -1381,13 +1431,13 @@ mod tests {
         noop.behavior.byzantine = Some(h2fault::ByzantineSpec::default());
         let (mut shaped, mut client_b) = serve(noop);
         for server in [&mut plain, &mut shaped] {
-            server.on_connect(SimTime::ZERO);
+            server.on_connect_vec(SimTime::ZERO);
         }
-        let a = plain.on_bytes(SimTime::ZERO, &client_a.preface_and_settings());
-        let b = shaped.on_bytes(SimTime::ZERO, &client_b.preface_and_settings());
+        let a = plain.on_bytes_vec(SimTime::ZERO, &client_a.preface_and_settings());
+        let b = shaped.on_bytes_vec(SimTime::ZERO, &client_b.preface_and_settings());
         assert_eq!(a, b);
-        let a = plain.on_bytes(SimTime::ZERO, &client_a.request(1, "/"));
-        let b = shaped.on_bytes(SimTime::ZERO, &client_b.request(1, "/"));
+        let a = plain.on_bytes_vec(SimTime::ZERO, &client_a.request(1, "/"));
+        let b = shaped.on_bytes_vec(SimTime::ZERO, &client_b.request(1, "/"));
         assert_eq!(a, b);
         assert!(!plain.wants_reset() && !shaped.wants_reset());
     }
@@ -1395,7 +1445,7 @@ mod tests {
     #[test]
     fn bad_preface_closes_connection() {
         let mut server = H2Server::new(ServerProfile::rfc7540(), SiteSpec::benchmark());
-        let reply = server.on_bytes(SimTime::ZERO, b"GET / HTTP/1.1\r\nHost: x\r\n\r\nPAD-PAD");
+        let reply = server.on_bytes_vec(SimTime::ZERO, b"GET / HTTP/1.1\r\nHost: x\r\n\r\nPAD-PAD");
         assert!(reply.is_empty());
         assert!(server.is_closed());
     }

@@ -16,7 +16,7 @@
 //!
 //! let server = H2Server::new(ServerProfile::nginx(), SiteSpec::benchmark());
 //! let mut pipe = Pipe::connect(server, LinkSpec::lan(), 7);
-//! pipe.client_send(h2wire::CONNECTION_PREFACE.to_vec());
+//! pipe.client_send(h2wire::CONNECTION_PREFACE);
 //! let greeting = pipe.run_to_quiescence();
 //! assert!(!greeting.is_empty()); // server SETTINGS (+ Nginx's WINDOW_UPDATE)
 //! ```

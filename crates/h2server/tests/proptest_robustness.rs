@@ -31,10 +31,10 @@ proptest! {
     ) {
         let profile = all_profiles()[profile_idx].clone();
         let mut server = H2Server::new(profile, SiteSpec::benchmark());
-        server.on_connect(SimTime::ZERO);
+        server.on_connect_vec(SimTime::ZERO);
         let mut hello = CONNECTION_PREFACE.to_vec();
         hello.extend(&junk);
-        let reply = server.on_bytes(SimTime::ZERO, &hello);
+        let reply = server.on_bytes_vec(SimTime::ZERO, &hello);
         // Whatever came back must itself be valid HTTP/2 frames.
         let mut dec = h2wire::FrameDecoder::new();
         dec.set_max_frame_size(h2wire::settings::MAX_MAX_FRAME_SIZE);
@@ -48,7 +48,7 @@ proptest! {
         junk in prop::collection::vec(any::<u8>(), 0..200),
     ) {
         let mut server = H2Server::new(ServerProfile::rfc7540(), SiteSpec::benchmark());
-        let _ = server.on_bytes(SimTime::ZERO, &junk);
+        let _ = server.on_bytes_vec(SimTime::ZERO, &junk);
     }
 
     /// Valid frames in arbitrary order never panic and never produce
@@ -60,7 +60,7 @@ proptest! {
     ) {
         let profile = all_profiles()[profile_idx].clone();
         let mut server = H2Server::new(profile, SiteSpec::benchmark());
-        server.on_connect(SimTime::ZERO);
+        server.on_connect_vec(SimTime::ZERO);
         let mut wire = CONNECTION_PREFACE.to_vec();
         Frame::Settings(SettingsFrame::from(h2wire::Settings::new())).encode(&mut wire);
         let mut next_stream = 1u32;
@@ -106,7 +106,7 @@ proptest! {
             }
         }
         wire.extend(encode_all(&frames));
-        let reply = server.on_bytes(SimTime::ZERO, &wire);
+        let reply = server.on_bytes_vec(SimTime::ZERO, &wire);
         let mut dec = h2wire::FrameDecoder::new();
         dec.set_max_frame_size(h2wire::settings::MAX_MAX_FRAME_SIZE);
         dec.feed(&reply);

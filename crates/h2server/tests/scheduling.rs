@@ -77,10 +77,10 @@ fn round_robin_servers_interleave_fairly() {
     profile.behavior.zero_window_then_update = None;
     let mut server = H2Server::new(profile, SiteSpec::benchmark());
     let mut client = Client::new();
-    server.on_bytes(SimTime::ZERO, &client.hello(Settings::new()));
+    server.on_bytes_vec(SimTime::ZERO, &client.hello(Settings::new()));
     let mut bytes = client.request(1, "/big/1");
     bytes.extend(client.request(3, "/big/2"));
-    let reply = server.on_bytes(SimTime::ZERO, &bytes);
+    let reply = server.on_bytes_vec(SimTime::ZERO, &bytes);
     let sequence = data_sequence(&client.frames(&reply));
     // 65,535-octet connection window at 16,384 per chunk = 4 chunks + 1
     // remainder frame; both streams must appear before either repeats
@@ -100,10 +100,10 @@ fn sequential_server_finishes_one_response_before_the_next() {
     profile.behavior.multiplexing = false;
     let mut server = H2Server::new(profile, SiteSpec::benchmark());
     let mut client = Client::new();
-    server.on_bytes(SimTime::ZERO, &client.hello(Settings::new()));
+    server.on_bytes_vec(SimTime::ZERO, &client.hello(Settings::new()));
     let mut bytes = client.request(1, "/");
     bytes.extend(client.request(3, "/style.css"));
-    let reply = server.on_bytes(SimTime::ZERO, &bytes);
+    let reply = server.on_bytes_vec(SimTime::ZERO, &bytes);
     let sequence = data_sequence(&client.frames(&reply));
     let first_3 = sequence.iter().position(|&s| s == 3).unwrap();
     let last_1 = sequence.iter().rposition(|&s| s == 1).unwrap();
@@ -117,18 +117,18 @@ fn sequential_server_finishes_one_response_before_the_next() {
 fn goaway_reports_highest_processed_stream() {
     let mut server = H2Server::new(ServerProfile::nghttpd(), SiteSpec::benchmark());
     let mut client = Client::new();
-    server.on_bytes(SimTime::ZERO, &client.hello(Settings::new()));
+    server.on_bytes_vec(SimTime::ZERO, &client.hello(Settings::new()));
     let mut bytes = client.request(1, "/");
     bytes.extend(client.request(3, "/"));
     bytes.extend(client.request(5, "/"));
-    server.on_bytes(SimTime::ZERO, &bytes);
+    server.on_bytes_vec(SimTime::ZERO, &bytes);
     // Trigger nghttpd's GOAWAY quirk with a zero stream window update.
     let zero = Frame::WindowUpdate(WindowUpdateFrame {
         stream_id: StreamId::new(1),
         increment: 0,
     })
     .to_bytes();
-    let reply = server.on_bytes(SimTime::ZERO, &zero);
+    let reply = server.on_bytes_vec(SimTime::ZERO, &zero);
     let frames = client.frames(&reply);
     let goaway = frames
         .iter()
@@ -140,7 +140,7 @@ fn goaway_reports_highest_processed_stream() {
     assert_eq!(goaway.last_stream_id, StreamId::new(5));
     assert!(server.is_closed());
     // A closed engine stays silent.
-    let more = server.on_bytes(SimTime::ZERO, &client.request(7, "/"));
+    let more = server.on_bytes_vec(SimTime::ZERO, &client.request(7, "/"));
     assert!(more.is_empty());
 }
 
@@ -150,10 +150,10 @@ fn completion_order_mode_flushes_first_chunks_fcfs() {
     profile.behavior.priority_mode = h2server::behavior::PriorityMode::CompletionOrder;
     let mut server = H2Server::new(profile, SiteSpec::benchmark());
     let mut client = Client::new();
-    server.on_bytes(SimTime::ZERO, &client.hello(Settings::new()));
+    server.on_bytes_vec(SimTime::ZERO, &client.hello(Settings::new()));
     let mut bytes = client.request(1, "/big/1");
     bytes.extend(client.request(3, "/big/2"));
-    let reply = server.on_bytes(SimTime::ZERO, &bytes);
+    let reply = server.on_bytes_vec(SimTime::ZERO, &bytes);
     let sequence = data_sequence(&client.frames(&reply));
     // First two DATA frames are the FCFS flush: stream 1 then stream 3.
     assert_eq!(&sequence[..2], &[1, 3], "{sequence:?}");

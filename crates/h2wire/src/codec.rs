@@ -1,5 +1,7 @@
 //! Streaming frame codec: turns a byte stream into frames and back.
 
+use bytes::Bytes;
+
 use crate::error::DecodeFrameError;
 use crate::frame::Frame;
 use crate::header::{FrameHeader, FRAME_HEADER_LEN};
@@ -43,6 +45,10 @@ pub fn decode_one(
 #[derive(Debug, Clone)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
+    /// Read cursor into `buf`: bytes before it are already-consumed frame
+    /// data, compacted away on the next [`FrameDecoder::feed`] rather than
+    /// memmoved on every decoded frame.
+    pos: usize,
     max_frame_size: u32,
     reject_zero_window_update: bool,
 }
@@ -58,6 +64,7 @@ impl FrameDecoder {
     pub fn new() -> FrameDecoder {
         FrameDecoder {
             buf: Vec::new(),
+            pos: 0,
             max_frame_size: crate::settings::DEFAULT_MAX_FRAME_SIZE,
             reject_zero_window_update: false,
         }
@@ -90,6 +97,14 @@ impl FrameDecoder {
 
     /// Appends raw bytes received from the transport.
     pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact once per segment (not once per frame): consumed bytes at
+        // the front are dropped before new ones are appended, so the buffer
+        // stays bounded by one segment plus one partial frame.
+        if self.pos > 0 {
+            self.buf.copy_within(self.pos.., 0);
+            self.buf.truncate(self.buf.len() - self.pos);
+            self.pos = 0;
+        }
         self.buf.extend_from_slice(bytes);
     }
 
@@ -101,22 +116,160 @@ impl FrameDecoder {
     /// the decoder's buffer is cleared because RFC 7540 treats most framing
     /// errors as connection errors.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeFrameError> {
-        match decode_one(&self.buf, self.max_frame_size) {
+        match decode_one(&self.buf[self.pos..], self.max_frame_size) {
             Ok(Some((frame, consumed))) => {
                 if self.reject_zero_window_update {
                     if let Frame::WindowUpdate(wu) = &frame {
                         if wu.increment == 0 {
                             self.buf.clear();
+                            self.pos = 0;
                             return Err(DecodeFrameError::InvalidWindowIncrement);
                         }
                     }
                 }
-                self.buf.drain(..consumed);
+                self.pos += consumed;
+                if self.pos == self.buf.len() {
+                    self.buf.clear();
+                    self.pos = 0;
+                }
                 Ok(Some(frame))
             }
             Ok(None) => Ok(None),
             Err(err) => {
                 self.buf.clear();
+                self.pos = 0;
+                Err(err)
+            }
+        }
+    }
+
+    /// Streaming decode that borrows from `input` instead of buffering it.
+    ///
+    /// Complete frames at the front of `input` are decoded in place —
+    /// `input` is advanced past each one — so fully-framed segments (the
+    /// overwhelmingly common case on this workspace's simulated
+    /// transport, which never splits an endpoint's output batch) cost no
+    /// copy into the decoder at all. Only a trailing partial frame is
+    /// copied into the internal buffer; it completes on a later call.
+    /// `Ok(None)` means `input` is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FrameDecoder::next_frame`]: the first
+    /// structural violation is returned and all buffered *and* remaining
+    /// `input` bytes are discarded (framing errors are connection
+    /// errors).
+    pub fn next_frame_in(&mut self, input: &mut &[u8]) -> Result<Option<Frame>, DecodeFrameError> {
+        if self.buffered_len() > 0 {
+            // A partial frame is already buffered: complete it the
+            // buffered way. Rare, so the copy is acceptable.
+            if !input.is_empty() {
+                self.feed(input);
+                *input = &[];
+            }
+            return self.next_frame();
+        }
+        match decode_one(input, self.max_frame_size) {
+            Ok(Some((frame, consumed))) => {
+                if self.reject_zero_window_update {
+                    if let Frame::WindowUpdate(wu) = &frame {
+                        if wu.increment == 0 {
+                            *input = &[];
+                            return Err(DecodeFrameError::InvalidWindowIncrement);
+                        }
+                    }
+                }
+                *input = &input[consumed..];
+                Ok(Some(frame))
+            }
+            Ok(None) => {
+                if !input.is_empty() {
+                    self.feed(input);
+                    *input = &[];
+                }
+                Ok(None)
+            }
+            Err(err) => {
+                *input = &[];
+                Err(err)
+            }
+        }
+    }
+
+    /// Streaming decode over a shared, refcounted segment.
+    ///
+    /// Like [`FrameDecoder::next_frame_in`], but because `input` is a
+    /// [`Bytes`] view the decoder can hand DATA frames a zero-copy slice
+    /// of the segment ([`Frame::decode_shared`]) instead of copying each
+    /// payload out. On a bulk download this removes the last per-frame
+    /// copy on the receive side: the segment arrives once and every DATA
+    /// body is a refcount bump into it. `input` is advanced past each
+    /// decoded frame; a trailing partial frame is copied into the
+    /// internal buffer and completes on a later call. `Ok(None)` means
+    /// `input` is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FrameDecoder::next_frame`]: the first
+    /// structural violation is returned and all buffered *and* remaining
+    /// `input` bytes are discarded (framing errors are connection
+    /// errors).
+    pub fn next_frame_shared(
+        &mut self,
+        input: &mut Bytes,
+    ) -> Result<Option<Frame>, DecodeFrameError> {
+        if self.buffered_len() > 0 {
+            // A partial frame is already buffered: complete it the
+            // buffered way. Rare, so the copy is acceptable.
+            if !input.is_empty() {
+                self.feed(input);
+                *input = Bytes::new();
+            }
+            return self.next_frame();
+        }
+        let buf: &[u8] = input.as_ref();
+        if buf.len() < FRAME_HEADER_LEN {
+            if !buf.is_empty() {
+                self.feed(buf);
+                *input = Bytes::new();
+            }
+            return Ok(None);
+        }
+        let header = match FrameHeader::decode(buf) {
+            Ok(header) => header,
+            Err(err) => {
+                *input = Bytes::new();
+                return Err(err);
+            }
+        };
+        if header.length > self.max_frame_size {
+            *input = Bytes::new();
+            return Err(DecodeFrameError::FrameTooLarge {
+                length: header.length,
+                max: self.max_frame_size,
+            });
+        }
+        let total = FRAME_HEADER_LEN + header.length as usize;
+        if buf.len() < total {
+            self.feed(buf);
+            *input = Bytes::new();
+            return Ok(None);
+        }
+        match Frame::decode_shared(header, input.slice(FRAME_HEADER_LEN..total)) {
+            Ok(frame) => {
+                if self.reject_zero_window_update {
+                    if let Frame::WindowUpdate(wu) = &frame {
+                        if wu.increment == 0 {
+                            *input = Bytes::new();
+                            return Err(DecodeFrameError::InvalidWindowIncrement);
+                        }
+                    }
+                }
+                *input = input.slice(total..);
+                Ok(Some(frame))
+            }
+            Err(err) => {
+                *input = Bytes::new();
                 Err(err)
             }
         }
@@ -137,19 +290,29 @@ impl FrameDecoder {
 
     /// Number of buffered, not-yet-decoded bytes.
     pub fn buffered_len(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 }
 
-/// Encodes a sequence of frames into one contiguous buffer.
+/// Encodes a sequence of frames onto the end of `out` (which is *not*
+/// cleared first), so hot paths can reuse one scratch buffer instead of
+/// allocating per batch.
+pub fn encode_all_into<'a, I>(frames: I, out: &mut Vec<u8>)
+where
+    I: IntoIterator<Item = &'a Frame>,
+{
+    for frame in frames {
+        frame.encode(out);
+    }
+}
+
+/// Encodes a sequence of frames into one freshly allocated buffer.
 pub fn encode_all<'a, I>(frames: I) -> Vec<u8>
 where
     I: IntoIterator<Item = &'a Frame>,
 {
     let mut out = Vec::new();
-    for frame in frames {
-        frame.encode(&mut out);
-    }
+    encode_all_into(frames, &mut out);
     out
 }
 
@@ -233,6 +396,83 @@ mod tests {
         dec.set_reject_zero_window_update(true);
         dec.feed(&one.to_bytes());
         assert_eq!(dec.next_frame().unwrap(), Some(one));
+    }
+
+    #[test]
+    fn shared_decode_matches_slice_decode_and_borrows_data_payloads() {
+        let frames = vec![
+            Frame::Ping(PingFrame::request([9; 8])),
+            Frame::Data(DataFrame {
+                stream_id: StreamId::new(3),
+                data: Bytes::from(vec![0x5a; 4096]),
+                end_stream: false,
+                pad_len: None,
+            }),
+            Frame::Data(DataFrame {
+                stream_id: StreamId::new(3),
+                data: Bytes::from(vec![0xa5; 100]),
+                end_stream: true,
+                pad_len: Some(7),
+            }),
+        ];
+        let segment = Bytes::from(encode_all(&frames));
+        let base = segment.as_ref().as_ptr() as usize;
+        let end = base + segment.len();
+
+        let mut dec = FrameDecoder::new();
+        let mut input = segment;
+        let mut decoded = Vec::new();
+        while let Some(frame) = dec.next_frame_shared(&mut input).unwrap() {
+            decoded.push(frame);
+        }
+        assert_eq!(decoded, frames);
+        assert_eq!(dec.buffered_len(), 0);
+        // Every DATA payload is a view into the original segment, not a
+        // copy of it.
+        for frame in &decoded {
+            if let Frame::Data(d) = frame {
+                let p = d.data.as_ref().as_ptr() as usize;
+                assert!(base <= p && p < end, "payload borrowed from segment");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_decode_buffers_a_partial_tail_across_segments() {
+        let frame = Frame::Data(DataFrame {
+            stream_id: StreamId::new(1),
+            data: Bytes::from(vec![0xcc; 300]),
+            end_stream: true,
+            pad_len: None,
+        });
+        let wire = frame.to_bytes();
+        let (head, tail) = wire.split_at(100);
+
+        let mut dec = FrameDecoder::new();
+        let mut first = Bytes::from(head.to_vec());
+        assert_eq!(dec.next_frame_shared(&mut first).unwrap(), None);
+        assert!(first.is_empty(), "partial input fully consumed");
+        assert_eq!(dec.buffered_len(), 100);
+
+        let mut second = Bytes::from(tail.to_vec());
+        assert_eq!(dec.next_frame_shared(&mut second).unwrap(), Some(frame));
+        assert_eq!(dec.buffered_len(), 0);
+    }
+
+    #[test]
+    fn shared_decode_rejects_oversized_frames_and_clears_input() {
+        let mut dec = FrameDecoder::new();
+        dec.set_max_frame_size(16);
+        let mut input = Bytes::from(vec![0, 0, 17, 0, 0, 0, 0, 0, 1]);
+        let err = dec.next_frame_shared(&mut input).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeFrameError::FrameTooLarge {
+                length: 17,
+                max: 16
+            }
+        );
+        assert!(input.is_empty(), "remaining input discarded on error");
     }
 
     #[test]

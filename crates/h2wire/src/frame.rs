@@ -5,7 +5,7 @@ use std::fmt;
 use bytes::Bytes;
 
 use crate::error::{DecodeFrameError, ErrorCode};
-use crate::header::{flags, FrameHeader, FrameKind};
+use crate::header::{flags, FrameHeader, FrameKind, FRAME_HEADER_LEN};
 use crate::settings::Settings;
 use crate::stream_id::StreamId;
 
@@ -348,8 +348,15 @@ impl Frame {
     }
 
     /// Serializes the frame (header and payload) onto `out`.
+    ///
+    /// The payload streams straight into `out` — the nine-octet header
+    /// slot is reserved up front and patched once the length is known —
+    /// so encoding never stages bytes through a temporary buffer. A DATA
+    /// frame costs exactly one `memcpy` of its payload.
     pub fn encode(&self, out: &mut Vec<u8>) {
-        let mut payload = Vec::new();
+        let header_at = out.len();
+        out.resize(header_at + FRAME_HEADER_LEN, 0);
+        let payload_at = out.len();
         let (kind, frame_flags, stream_id) = match self {
             Frame::Data(f) => {
                 let mut fl = 0;
@@ -358,11 +365,11 @@ impl Frame {
                 }
                 if let Some(pad) = f.pad_len {
                     fl |= flags::PADDED;
-                    payload.push(pad);
+                    out.push(pad);
                 }
-                payload.extend_from_slice(&f.data);
+                out.extend_from_slice(&f.data);
                 if let Some(pad) = f.pad_len {
-                    payload.resize(payload.len() + pad as usize, 0);
+                    out.resize(out.len() + pad as usize, 0);
                 }
                 (FrameKind::Data, fl, f.stream_id)
             }
@@ -376,30 +383,30 @@ impl Frame {
                 }
                 if let Some(pad) = f.pad_len {
                     fl |= flags::PADDED;
-                    payload.push(pad);
+                    out.push(pad);
                 }
                 if let Some(spec) = &f.priority {
                     fl |= flags::PRIORITY;
-                    spec.encode(&mut payload);
+                    spec.encode(out);
                 }
-                payload.extend_from_slice(&f.fragment);
+                out.extend_from_slice(&f.fragment);
                 if let Some(pad) = f.pad_len {
-                    payload.resize(payload.len() + pad as usize, 0);
+                    out.resize(out.len() + pad as usize, 0);
                 }
                 (FrameKind::Headers, fl, f.stream_id)
             }
             Frame::Priority(f) => {
-                f.spec.encode(&mut payload);
+                f.spec.encode(out);
                 (FrameKind::Priority, 0, f.stream_id)
             }
             Frame::RstStream(f) => {
-                payload.extend_from_slice(&f.code.to_u32().to_be_bytes());
+                out.extend_from_slice(&f.code.to_u32().to_be_bytes());
                 (FrameKind::RstStream, 0, f.stream_id)
             }
             Frame::Settings(f) => {
                 let fl = if f.ack { flags::ACK } else { 0 };
                 if !f.ack {
-                    f.settings.encode(&mut payload);
+                    f.settings.encode(out);
                 }
                 (FrameKind::Settings, fl, StreamId::CONNECTION)
             }
@@ -410,24 +417,24 @@ impl Frame {
                 }
                 if let Some(pad) = f.pad_len {
                     fl |= flags::PADDED;
-                    payload.push(pad);
+                    out.push(pad);
                 }
-                payload.extend_from_slice(&f.promised_stream_id.value().to_be_bytes());
-                payload.extend_from_slice(&f.fragment);
+                out.extend_from_slice(&f.promised_stream_id.value().to_be_bytes());
+                out.extend_from_slice(&f.fragment);
                 if let Some(pad) = f.pad_len {
-                    payload.resize(payload.len() + pad as usize, 0);
+                    out.resize(out.len() + pad as usize, 0);
                 }
                 (FrameKind::PushPromise, fl, f.stream_id)
             }
             Frame::Ping(f) => {
-                payload.extend_from_slice(&f.payload);
+                out.extend_from_slice(&f.payload);
                 let fl = if f.ack { flags::ACK } else { 0 };
                 (FrameKind::Ping, fl, StreamId::CONNECTION)
             }
             Frame::Goaway(f) => {
-                payload.extend_from_slice(&f.last_stream_id.value().to_be_bytes());
-                payload.extend_from_slice(&f.code.to_u32().to_be_bytes());
-                payload.extend_from_slice(&f.debug_data);
+                out.extend_from_slice(&f.last_stream_id.value().to_be_bytes());
+                out.extend_from_slice(&f.code.to_u32().to_be_bytes());
+                out.extend_from_slice(&f.debug_data);
                 (FrameKind::Goaway, 0, StreamId::CONNECTION)
             }
             Frame::WindowUpdate(f) => {
@@ -440,27 +447,26 @@ impl Frame {
                     "WINDOW_UPDATE increment {} exceeds 2^31-1; use WindowUpdateFrame::checked",
                     f.increment
                 );
-                payload.extend_from_slice(&f.increment.to_be_bytes());
+                out.extend_from_slice(&f.increment.to_be_bytes());
                 (FrameKind::WindowUpdate, 0, f.stream_id)
             }
             Frame::Continuation(f) => {
                 let fl = if f.end_headers { flags::END_HEADERS } else { 0 };
-                payload.extend_from_slice(&f.fragment);
+                out.extend_from_slice(&f.fragment);
                 (FrameKind::Continuation, fl, f.stream_id)
             }
             Frame::Unknown(f) => {
-                payload.extend_from_slice(&f.payload);
+                out.extend_from_slice(&f.payload);
                 (FrameKind::Unknown(f.kind), f.flags, f.stream_id)
             }
         };
         FrameHeader {
-            length: payload.len() as u32,
+            length: (out.len() - payload_at) as u32,
             kind,
             flags: frame_flags,
             stream_id,
         }
-        .encode(out);
-        out.extend_from_slice(&payload);
+        .write_to(&mut out[header_at..payload_at]);
     }
 
     /// Serializes the frame into a fresh buffer.
@@ -468,6 +474,43 @@ impl Frame {
         let mut out = Vec::new();
         self.encode(&mut out);
         out
+    }
+
+    /// Decodes a frame whose payload is a view into a shared segment.
+    ///
+    /// Identical to [`Frame::decode`] except that a DATA frame's body
+    /// becomes a zero-copy [`Bytes::slice`] of `payload` instead of a
+    /// fresh allocation — DATA carries virtually all transferred octets,
+    /// so the receive path of a bulk download does no per-frame payload
+    /// copies at all. Other frame kinds are small and delegate to the
+    /// slice-based decoder unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Frame::decode`].
+    pub fn decode_shared(header: FrameHeader, payload: Bytes) -> Result<Frame, DecodeFrameError> {
+        if header.kind == FrameKind::Data {
+            if payload.len() as u32 != header.length {
+                return Err(DecodeFrameError::Truncated);
+            }
+            if header.stream_id.is_connection() {
+                return Err(DecodeFrameError::InvalidStreamId {
+                    kind: header.kind.to_u8(),
+                    stream_id: 0,
+                });
+            }
+            let (pad_len, body_range) = match strip_padding(&header, payload.as_ref())? {
+                (None, body) => (None, 0..body.len()),
+                (Some(pad), body) => (Some(pad), 1..1 + body.len()),
+            };
+            return Ok(Frame::Data(DataFrame {
+                stream_id: header.stream_id,
+                data: payload.slice(body_range),
+                end_stream: header.has_flag(flags::END_STREAM),
+                pad_len,
+            }));
+        }
+        Frame::decode(header, payload.as_ref())
     }
 
     /// Decodes a frame from a header plus its complete payload.

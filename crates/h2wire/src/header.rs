@@ -123,12 +123,27 @@ impl FrameHeader {
 
     /// Serializes this header into nine octets.
     pub fn encode(&self, out: &mut Vec<u8>) {
-        out.push((self.length >> 16) as u8);
-        out.push((self.length >> 8) as u8);
-        out.push(self.length as u8);
-        out.push(self.kind.to_u8());
-        out.push(self.flags);
-        out.extend_from_slice(&self.stream_id.value().to_be_bytes());
+        let at = out.len();
+        out.resize(at + FRAME_HEADER_LEN, 0);
+        self.write_to(&mut out[at..]);
+    }
+
+    /// Writes the nine header octets into the front of `buf`.
+    ///
+    /// This exists for the copy-free frame encoder, which reserves the
+    /// header slot, streams the payload directly after it, and only then
+    /// knows the length to patch in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`FRAME_HEADER_LEN`].
+    pub fn write_to(&self, buf: &mut [u8]) {
+        buf[0] = (self.length >> 16) as u8;
+        buf[1] = (self.length >> 8) as u8;
+        buf[2] = self.length as u8;
+        buf[3] = self.kind.to_u8();
+        buf[4] = self.flags;
+        buf[5..FRAME_HEADER_LEN].copy_from_slice(&self.stream_id.value().to_be_bytes());
     }
 
     /// `true` when the given flag bit is set.

@@ -35,7 +35,7 @@ pub mod header;
 pub mod settings;
 pub mod stream_id;
 
-pub use codec::{decode_one, encode_all, FrameDecoder};
+pub use codec::{decode_one, encode_all, encode_all_into, FrameDecoder};
 pub use error::{DecodeFrameError, ErrorCode};
 pub use frame::{
     ContinuationFrame, DataFrame, Frame, GoawayFrame, HeadersFrame, IncrementOutOfRange, PingFrame,

@@ -32,27 +32,27 @@ impl Http1Server {
 }
 
 impl ByteEndpoint for Http1Server {
-    fn on_bytes(&mut self, _now: SimTime, bytes: &[u8]) -> Vec<u8> {
+    fn on_bytes(&mut self, _now: SimTime, bytes: &[u8], out: &mut Vec<u8>) {
         let text = String::from_utf8_lossy(bytes);
         let Some(request_line) = text.lines().next() else {
-            return Vec::new();
+            return;
         };
         let mut parts = request_line.split_whitespace();
         let method = parts.next().unwrap_or("");
         let (status, body): (&str, &[u8]) = match method {
             "GET" | "HEAD" => ("200 OK", &self.body),
-            "" => return Vec::new(),
+            "" => return,
             _ => ("405 Method Not Allowed", b""),
         };
         let body: &[u8] = if method == "HEAD" { b"" } else { body };
-        let mut response = format!(
+        use std::io::Write as _;
+        let _ = write!(
+            out,
             "HTTP/1.1 {status}\r\nServer: {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
             self.server_name,
             body.len()
-        )
-        .into_bytes();
-        response.extend_from_slice(body);
-        response
+        );
+        out.extend_from_slice(body);
     }
 
     fn processing_delay(&self) -> SimDuration {
@@ -98,7 +98,7 @@ mod tests {
         let server = Http1Server::new("test/1.0", SimDuration::from_millis(8));
         let mut pipe = Pipe::connect(server, clean(10), 1);
         let t0 = pipe.now();
-        pipe.client_send(get_request("example.com", "/"));
+        pipe.client_send(&get_request("example.com", "/"));
         let arrivals = pipe.run_to_quiescence();
         assert_eq!(arrivals.len(), 1);
         assert_eq!(parse_status(&arrivals[0].bytes), Some(200));
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn head_omits_body() {
         let mut server = Http1Server::new("test/1.0", SimDuration::ZERO);
-        let response = server.on_bytes(SimTime::ZERO, b"HEAD / HTTP/1.1\r\n\r\n");
+        let response = server.on_bytes_vec(SimTime::ZERO, b"HEAD / HTTP/1.1\r\n\r\n");
         let text = String::from_utf8(response).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK"));
         assert!(text.ends_with("\r\n\r\n"));
@@ -118,7 +118,7 @@ mod tests {
     #[test]
     fn unsupported_method_is_405() {
         let mut server = Http1Server::new("test/1.0", SimDuration::ZERO);
-        let response = server.on_bytes(SimTime::ZERO, b"DELETE / HTTP/1.1\r\n\r\n");
+        let response = server.on_bytes_vec(SimTime::ZERO, b"DELETE / HTTP/1.1\r\n\r\n");
         assert_eq!(parse_status(&response), Some(405));
     }
 

@@ -24,7 +24,7 @@
 //!
 //! let server = Http1Server::new("demo/1.0", SimDuration::from_millis(5));
 //! let mut pipe = Pipe::connect(server, LinkSpec::wan(20), 42);
-//! pipe.client_send(get_request("example.com", "/"));
+//! pipe.client_send(&get_request("example.com", "/"));
 //! let arrivals = pipe.run_to_quiescence();
 //! assert_eq!(parse_status(&arrivals[0].bytes), Some(200));
 //! ```

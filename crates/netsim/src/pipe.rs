@@ -13,16 +13,21 @@ use crate::time::{SimDuration, SimTime};
 
 /// A passive endpoint driven by byte arrivals (every server in this
 /// workspace implements it).
+///
+/// Both byte hooks *append* to a caller-provided `out` buffer instead of
+/// returning a fresh `Vec<u8>`: the delivery loop hands endpoints pooled
+/// scratch buffers, so a steady-state probe round-trip performs O(1) heap
+/// allocations. Tests that want the old allocating shape can call
+/// [`ByteEndpoint::on_connect_vec`] / [`ByteEndpoint::on_bytes_vec`].
 pub trait ByteEndpoint {
-    /// Called once when the transport connects; returns bytes the endpoint
-    /// sends unprompted (e.g. the server's SETTINGS frame).
-    fn on_connect(&mut self, now: SimTime) -> Vec<u8> {
-        let _ = now;
-        Vec::new()
+    /// Called once when the transport connects; appends bytes the endpoint
+    /// sends unprompted (e.g. the server's SETTINGS frame) to `out`.
+    fn on_connect(&mut self, now: SimTime, out: &mut Vec<u8>) {
+        let _ = (now, out);
     }
 
-    /// Called for each delivered segment; returns bytes to send back.
-    fn on_bytes(&mut self, now: SimTime, bytes: &[u8]) -> Vec<u8>;
+    /// Called for each delivered segment; appends the response to `out`.
+    fn on_bytes(&mut self, now: SimTime, bytes: &[u8], out: &mut Vec<u8>);
 
     /// Fixed per-exchange processing delay (used by the RTT experiments to
     /// model request handling time).
@@ -35,6 +40,47 @@ pub trait ByteEndpoint {
     /// [`ByteEndpoint::on_bytes`] call.
     fn wants_reset(&self) -> bool {
         false
+    }
+
+    /// Allocating convenience wrapper around [`ByteEndpoint::on_connect`].
+    fn on_connect_vec(&mut self, now: SimTime) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.on_connect(now, &mut out);
+        out
+    }
+
+    /// Allocating convenience wrapper around [`ByteEndpoint::on_bytes`].
+    fn on_bytes_vec(&mut self, now: SimTime, bytes: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.on_bytes(now, bytes, &mut out);
+        out
+    }
+}
+
+/// A small free-list of byte buffers, reused across deliveries so the
+/// steady-state transport path stops allocating. Buffers handed out keep
+/// their capacity; buffers put back are cleared.
+#[derive(Debug, Default)]
+pub struct BytesPool {
+    free: Vec<Vec<u8>>,
+}
+
+impl BytesPool {
+    /// Pool depth cap: beyond this, returned buffers are simply dropped
+    /// (enough for a full request/response pipeline without hoarding).
+    const MAX_POOLED: usize = 16;
+
+    /// Takes a cleared buffer from the pool (or a fresh one when empty).
+    pub fn take(&mut self) -> Vec<u8> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() < Self::MAX_POOLED && buf.capacity() > 0 {
+            buf.clear();
+            self.free.push(buf);
+        }
     }
 }
 
@@ -137,6 +183,7 @@ pub struct Pipe<E> {
     down_last_arrival: SimTime,
     rng: StdRng,
     inbox: Vec<Arrival>,
+    pool: BytesPool,
     faults: PipeFaults,
     reset: bool,
     obs: Obs,
@@ -173,14 +220,18 @@ impl<E: ByteEndpoint> Pipe<E> {
             down_last_arrival: SimTime::ZERO,
             rng: StdRng::seed_from_u64(seed),
             inbox: Vec::new(),
+            pool: BytesPool::default(),
             faults: PipeFaults::default(),
             reset: false,
             obs: Obs::off(),
             bytes_to_client: 0,
             bytes_to_server: 0,
         };
-        let greeting = pipe.server.on_connect(SimTime::ZERO);
-        if !greeting.is_empty() {
+        let mut greeting = pipe.pool.take();
+        pipe.server.on_connect(SimTime::ZERO, &mut greeting);
+        if greeting.is_empty() {
+            pipe.pool.put(greeting);
+        } else {
             let (arrival, busy) = pipe.downlink.schedule(
                 SimTime::ZERO,
                 pipe.down_busy,
@@ -232,8 +283,9 @@ impl<E: ByteEndpoint> Pipe<E> {
 
     /// Queues client bytes for delivery to the server at the appropriate
     /// link-modeled time. Silently dropped once the connection is reset.
-    pub fn client_send(&mut self, bytes: impl Into<Vec<u8>>) {
-        let bytes = bytes.into();
+    /// Borrows: the payload is copied into a pooled buffer, so callers can
+    /// reuse their own scratch space across sends.
+    pub fn client_send(&mut self, bytes: &[u8]) {
         if bytes.is_empty() || self.reset {
             return;
         }
@@ -243,7 +295,16 @@ impl<E: ByteEndpoint> Pipe<E> {
         self.up_busy = busy;
         let arrival = arrival.max(self.up_last_arrival);
         self.up_last_arrival = arrival;
-        self.enqueue(arrival, bytes, true);
+        let mut buf = self.pool.take();
+        buf.extend_from_slice(bytes);
+        self.enqueue(arrival, buf, true);
+    }
+
+    /// Hands a buffer back to the pipe's buffer pool. Clients that have
+    /// finished with an [`Arrival`]'s payload can return it here so the
+    /// next delivery reuses the allocation.
+    pub fn recycle(&mut self, bytes: Vec<u8>) {
+        self.pool.put(bytes);
     }
 
     /// Runs the delivery loop until no deliveries remain, returning every
@@ -290,19 +351,26 @@ impl<E: ByteEndpoint> Pipe<E> {
             self.clock = self.clock.max(delivery.at);
             if let Some(limit) = self.faults.stall_after_bytes {
                 if self.bytes_to_server + self.bytes_to_client >= limit {
+                    self.pool.put(delivery.bytes);
                     continue; // black hole: the segment never arrives
                 }
             }
             if delivery.to_server {
                 self.bytes_to_server += delivery.bytes.len() as u64;
                 self.obs.wire_bytes(true, delivery.bytes.len() as u64);
-                let response = self.server.on_bytes(self.clock, &delivery.bytes);
+                let mut response = self.pool.take();
+                self.server
+                    .on_bytes(self.clock, &delivery.bytes, &mut response);
+                self.pool.put(delivery.bytes);
                 if self.server.wants_reset() {
+                    self.pool.put(response);
                     self.cut();
                     outcome = RunOutcome::ConnectionReset;
                     break;
                 }
-                if !response.is_empty() {
+                if response.is_empty() {
+                    self.pool.put(response);
+                } else {
                     let ready = self.clock + self.server.processing_delay();
                     let (arrival, busy) = self.downlink.schedule(
                         ready,
@@ -336,7 +404,9 @@ impl<E: ByteEndpoint> Pipe<E> {
 
     fn cut(&mut self) {
         self.reset = true;
-        self.queue.clear();
+        while let Some(delivery) = self.queue.pop() {
+            self.pool.put(delivery.bytes);
+        }
     }
 
     /// Advances the clock without traffic (think `sleep`).
@@ -365,11 +435,11 @@ mod tests {
     }
 
     impl ByteEndpoint for Echo {
-        fn on_connect(&mut self, _now: SimTime) -> Vec<u8> {
-            b"hello".to_vec()
+        fn on_connect(&mut self, _now: SimTime, out: &mut Vec<u8>) {
+            out.extend_from_slice(b"hello");
         }
-        fn on_bytes(&mut self, _now: SimTime, bytes: &[u8]) -> Vec<u8> {
-            bytes.to_vec()
+        fn on_bytes(&mut self, _now: SimTime, bytes: &[u8], out: &mut Vec<u8>) {
+            out.extend_from_slice(bytes);
         }
         fn processing_delay(&self) -> SimDuration {
             self.delay
@@ -412,7 +482,7 @@ mod tests {
         );
         pipe.run_to_quiescence(); // drain greeting
         let t0 = pipe.now();
-        pipe.client_send(b"ping".to_vec());
+        pipe.client_send(b"ping");
         let arrivals = pipe.run_to_quiescence();
         assert_eq!(arrivals.len(), 1);
         assert_eq!(arrivals[0].at - t0, SimDuration::from_millis(20));
@@ -429,7 +499,7 @@ mod tests {
         );
         pipe.run_to_quiescence();
         let t0 = pipe.now();
-        pipe.client_send(b"ping".to_vec());
+        pipe.client_send(b"ping");
         let arrivals = pipe.run_to_quiescence();
         assert_eq!(arrivals[0].at - t0, SimDuration::from_millis(27));
     }
@@ -444,9 +514,9 @@ mod tests {
             1,
         );
         pipe.run_to_quiescence();
-        pipe.client_send(b"a".to_vec());
-        pipe.client_send(b"b".to_vec());
-        pipe.client_send(b"c".to_vec());
+        pipe.client_send(b"a");
+        pipe.client_send(b"b");
+        pipe.client_send(b"c");
         let arrivals = pipe.run_to_quiescence();
         assert_eq!(arrivals.len(), 3);
         assert!(arrivals.windows(2).all(|w| w[0].at <= w[1].at));
@@ -488,8 +558,8 @@ mod tests {
         };
         let mut a = mk();
         let mut b = mk();
-        a.client_send(b"ping".to_vec());
-        b.client_send(b"ping".to_vec());
+        a.client_send(b"ping");
+        b.client_send(b"ping");
         let via_quiescence = a.run_to_quiescence();
         let (via_deadline, outcome) = b.run_until(SimTime::ZERO + SimDuration::from_secs(60));
         assert_eq!(via_quiescence, via_deadline);
@@ -512,13 +582,13 @@ mod tests {
         });
         pipe.run_to_quiescence(); // greeting: 5 octets, under the limit
         assert!(!pipe.is_reset());
-        pipe.client_send(vec![0u8; 20]);
+        pipe.client_send(&[0u8; 20]);
         let (arrivals, outcome) = pipe.run_until(SimTime::ZERO + SimDuration::from_secs(1));
         assert_eq!(outcome, RunOutcome::ConnectionReset);
         assert!(arrivals.is_empty(), "the echo died with the connection");
         assert!(pipe.is_reset());
         // Sends after the reset are swallowed.
-        pipe.client_send(b"more".to_vec());
+        pipe.client_send(b"more");
         let (arrivals, outcome) = pipe.run_until(SimTime::ZERO + SimDuration::from_secs(2));
         assert!(arrivals.is_empty());
         assert_eq!(outcome, RunOutcome::ConnectionReset);
@@ -556,7 +626,7 @@ mod tests {
             stall_after_bytes: Some(0),
             ..PipeFaults::none()
         });
-        pipe.client_send(b"ping".to_vec());
+        pipe.client_send(b"ping");
         let (arrivals, outcome) = pipe.run_until(SimTime::ZERO + SimDuration::from_secs(1));
         assert!(arrivals.is_empty(), "everything vanished in transit");
         assert_eq!(outcome, RunOutcome::Quiescent, "the connection looks open");
@@ -570,9 +640,9 @@ mod tests {
     }
 
     impl ByteEndpoint for ResettingEcho {
-        fn on_bytes(&mut self, _now: SimTime, bytes: &[u8]) -> Vec<u8> {
+        fn on_bytes(&mut self, _now: SimTime, bytes: &[u8], out: &mut Vec<u8>) {
             self.replied = true;
-            bytes.to_vec()
+            out.extend_from_slice(bytes);
         }
         fn wants_reset(&self) -> bool {
             self.replied
@@ -582,7 +652,7 @@ mod tests {
     #[test]
     fn endpoint_requested_reset_cuts_the_connection() {
         let mut pipe = Pipe::connect(ResettingEcho { replied: false }, clean_link(1), 1);
-        pipe.client_send(b"hello".to_vec());
+        pipe.client_send(b"hello");
         let (arrivals, outcome) = pipe.run_until(SimTime::ZERO + SimDuration::from_secs(1));
         assert!(arrivals.is_empty(), "the reset beat the reply");
         assert_eq!(outcome, RunOutcome::ConnectionReset);
@@ -605,8 +675,8 @@ mod tests {
             if faulted {
                 pipe.set_faults(PipeFaults::none());
             }
-            pipe.client_send(vec![1u8; 3_000]);
-            pipe.client_send(vec![2u8; 500]);
+            pipe.client_send(&[1u8; 3_000]);
+            pipe.client_send(&[2u8; 500]);
             pipe.run_to_quiescence()
         };
         assert_eq!(mk(false), mk(true));
@@ -622,7 +692,7 @@ mod tests {
             1,
         );
         pipe.run_to_quiescence();
-        pipe.client_send(vec![0u8; 100]);
+        pipe.client_send(&[0u8; 100]);
         pipe.run_to_quiescence();
         assert_eq!(pipe.bytes_to_server, 100);
         assert_eq!(pipe.bytes_to_client, 105); // greeting + echo

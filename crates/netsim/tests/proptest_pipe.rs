@@ -13,11 +13,10 @@ struct SeqEcho {
 }
 
 impl ByteEndpoint for SeqEcho {
-    fn on_bytes(&mut self, _now: SimTime, bytes: &[u8]) -> Vec<u8> {
-        let mut out = self.seen.to_be_bytes().to_vec();
+    fn on_bytes(&mut self, _now: SimTime, bytes: &[u8], out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seen.to_be_bytes());
         self.seen += 1;
         out.extend_from_slice(bytes);
-        out
     }
 }
 
@@ -42,7 +41,7 @@ proptest! {
     ) {
         let mut pipe = Pipe::connect(SeqEcho::default(), link, seed);
         for (i, size) in sizes.iter().enumerate() {
-            pipe.client_send(vec![i as u8; *size]);
+            pipe.client_send(&vec![i as u8; *size]);
         }
         let arrivals = pipe.run_to_quiescence();
         prop_assert_eq!(arrivals.len(), sizes.len());
@@ -68,7 +67,7 @@ proptest! {
         let run = |sizes: &[usize]| {
             let mut pipe = Pipe::connect(SeqEcho::default(), link, seed);
             for (i, size) in sizes.iter().enumerate() {
-                pipe.client_send(vec![i as u8; *size]);
+                pipe.client_send(&vec![i as u8; *size]);
             }
             pipe.run_to_quiescence()
                 .into_iter()
@@ -87,7 +86,7 @@ proptest! {
     ) {
         let mut pipe = Pipe::connect(SeqEcho::default(), link, seed);
         let t0 = pipe.now();
-        pipe.client_send(vec![0u8; size]);
+        pipe.client_send(&vec![0u8; size]);
         let arrivals = pipe.run_to_quiescence();
         let rtt = arrivals[0].at - t0;
         let floor = link.delay + link.delay; // two propagation legs

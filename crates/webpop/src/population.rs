@@ -17,7 +17,7 @@
 //!   Table V/VI/VII marginals (independently of family, a documented
 //!   simplification: the paper does not publish the joint distribution).
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -42,10 +42,12 @@ pub struct SiteSample {
     pub index: u64,
     /// Server family (Table IV row).
     pub family: Family,
-    /// The fully customized server profile.
-    pub profile: ServerProfile,
-    /// Content served.
-    pub site: SiteSpec,
+    /// The fully customized server profile, behind an `Arc` so building a
+    /// probe [`h2scope::Target`] (and each connection it opens) shares one
+    /// immutable copy instead of deep-cloning the behavior spec.
+    pub profile: Arc<ServerProfile>,
+    /// Content served (shared immutably, like `profile`).
+    pub site: Arc<SiteSpec>,
     /// Network path from the scan vantage point.
     pub link: LinkSpec,
 }
@@ -54,8 +56,8 @@ impl SiteSample {
     /// Builds an `h2scope` probe target for this site.
     pub fn target(&self) -> h2scope::Target {
         h2scope::Target {
-            profile: self.profile.clone(),
-            site: self.site.clone(),
+            profile: Arc::clone(&self.profile),
+            site: Arc::clone(&self.site),
             link: self.link,
             seed: 0xbeef ^ self.index,
             pipe_faults: netsim::PipeFaults::none(),
@@ -262,8 +264,8 @@ impl Population {
         SiteSample {
             index: i,
             family,
-            profile,
-            site,
+            profile: Arc::new(profile),
+            site: Arc::new(site),
             link,
         }
     }

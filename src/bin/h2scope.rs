@@ -227,8 +227,7 @@ fn run_probe(args: &Args, which: &str) {
         "flowcontrol" => println!("{:#?}", flow_control::probe(&target)),
         "priority" => println!("{:#?}", priority::algorithm1(&target)),
         "push" => {
-            let push_target =
-                Target::testbed(target.profile.clone(), SiteSpec::page_with_assets(3, 2_000));
+            let push_target = Target::testbed(target.profile, SiteSpec::page_with_assets(3, 2_000));
             println!("{:#?}", push::probe(&push_target, &["/"]));
         }
         "hpack" => {

@@ -1,0 +1,65 @@
+//! Allocation budget for the per-site probe path.
+//!
+//! The campaign scheduler's throughput lives and dies on how much heap
+//! churn one site survey causes: at scan scale every stray `Vec` clone
+//! in the frame path multiplies by millions of sites. This test pins the
+//! allocation count of a full single-site survey under a fixed budget so
+//! a regression (a dropped scratch buffer, a deep profile clone on the
+//! connect path) fails loudly instead of silently halving throughput.
+//!
+//! The budget is calibrated with headroom above the current count
+//! (~2.6k allocations per survey) — it guards against coarse
+//! regressions, not single allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use h2scope::{H2Scope, Target};
+use h2server::{ServerProfile, SiteSpec};
+
+/// Counts every allocation and reallocation made through the global
+/// allocator. Deallocations are free passes: reuse is the whole point.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn single_site_survey_stays_under_allocation_budget() {
+    let scope = H2Scope::new();
+    let target = Target::testbed(ServerProfile::nginx(), SiteSpec::benchmark());
+    // Warm up lazy statics (static HPACK tables, etc.) and the first
+    // report so only steady-state per-survey cost is measured.
+    let warmup = scope.survey(&target);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let report = scope.survey(&target);
+    let spent = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(report, warmup, "warmup and measured surveys agree");
+    eprintln!("survey allocations: {spent}");
+    const BUDGET: u64 = 6_000;
+    assert!(
+        spent <= BUDGET,
+        "one site survey allocated {spent} times (budget {BUDGET}); \
+         the zero-copy probe path has regressed"
+    );
+}

@@ -1,0 +1,110 @@
+//! Buffer-reuse equivalence for the zero-copy encode paths.
+//!
+//! The hot send paths encode into reused scratch buffers
+//! ([`h2wire::encode_all_into`], `h2hpack::Encoder::encode_block_into`)
+//! instead of allocating per batch. These properties pin the contract
+//! that makes the reuse safe: appending to a dirty, previously-used
+//! buffer produces byte-for-byte the same suffix a fresh allocation
+//! would, regardless of what the buffer held before.
+
+use bytes::Bytes;
+use h2hpack::{Encoder, Header};
+use h2wire::frame::{DataFrame, GoawayFrame, PingFrame, RstStreamFrame, WindowUpdateFrame};
+use h2wire::{encode_all, encode_all_into, ErrorCode, Frame, StreamId};
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    let stream = (1u32..=0xffff).prop_map(StreamId::new);
+    prop_oneof![
+        any::<[u8; 8]>().prop_map(|p| Frame::Ping(PingFrame::request(p))),
+        (stream.clone(), prop::collection::vec(any::<u8>(), 0..200)).prop_map(
+            |(stream_id, data)| {
+                Frame::Data(DataFrame {
+                    stream_id,
+                    data: Bytes::from(data),
+                    end_stream: false,
+                    pad_len: None,
+                })
+            }
+        ),
+        (stream.clone(), 1u32..=0x7fff_ffff).prop_map(|(stream_id, increment)| {
+            Frame::WindowUpdate(WindowUpdateFrame {
+                stream_id,
+                increment,
+            })
+        }),
+        stream.prop_map(|stream_id| {
+            Frame::RstStream(RstStreamFrame {
+                stream_id,
+                code: ErrorCode::Cancel,
+            })
+        }),
+        (0u32..=0xffff).prop_map(|last| {
+            Frame::Goaway(GoawayFrame {
+                last_stream_id: StreamId::new(last),
+                code: ErrorCode::NoError,
+                debug_data: Bytes::new(),
+            })
+        }),
+    ]
+}
+
+fn arb_headers() -> impl Strategy<Value = Vec<Header>> {
+    prop::collection::vec(
+        ("[a-z][a-z0-9-]{0,12}", "[ -~]{0,24}").prop_map(|(name, value)| Header::new(name, value)),
+        1..8,
+    )
+}
+
+proptest! {
+    /// Encoding into a reused (non-empty) buffer appends exactly the
+    /// bytes a fresh `encode_all` would produce, and leaves the prefix
+    /// untouched.
+    #[test]
+    fn frame_encode_into_reused_buffer_matches_fresh_vec(
+        frames in prop::collection::vec(arb_frame(), 0..6),
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let fresh = encode_all(&frames);
+
+        let mut reused = garbage.clone();
+        encode_all_into(&frames, &mut reused);
+        prop_assert_eq!(&reused[..garbage.len()], &garbage[..]);
+        prop_assert_eq!(&reused[garbage.len()..], &fresh[..]);
+
+        // Second generation: clear-and-reuse (the actual hot-path
+        // pattern) is also identical to a fresh allocation.
+        reused.clear();
+        encode_all_into(&frames, &mut reused);
+        prop_assert_eq!(reused, fresh);
+    }
+
+    /// Same property for HPACK blocks, with the extra wrinkle that the
+    /// encoder is stateful: two encoders fed identical block sequences
+    /// must produce identical bytes whether they write into fresh or
+    /// reused buffers.
+    #[test]
+    fn hpack_encode_into_reused_buffer_matches_fresh_vec(
+        blocks in prop::collection::vec(arb_headers(), 1..4),
+        garbage in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut enc_fresh = Encoder::new();
+        let mut enc_reused = Encoder::new();
+        let mut scratch = garbage.clone();
+        let mut first = true;
+        for headers in &blocks {
+            let fresh = enc_fresh.encode_block(headers);
+            if first {
+                // First block appends after the garbage prefix.
+                enc_reused.encode_block_into(headers, &mut scratch);
+                prop_assert_eq!(&scratch[..garbage.len()], &garbage[..]);
+                prop_assert_eq!(&scratch[garbage.len()..], &fresh[..]);
+                first = false;
+            } else {
+                scratch.clear();
+                enc_reused.encode_block_into(headers, &mut scratch);
+                prop_assert_eq!(&scratch[..], &fresh[..]);
+            }
+        }
+    }
+}
