@@ -265,7 +265,7 @@ mod tests {
                 || vec![1u8; 64],
                 |v| v.iter().map(|&x| x as u64).sum::<u64>(),
                 BatchSize::SmallInput,
-            )
+            );
         });
         group.finish();
     }

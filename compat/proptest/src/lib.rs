@@ -75,7 +75,7 @@ pub mod test_runner {
         }
 
         fn fill_bytes(&mut self, dest: &mut [u8]) {
-            self.0.fill_bytes(dest)
+            self.0.fill_bytes(dest);
         }
     }
 }

@@ -16,7 +16,7 @@ fn bench_slow_receiver(c: &mut Criterion) {
     let v = victim();
     for streams in [4u32, 16, 64] {
         group.bench_function(format!("{streams}_streams"), |b| {
-            b.iter(|| slow_receiver::attack(&v, streams))
+            b.iter(|| slow_receiver::attack(&v, streams));
         });
     }
     group.finish();
@@ -28,10 +28,10 @@ fn bench_table_thrash(c: &mut Criterion) {
     let vulnerable = table_thrash::vulnerable_victim();
     let capped = table_thrash::capped_victim();
     group.bench_function("vulnerable_100_requests", |b| {
-        b.iter(|| table_thrash::attack(&vulnerable, 1 << 26, 100))
+        b.iter(|| table_thrash::attack(&vulnerable, 1 << 26, 100));
     });
     group.bench_function("capped_100_requests", |b| {
-        b.iter(|| table_thrash::attack(&capped, 1 << 26, 100))
+        b.iter(|| table_thrash::attack(&capped, 1 << 26, 100));
     });
     group.finish();
 }
@@ -42,7 +42,7 @@ fn bench_priority_churn(c: &mut Criterion) {
     let v = victim();
     for depth in [64u32, 512] {
         group.bench_function(format!("depth_{depth}"), |b| {
-            b.iter(|| priority_churn::attack(&v, depth, 10))
+            b.iter(|| priority_churn::attack(&v, depth, 10));
         });
     }
     group.finish();

@@ -18,7 +18,7 @@ fn bench_probes(c: &mut Criterion) {
     let t = target();
     group.bench_function("flow_control_suite", |b| b.iter(|| flow_control::probe(&t)));
     group.bench_function("priority_algorithm1", |b| {
-        b.iter(|| priority::algorithm1(&t))
+        b.iter(|| priority::algorithm1(&t));
     });
     group.bench_function("hpack_ratio_h8", |b| b.iter(|| hpack::probe(&t, 8)));
     group.bench_function("ping_5_samples", |b| b.iter(|| ping::probe(&t, 5)));
@@ -33,7 +33,7 @@ fn bench_characterize(c: &mut Criterion) {
         let name = profile.name.clone();
         let testbed = Testbed::new(profile, SiteSpec::benchmark());
         group.bench_function(format!("full_table_iii_column_{name}"), |b| {
-            b.iter(|| scope.characterize(&testbed))
+            b.iter(|| scope.characterize(&testbed));
         });
     }
     group.finish();

@@ -27,7 +27,7 @@ fn bench_loss_sweep(c: &mut Criterion) {
     for (label, loss) in [("loss_0pct", 0.0), ("loss_1pct", 0.01), ("loss_5pct", 0.05)] {
         let profile = FaultProfile::uniform_loss(loss);
         group.bench_function(format!("campaign_0p2pct_{label}"), |b| {
-            b.iter(|| scan_faulted(&population, 4, profile, SEED))
+            b.iter(|| scan_faulted(&population, 4, profile, SEED));
         });
     }
     group.finish();

@@ -19,7 +19,7 @@ fn bench_window_ops(c: &mut Criterion) {
                 w
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     group.finish();
 }
@@ -69,7 +69,7 @@ fn bench_core_receive_path(c: &mut Criterion) {
                 (events, updates)
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     group.finish();
 }

@@ -32,7 +32,7 @@ fn bench_encode(c: &mut Criterion) {
         pad_len: Some(8),
     });
     group.bench_function("headers_with_priority_and_padding", |b| {
-        b.iter(|| headers.to_bytes())
+        b.iter(|| headers.to_bytes());
     });
     let settings = Frame::Settings(SettingsFrame::from(
         Settings::new()
@@ -50,7 +50,7 @@ fn bench_decode(c: &mut Criterion) {
         let bytes = data_frame(len).to_bytes();
         group.throughput(Throughput::Bytes(len as u64));
         group.bench_function(format!("data_{len}"), |b| {
-            b.iter(|| decode_one(&bytes, 16_384).unwrap().unwrap())
+            b.iter(|| decode_one(&bytes, 16_384).unwrap().unwrap());
         });
     }
     // A realistic mixed stream through the stateful decoder.
@@ -72,7 +72,7 @@ fn bench_decode(c: &mut Criterion) {
                 dec.drain_frames().unwrap()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     group.finish();
 }

@@ -33,7 +33,7 @@ fn bench_encoder_policies(c: &mut Criterion) {
                 },
                 |mut enc| enc.encode_block(&headers),
                 BatchSize::SmallInput,
-            )
+            );
         });
         group.bench_function(format!("repeat_block_{name}"), |b| {
             b.iter_batched(
@@ -47,7 +47,7 @@ fn bench_encoder_policies(c: &mut Criterion) {
                 },
                 |mut enc| enc.encode_block(&headers),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();
@@ -64,7 +64,7 @@ fn bench_decoder(c: &mut Criterion) {
             Decoder::new,
             |mut dec| dec.decode_block(&first).unwrap(),
             BatchSize::SmallInput,
-        )
+        );
     });
     group.bench_function("repeat_block", |b| {
         b.iter_batched(
@@ -75,7 +75,7 @@ fn bench_decoder(c: &mut Criterion) {
             },
             |mut dec| dec.decode_block(&repeat).unwrap(),
             BatchSize::SmallInput,
-        )
+        );
     });
     group.finish();
 }
@@ -89,7 +89,7 @@ fn bench_huffman(c: &mut Criterion) {
             let mut out = Vec::new();
             huffman::encode(&text, &mut out);
             out
-        })
+        });
     });
     let mut coded = Vec::new();
     huffman::encode(&text, &mut coded);

@@ -28,10 +28,10 @@ fn bench_pageload(c: &mut Criterion) {
     ] {
         let target = push_target(assets, size, delay);
         group.bench_function(format!("push_{assets}a_{size}b_{delay}ms"), |b| {
-            b.iter(|| page_load(&target, true, 1))
+            b.iter(|| page_load(&target, true, 1));
         });
         group.bench_function(format!("nopush_{assets}a_{size}b_{delay}ms"), |b| {
-            b.iter(|| page_load(&target, false, 1))
+            b.iter(|| page_load(&target, false, 1));
         });
     }
     group.finish();

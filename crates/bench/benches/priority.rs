@@ -40,7 +40,7 @@ fn bench_declare(c: &mut Criterion) {
                     tree
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();
@@ -63,7 +63,7 @@ fn bench_schedule(c: &mut Criterion) {
                     picks
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();

@@ -16,7 +16,7 @@ fn bench_site_generation(c: &mut Criterion) {
             let site = population.site(i % population.headers_count());
             i += 1;
             site
-        })
+        });
     });
     group.finish();
 }
@@ -32,7 +32,7 @@ fn bench_survey(c: &mut Criterion) {
             let site = population.site(i % population.headers_count());
             i += 1;
             scope.survey(&site.target())
-        })
+        });
     });
     group.finish();
 }
@@ -45,7 +45,7 @@ fn bench_parallel_scan(c: &mut Criterion) {
     group.throughput(Throughput::Elements(population.h2_count()));
     for threads in [1usize, 4] {
         group.bench_function(format!("campaign_0p2pct_{threads}_threads"), |b| {
-            b.iter(|| scan(&population, threads))
+            b.iter(|| scan(&population, threads));
         });
     }
     group.finish();

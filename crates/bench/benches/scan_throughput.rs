@@ -32,10 +32,10 @@ fn bench_scan_throughput(c: &mut Criterion) {
     group.throughput(Throughput::Elements(population.h2_count()));
     for threads in [1usize, 4, 8] {
         group.bench_function(format!("plain_{threads}t"), |b| {
-            b.iter(|| scan(&population, threads))
+            b.iter(|| scan(&population, threads));
         });
         group.bench_function(format!("flaky_{threads}t"), |b| {
-            b.iter(|| scan_faulted(&population, threads, FaultProfile::flaky(), SEED))
+            b.iter(|| scan_faulted(&population, threads, FaultProfile::flaky(), SEED));
         });
     }
     group.finish();

@@ -74,8 +74,7 @@ pub fn fig6(population: &Population, sites: usize, samples_per_site: usize) -> S
     let mut out = String::new();
     writeln!(
         out,
-        "FIGURE 6 — RTT measured by ICMP, TCP, HTTP/1.1 and HTTP/2 PING ({} sites)",
-        sites
+        "FIGURE 6 — RTT measured by ICMP, TCP, HTTP/1.1 and HTTP/2 PING ({sites} sites)",
     )
     .unwrap();
     for (label, samples) in [
@@ -91,7 +90,7 @@ pub fn fig6(population: &Population, sites: usize, samples_per_site: usize) -> S
         )
         .unwrap();
         for (x, f) in cdf_points(samples, &ticks) {
-            write!(out, " {:.0}ms:{:.2}", x, f).unwrap();
+            write!(out, " {x:.0}ms:{f:.2}").unwrap();
         }
         writeln!(out).unwrap();
     }

@@ -63,9 +63,7 @@ fn parse_args() -> Options {
     let mut command = "all".to_string();
     let mut scale = 0.02;
     let mut experiments = vec![ExperimentSpec::first(), ExperimentSpec::second()];
-    let mut threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut loads = 10;
     let mut faults = FaultProfile::none();
     let mut seed = 0u64;

@@ -205,8 +205,7 @@ pub fn fault_summary(records: &[ScanRecord]) -> String {
     out.push_str(&format!("  malformed          {}\n", counts[3]));
     out.push_str(&format!("  gave-up-after-retries {}\n", counts[4]));
     out.push_str(&format!(
-        "  attempts           {} total, {} sites retried\n",
-        attempts, retried
+        "  attempts           {attempts} total, {retried} sites retried\n"
     ));
     out.push_str(&format!(
         "  backoff spent      {:.1} s simulated\n",

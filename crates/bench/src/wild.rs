@@ -163,11 +163,7 @@ pub fn table4(records: &[ScanRecord], population: &Population) -> String {
     )
     .unwrap();
     for (name, exp1, exp2) in paper {
-        let measured = rows
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, c)| *c)
-            .unwrap_or(0);
+        let measured = rows.iter().find(|(n, _)| n == name).map_or(0, |(_, c)| *c);
         let paper_count = if second { *exp2 } else { *exp1 };
         writeln!(
             out,

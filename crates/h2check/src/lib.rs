@@ -1,0 +1,34 @@
+//! # h2check — in-repo static analysis for the HTTP/2 workspace
+//!
+//! A registry-free conformance and lint suite, run in CI as
+//! `cargo run -p h2check -- --workspace --deny-warnings`. Two layers:
+//!
+//! 1. **Spec-conformance tables** ([`spec`]): RFC 7540's §5.1
+//!    stream-state machine, §6 frame constraints and §6.5.2 SETTINGS
+//!    bounds as declarative data, cross-validated ([`drift`]) against
+//!    the live implementations — `h2conn`'s transitions, `h2wire`'s
+//!    decoder and error taxonomy, every `ServerProfile` quirk matrix
+//!    and every `h2scope` probe classifier (including running the
+//!    actual simulated probes and comparing the observed reactions
+//!    with the matrix's predictions).
+//! 2. **Source lints** ([`lints`]): a hand-rolled token scanner
+//!    ([`lexer`]) enforcing panic-freedom in the protocol crates,
+//!    virtual-time discipline outside `bench`, a cycle-free lock
+//!    acquisition order in the thread-sharing modules, and the
+//!    `#![forbid(unsafe_code)]` attestation.
+//!
+//! Findings can be waived inline with a justification
+//! (`// h2check: allow(panic) — reason`); a waiver without a reason is
+//! itself an error. See [`report::Waivers`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod spec;
+pub mod workspace;
+
+pub use report::{Finding, Report, Severity};

@@ -1,0 +1,60 @@
+//! `#![forbid(unsafe_code)]` attestation (satellite of Layer 2).
+//!
+//! The protocol crates never need `unsafe`; forbidding it at the crate
+//! root makes that a compiler guarantee. This lint verifies the
+//! attribute is actually present in each crate's `lib.rs` so the
+//! guarantee cannot silently regress.
+
+use crate::lexer::{SourceFile, Tok};
+
+/// Does the file carry a top-level `#![forbid(unsafe_code)]`?
+pub fn has_forbid_unsafe(sf: &SourceFile) -> bool {
+    for i in 0..sf.tokens.len() {
+        if !sf.punct_at(i, '#') || !sf.punct_at(i + 1, '!') || !sf.punct_at(i + 2, '[') {
+            continue;
+        }
+        if sf.ident_at(i + 3) != Some("forbid") || !sf.punct_at(i + 4, '(') {
+            continue;
+        }
+        // Accept any argument list containing `unsafe_code`.
+        let mut j = i + 5;
+        while let Some(tok) = sf.tokens.get(j) {
+            match &tok.tok {
+                Tok::Punct(')') => break,
+                Tok::Ident(name) if name == "unsafe_code" => return true,
+                _ => j += 1,
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn present_attribute_is_found() {
+        assert!(has_forbid_unsafe(&lex(
+            "//! Doc.\n#![forbid(unsafe_code)]\npub fn f() {}"
+        )));
+    }
+
+    #[test]
+    fn multi_argument_forbid_is_found() {
+        assert!(has_forbid_unsafe(&lex(
+            "#![forbid(missing_docs, unsafe_code)]"
+        )));
+    }
+
+    #[test]
+    fn absent_attribute_is_missed() {
+        assert!(!has_forbid_unsafe(&lex(
+            "#![deny(missing_docs)]\npub fn f() {}"
+        )));
+        assert!(!has_forbid_unsafe(&lex(
+            "#[forbid(unsafe_code)]\nfn f() {}"
+        )));
+    }
+}

@@ -1,0 +1,6 @@
+//! Layer-2 source lints: token-level checks over workspace `.rs` files.
+
+pub mod forbid_unsafe;
+pub mod lockorder;
+pub mod panics;
+pub mod wallclock;

@@ -1,0 +1,137 @@
+//! Panic-freedom lint for protocol crates (Layer 2a).
+//!
+//! Protocol code parses attacker-controlled wire bytes; a reachable
+//! panic is a denial-of-service primitive (cf. the permissive-state
+//! attack surface catalogued in arXiv:2203.16796). Flagged in non-test
+//! code:
+//!
+//! - `.unwrap()` / `.expect(...)` — kind `panic` (error)
+//! - `panic!` / `unreachable!` / `todo!` / `unimplemented!` — kind
+//!   `panic` (error)
+//! - slice indexing `x[i]` — kind `index` (warning; indexing after an
+//!   explicit bounds check is idiomatic wire-codec style, so these are
+//!   expected to be waived per file with a justification)
+
+use crate::lexer::{SourceFile, Tok};
+use crate::report::{Severity, Sink};
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the panic lint over one file.
+pub fn check(sf: &SourceFile, sink: &mut Sink<'_>) {
+    for i in 0..sf.tokens.len() {
+        if sf.in_test[i] {
+            continue;
+        }
+        let line = sf.tokens[i].line;
+        match &sf.tokens[i].tok {
+            Tok::Ident(name) if name == "unwrap" || name == "expect" => {
+                let method_call = i > 0 && sf.punct_at(i - 1, '.') && sf.punct_at(i + 1, '(');
+                if method_call {
+                    sink.emit(
+                        "panic",
+                        Severity::Error,
+                        line,
+                        format!("`.{name}()` may panic on protocol input"),
+                    );
+                }
+            }
+            Tok::Ident(name)
+                if PANIC_MACROS.contains(&name.as_str()) && sf.punct_at(i + 1, '!') =>
+            {
+                sink.emit(
+                    "panic",
+                    Severity::Error,
+                    line,
+                    format!("`{name}!` in protocol code"),
+                );
+            }
+            Tok::Punct('[') if i > 0 => {
+                let indexable = matches!(
+                    &sf.tokens[i - 1].tok,
+                    Tok::Ident(_) | Tok::Punct(']') | Tok::Punct(')')
+                );
+                if indexable {
+                    sink.emit(
+                        "index",
+                        Severity::Warning,
+                        line,
+                        "slice index may panic; prefer `get()` or waive with the bounds argument"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::report::{Finding, Waivers};
+    use std::collections::BTreeMap;
+
+    fn run(src: &str) -> (Vec<Finding>, usize) {
+        let sf = lex(src);
+        let mut findings = Vec::new();
+        let waivers = Waivers::parse("crates/h2wire/src/x.rs", &sf, &mut findings);
+        let mut waived = BTreeMap::new();
+        let mut sink = Sink::new(
+            "crates/h2wire/src/x.rs",
+            &waivers,
+            &mut findings,
+            &mut waived,
+        );
+        check(&sf, &mut sink);
+        (findings, waived.values().sum())
+    }
+
+    #[test]
+    fn unwrap_and_expect_calls_are_flagged() {
+        let (findings, _) = run("fn f() { a.unwrap(); b.expect(\"msg\"); }");
+        assert_eq!(findings.iter().filter(|f| f.kind == "panic").count(), 2);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let (findings, _) = run("fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 0); }");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn panic_family_macros_are_flagged() {
+        let (findings, _) = run("fn f() { panic!(\"x\"); unreachable!(); }");
+        assert_eq!(findings.len(), 2);
+    }
+
+    #[test]
+    fn indexing_is_a_warning() {
+        let (findings, _) = run("fn f(b: &[u8]) -> u8 { b[0] }");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, "index");
+        assert_eq!(findings[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn attributes_arrays_and_macros_are_not_indexing() {
+        let (findings, _) =
+            run("#[derive(Debug)] struct S; fn f() { let v = vec![1]; let a = [0u8; 4]; }");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let (findings, _) = run("#[cfg(test)] mod t { fn f() { a.unwrap(); } }");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn waivers_suppress_and_count() {
+        let (findings, waived) =
+            run("fn f() { a.unwrap(); // h2check: allow(panic) — invariant: a is Some\n }");
+        assert!(findings.is_empty());
+        assert_eq!(waived, 1);
+    }
+}

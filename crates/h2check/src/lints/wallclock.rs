@@ -1,0 +1,96 @@
+//! Virtual-time discipline lint (Layer 2b).
+//!
+//! The entire reproduction runs on `netsim`'s simulated clock; campaign
+//! determinism (and the byte-identical replay artifacts checked in CI)
+//! depends on no wall-clock source leaking into the pipeline. Only the
+//! `bench` crate (which measures real throughput) may touch real time.
+//!
+//! Flagged in non-test code: the identifiers `Instant` and `SystemTime`
+//! anywhere (importing them is already a smell), and `thread::sleep`.
+
+use crate::lexer::{SourceFile, Tok};
+use crate::report::{Severity, Sink};
+
+/// Runs the wall-clock lint over one file.
+pub fn check(sf: &SourceFile, sink: &mut Sink<'_>) {
+    for i in 0..sf.tokens.len() {
+        if sf.in_test[i] {
+            continue;
+        }
+        let line = sf.tokens[i].line;
+        match &sf.tokens[i].tok {
+            Tok::Ident(name) if name == "Instant" || name == "SystemTime" => {
+                sink.emit(
+                    "wallclock",
+                    Severity::Error,
+                    line,
+                    format!("`{name}` is wall-clock time; use netsim::time::SimTime"),
+                );
+            }
+            Tok::Ident(name) if name == "sleep" => {
+                let qualified = i >= 3
+                    && sf.punct_at(i - 1, ':')
+                    && sf.punct_at(i - 2, ':')
+                    && sf.ident_at(i - 3) == Some("thread");
+                if qualified {
+                    sink.emit(
+                        "wallclock",
+                        Severity::Error,
+                        line,
+                        "`thread::sleep` blocks on wall-clock time; model delay in netsim"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::report::{Finding, Waivers};
+    use std::collections::BTreeMap;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let sf = lex(src);
+        let mut findings = Vec::new();
+        let waivers = Waivers::parse("crates/netsim/src/x.rs", &sf, &mut findings);
+        let mut waived = BTreeMap::new();
+        let mut sink = Sink::new(
+            "crates/netsim/src/x.rs",
+            &waivers,
+            &mut findings,
+            &mut waived,
+        );
+        check(&sf, &mut sink);
+        findings
+    }
+
+    #[test]
+    fn instant_and_system_time_are_flagged() {
+        let findings = run("use std::time::Instant;\nfn f() { let t = SystemTime::now(); }");
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.kind == "wallclock"));
+    }
+
+    #[test]
+    fn thread_sleep_is_flagged() {
+        let findings = run("fn f() { std::thread::sleep(d); }");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_sleep_identifiers_pass() {
+        let findings = run("fn sleep_budget() -> u64 { sleep_ns() }");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn sim_time_passes() {
+        let findings = run("fn f(t: SimTime) -> SimTime { t }");
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Known-bad fixture: two mutexes acquired in opposite orders on two
+//! code paths — the classic AB/BA deadlock shape.
+//! Expected: exactly one `lockorder` error naming the
+//! `metrics -> traces -> metrics` cycle.
+
+pub struct Shared {
+    metrics: std::sync::Mutex<u64>,
+    traces: std::sync::Mutex<u64>,
+}
+
+impl Shared {
+    pub fn record(&self) {
+        let g = self.metrics.lock();
+        let t = self.traces.lock();
+        let _ = (g, t);
+    }
+
+    pub fn flush(&self) {
+        let t = self.traces.lock();
+        let g = self.metrics.lock();
+        let _ = (g, t);
+    }
+}

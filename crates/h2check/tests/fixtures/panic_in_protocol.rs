@@ -1,0 +1,6 @@
+//! Known-bad fixture: a reachable panic in protocol-facing code.
+//! Expected: exactly one `panic` error, on the `unwrap` line.
+
+pub fn parse_frame_kind(byte: Option<u8>) -> u8 {
+    byte.unwrap()
+}

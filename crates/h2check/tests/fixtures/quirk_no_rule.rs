@@ -1,0 +1,11 @@
+//! Known-bad fixture: a `ServerBehavior` quirk field that cites no
+//! spec rule in the QUIRK_RULES registry.
+//! Expected: exactly one `quirk-registry` error for `mystery_knob`
+//! (`push` is a real, registered quirk and passes).
+
+pub struct ServerBehavior {
+    /// A registered quirk: maps to the `push` rule.
+    pub push: bool,
+    /// Not in the registry — every quirk must cite an RFC 7540 rule.
+    pub mystery_knob: bool,
+}

@@ -1,0 +1,8 @@
+//! Known-bad fixture: a waiver with no justification. Reasonless
+//! waivers are themselves errors AND do not suppress anything.
+//! Expected: exactly two errors — one `waiver`, one `panic`.
+
+pub fn take(v: Option<u8>) -> u8 {
+    // h2check: allow(panic)
+    v.unwrap()
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: wall-clock time leaking into simulated code.
+//! Expected: exactly one `wallclock` error, on the `thread::sleep` line.
+
+pub fn stall() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

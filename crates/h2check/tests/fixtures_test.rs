@@ -1,0 +1,109 @@
+//! Self-tests over the known-bad fixture sources: each fixture must
+//! produce exactly its expected finding(s), and the `h2check` binary
+//! must exit non-zero on every bad fixture (zero on the clean one).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use h2check::workspace::check_file;
+use h2check::Severity;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn panic_fixture_produces_exactly_one_panic_error() {
+    let report = check_file(&fixture("panic_in_protocol.rs"));
+    assert_eq!(report.findings.len(), 1, "{:#?}", report.findings);
+    assert_eq!(report.findings[0].kind, "panic");
+    assert_eq!(report.findings[0].severity, Severity::Error);
+    assert_eq!(report.findings[0].line, 5);
+    assert_eq!(report.waived_total(), 0);
+}
+
+#[test]
+fn wallclock_fixture_produces_exactly_one_wallclock_error() {
+    let report = check_file(&fixture("wallclock_in_netsim.rs"));
+    assert_eq!(report.findings.len(), 1, "{:#?}", report.findings);
+    assert_eq!(report.findings[0].kind, "wallclock");
+    assert_eq!(report.findings[0].line, 5);
+}
+
+#[test]
+fn lock_cycle_fixture_produces_exactly_one_lockorder_error() {
+    let report = check_file(&fixture("lock_cycle.rs"));
+    assert_eq!(report.findings.len(), 1, "{:#?}", report.findings);
+    assert_eq!(report.findings[0].kind, "lockorder");
+    assert!(
+        report.findings[0].message.contains("metrics")
+            && report.findings[0].message.contains("traces"),
+        "cycle message should name both locks: {}",
+        report.findings[0].message
+    );
+}
+
+#[test]
+fn quirk_fixture_produces_exactly_one_registry_error() {
+    let report = check_file(&fixture("quirk_no_rule.rs"));
+    assert_eq!(report.findings.len(), 1, "{:#?}", report.findings);
+    assert_eq!(report.findings[0].kind, "quirk-registry");
+    assert!(report.findings[0].message.contains("mystery_knob"));
+}
+
+#[test]
+fn reasonless_waiver_is_an_error_and_suppresses_nothing() {
+    let report = check_file(&fixture("waiver_no_reason.rs"));
+    let mut kinds: Vec<&str> = report.findings.iter().map(|f| f.kind).collect();
+    kinds.sort_unstable();
+    assert_eq!(kinds, ["panic", "waiver"], "{:#?}", report.findings);
+    assert_eq!(report.waived_total(), 0);
+}
+
+#[test]
+fn clean_fixture_passes_with_one_waived_panic() {
+    let report = check_file(&fixture("clean.rs"));
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert_eq!(report.waived_total(), 1);
+    assert!(!report.failed(true));
+}
+
+#[test]
+fn binary_exits_nonzero_on_every_bad_fixture() {
+    for name in [
+        "panic_in_protocol.rs",
+        "wallclock_in_netsim.rs",
+        "lock_cycle.rs",
+        "quirk_no_rule.rs",
+        "waiver_no_reason.rs",
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_h2check"))
+            .arg("--check-file")
+            .arg(fixture(name))
+            .output()
+            .expect("spawn h2check");
+        assert!(
+            !out.status.success(),
+            "{name}: expected failure exit, got {:?}\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_the_clean_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_h2check"))
+        .arg("--check-file")
+        .arg(fixture("clean.rs"))
+        .arg("--deny-warnings")
+        .output()
+        .expect("spawn h2check");
+    assert!(
+        out.status.success(),
+        "clean.rs should pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -702,6 +702,7 @@ impl ConnectionCore {
             return frames;
         }
         let mut chunks = block.chunks(max);
+        // h2check: allow(panic) — the short-block case returned above
         let first = chunks.next().expect("block longer than max");
         frames.push(Frame::Headers(HeadersFrame {
             stream_id,
@@ -775,11 +776,14 @@ impl ConnectionCore {
         let len = data.len() as u32;
         self.conn_send
             .consume(len)
+            // h2check: allow(panic) — documented caller contract (# Panics)
             .expect("caller respected connection window");
+        // h2check: allow(panic) — documented caller contract (# Panics)
         let stream = self.streams.get_mut(stream_id).expect("stream exists");
         stream
             .send_window
             .consume(len)
+            // h2check: allow(panic) — documented caller contract (# Panics)
             .expect("caller respected stream window");
         if end_stream {
             stream.send_end_stream();

@@ -5,6 +5,11 @@
 //! dependency insertion (exclusive and non-exclusive), reprioritization
 //! with the §5.3.3 descendant-move rule, self-dependency detection, and a
 //! parent-before-children weighted-round-robin scheduler.
+//!
+//! Unknown stream ids arriving in PRIORITY frames are attached to the
+//! tree before use, so every map lookup below operates on a key the
+//! tree itself inserted.
+// h2check: allow-file(panic, index) — tree-membership invariant: attach()/reprioritize() insert every id before it is dereferenced
 
 use std::collections::HashMap;
 
@@ -262,14 +267,11 @@ impl PriorityTree {
         if is_ready(StreamId::new(node)) {
             return true;
         }
-        self.nodes
-            .get(&node)
-            .map(|n| {
-                n.children
-                    .iter()
-                    .any(|&c| self.subtree_has_ready(c, is_ready))
-            })
-            .unwrap_or(false)
+        self.nodes.get(&node).is_some_and(|n| {
+            n.children
+                .iter()
+                .any(|&c| self.subtree_has_ready(c, is_ready))
+        })
     }
 
     /// All stream ids currently in the tree (excluding the root), in

@@ -1,5 +1,7 @@
 //! HPACK decoder.
 
+// h2check: allow-file(index) — wire decode hot path; every index follows an explicit length check
+
 use crate::error::HpackDecodeError;
 use crate::huffman;
 use crate::integer;

@@ -155,6 +155,7 @@ impl ProbeConn {
                 .req_scratch
                 .iter_mut()
                 .find(|h| h.name == ":path")
+                // h2check: allow(panic) — request_headers() always emits :path
                 .expect("request template always carries :path");
             h.value.clear();
             h.value.push_str(path);
@@ -207,10 +208,14 @@ impl ProbeConn {
                 while let Some(frame) = self
                     .decoder
                     .next_frame_shared(&mut input)
+                    // Unparseable server output in testbed mode is an engine
+                    // bug, not a measurable behavior (see the method docs).
+                    // h2check: allow(panic) — testbed mode surfaces engine bugs
                     .expect("server output parses")
                 {
                     let headers = self
                         .try_decode_block_of(&frame)
+                        // h2check: allow(panic) — testbed mode, same contract
                         .unwrap_or_else(|e| panic!("{e}"));
                     self.obs
                         .frame_received(frame.kind().to_u8(), arrival.at.as_nanos());

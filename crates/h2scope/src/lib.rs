@@ -31,6 +31,7 @@
 //! assert!(report.push.supported == false); // benchmark site has no manifest
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

@@ -9,6 +9,8 @@
 //! transfer across several connections dilutes each loss event to a
 //! fraction of the streams.
 
+// h2check: allow-file(index) — lane vectors sized at construction and indexed by loop bounds
+
 use std::collections::HashSet;
 
 use h2wire::{Frame, Settings};

@@ -2,6 +2,8 @@
 //! a multiplexing server interleaves DATA frames across streams, a
 //! sequential one finishes each response before starting the next.
 
+// h2check: allow-file(index) — indices bounded by the response-count checks above each use
+
 use serde::{Deserialize, Serialize};
 
 use h2wire::{Frame, SettingId, Settings};

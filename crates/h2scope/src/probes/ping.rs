@@ -104,11 +104,14 @@ pub fn median(samples: &[f64]) -> f64 {
         return f64::NAN;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    // total_cmp gives NaN a defined order, so sorting cannot panic.
+    sorted.sort_by(f64::total_cmp);
     let mid = sorted.len() / 2;
     if sorted.len().is_multiple_of(2) {
+        // h2check: allow(index) — mid < len and len is even, so mid >= 1
         (sorted[mid - 1] + sorted[mid]) / 2.0
     } else {
+        // h2check: allow(index) — mid = len/2 < len for odd len
         sorted[mid]
     }
 }

@@ -13,7 +13,7 @@
 //! With no faults configured (`Target::patience == None`) none of this is
 //! active and the scan byte-stream is identical to the legacy pipeline.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
@@ -91,17 +91,24 @@ pub struct FaultLog(Arc<Mutex<Vec<ProbeFailure>>>);
 impl FaultLog {
     /// Records one failure.
     pub fn record(&self, failure: ProbeFailure) {
-        self.0.lock().expect("fault log lock").push(failure);
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(failure);
     }
 
     /// The first failure recorded since the last [`FaultLog::clear`].
     pub fn first(&self) -> Option<ProbeFailure> {
-        self.0.lock().expect("fault log lock").first().copied()
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .first()
+            .copied()
     }
 
     /// Count of failures recorded.
     pub fn len(&self) -> usize {
-        self.0.lock().expect("fault log lock").len()
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// `true` when nothing failed.
@@ -111,7 +118,10 @@ impl FaultLog {
 
     /// Forgets everything (start of a fresh attempt).
     pub fn clear(&self) {
-        self.0.lock().expect("fault log lock").clear();
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 }
 
@@ -152,6 +162,7 @@ pub fn survey_with_retries(
                 .retry(attempt + 2, pause.as_nanos(), backoff.as_nanos());
         }
     }
+    // h2check: allow(panic) — max_attempts.max(1) guarantees one loop pass
     let (mut report, failure) = last.expect("at least one attempt runs");
     let outcome = match failure {
         None => ProbeOutcome::Ok,

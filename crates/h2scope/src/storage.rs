@@ -132,7 +132,7 @@ fn parse_outcome(s: &str) -> Option<ProbeOutcome> {
 }
 
 fn opt_u32(v: Option<u32>) -> String {
-    v.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
+    v.map_or_else(|| "-".into(), |x| x.to_string())
 }
 
 fn parse_opt_u32(s: &str) -> Result<Option<u32>, String> {
@@ -145,7 +145,7 @@ fn parse_opt_u32(s: &str) -> Result<Option<u32>, String> {
 /// Serializes one report as a single record line.
 pub fn write_report(report: &SiteReport) -> String {
     let mut line = String::new();
-    write!(
+    let _ = write!(
         line,
         "site={}|alpn={}|npn={}|hdrs={}|server={}",
         escape(&report.authority),
@@ -157,12 +157,10 @@ pub fn write_report(report: &SiteReport) -> String {
         report
             .server_name
             .as_deref()
-            .map(|n| format!("+{}", escape(n)))
-            .unwrap_or_else(|| "-".into()),
-    )
-    .unwrap();
+            .map_or_else(|| "-".into(), |n| format!("+{}", escape(n))),
+    );
     let s = &report.settings;
-    write!(
+    let _ = write!(
         line,
         "|st.recv={}|st.hts={}|st.push={}|st.mcs={}|st.iws={}|st.mfs={}|st.mhls={}|st.zwtu={}",
         s.received as u8,
@@ -173,10 +171,9 @@ pub fn write_report(report: &SiteReport) -> String {
         opt_u32(s.max_frame_size),
         opt_u32(s.max_header_list_size),
         s.zero_window_then_update as u8,
-    )
-    .unwrap();
+    );
     if let Some(fc) = &report.flow_control {
-        write!(
+        let _ = write!(
             line,
             "|fc.small={}|fc.hzw={}|fc.zus={}|fc.zuc={}|fc.lus={}|fc.luc={}",
             small_window_code(fc.small_window),
@@ -185,11 +182,10 @@ pub fn write_report(report: &SiteReport) -> String {
             reaction_code(fc.zero_update_conn),
             reaction_code(fc.large_update_stream),
             reaction_code(fc.large_update_conn),
-        )
-        .unwrap();
+        );
     }
     if let Some(p) = &report.priority {
-        write!(
+        let _ = write!(
             line,
             "|pr.last={}|pr.first={}|pr.both={}|pr.blocked={}|pr.self={}",
             p.by_last_frame as u8,
@@ -197,11 +193,10 @@ pub fn write_report(report: &SiteReport) -> String {
             p.by_both as u8,
             p.headers_blocked_at_zero_conn_window as u8,
             reaction_code(p.self_dependency),
-        )
-        .unwrap();
+        );
     }
     if let Some(push) = &report.push {
-        write!(
+        let _ = write!(
             line,
             "|pu.sup={}|pu.octets={}|pu.paths={}",
             push.supported as u8,
@@ -211,11 +206,10 @@ pub fn write_report(report: &SiteReport) -> String {
                 .map(|p| escape(p))
                 .collect::<Vec<_>>()
                 .join(","),
-        )
-        .unwrap();
+        );
     }
     if let Some(h) = &report.hpack {
-        write!(
+        let _ = write!(
             line,
             "|hp.r={}|hp.h={}|hp.sizes={}",
             h.ratio,
@@ -225,17 +219,15 @@ pub fn write_report(report: &SiteReport) -> String {
                 .map(|s| s.to_string())
                 .collect::<Vec<_>>()
                 .join(","),
-        )
-        .unwrap();
+        );
     }
-    write!(
+    let _ = write!(
         line,
         "|pb.out={}|pb.att={}|pb.bk={}",
         outcome_code(report.probe.outcome),
         report.probe.attempts,
         report.probe.backoff.as_nanos(),
-    )
-    .unwrap();
+    );
     line
 }
 

@@ -44,7 +44,7 @@ pub fn summarize(frame: &Frame) -> String {
                 let params: Vec<String> = f
                     .settings
                     .iter()
-                    .map(|(id, v)| format!("{:?}={v}", id))
+                    .map(|(id, v)| format!("{id:?}={v}"))
                     .collect();
                 format!("SETTINGS [{}]", params.join(", "))
             }

@@ -2,6 +2,8 @@
 //! [`ServerBehavior`] matrix, able to impersonate every server in the
 //! paper's testbed (plus the RFC reference).
 
+// h2check: allow-file(index) — queue indices bounded by the scan loops; byte offsets length-checked
+
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -235,7 +237,7 @@ impl H2Server {
             (QuirkAction::RstStream, WindowScope::Stream(stream)) => self.rst(stream, code, out),
             // A "reset" reaction at connection scope degrades to GOAWAY.
             (QuirkAction::RstStream, WindowScope::Connection) | (QuirkAction::Goaway, _) => {
-                self.goaway(code, debug.as_deref(), out)
+                self.goaway(code, debug.as_deref(), out);
             }
         }
     }
@@ -248,8 +250,7 @@ impl H2Server {
         let path = headers
             .iter()
             .find(|h| h.name == ":path")
-            .map(|h| h.value.as_str())
-            .unwrap_or("/");
+            .map_or("/", |h| h.value.as_str());
 
         // Server push: promise before the response headers (RFC 7540
         // §8.2.1 requires the PUSH_PROMISE to precede referencing content).
@@ -401,29 +402,27 @@ impl H2Server {
             }
             if self.queue[i].headers.is_some() {
                 let stream = self.queue[i].stream;
+                // h2check: allow(panic) — is_some() checked in the branch guard
                 let headers = self.queue[i].headers.as_ref().expect("checked");
                 let permitted = if fc_on_headers {
                     let estimate = Self::estimate_block_size(headers);
-                    let stream_window = self
-                        .core
-                        .streams()
-                        .get(stream)
-                        .map(|s| s.send_window.available())
-                        .unwrap_or(i64::from(self.core.remote_settings().initial_window_size));
+                    let stream_window = self.core.streams().get(stream).map_or(
+                        i64::from(self.core.remote_settings().initial_window_size),
+                        |s| s.send_window.available(),
+                    );
                     let conn_window = self.core.connection_send_window();
                     stream_window >= estimate && conn_window >= estimate
                 } else if self.behavior().headers_gated_at_zero_window {
-                    let stream_window = self
-                        .core
-                        .streams()
-                        .get(stream)
-                        .map(|s| s.send_window.available())
-                        .unwrap_or(i64::from(self.core.remote_settings().initial_window_size));
+                    let stream_window = self.core.streams().get(stream).map_or(
+                        i64::from(self.core.remote_settings().initial_window_size),
+                        |s| s.send_window.available(),
+                    );
                     stream_window > 0
                 } else {
                     true
                 };
                 if permitted {
+                    // h2check: allow(panic) — is_some() checked in the branch guard
                     let headers = self.queue[i].headers.take().expect("checked");
                     let end_stream = self.queue[i].body.is_empty();
                     out.extend(self.core.encode_headers(stream, &headers, end_stream, None));
@@ -462,8 +461,7 @@ impl H2Server {
                         .core
                         .streams()
                         .get(stream)
-                        .map(|s| s.send_window.available())
-                        .unwrap_or(0);
+                        .map_or(0, |s| s.send_window.available());
                     if window <= 0 || self.core.connection_send_window() <= 0 {
                         q.sent_zero_marker = true;
                         out.push(Frame::Data(h2wire::DataFrame {

@@ -21,6 +21,7 @@
 //! assert!(!greeting.is_empty()); // server SETTINGS (+ Nginx's WINDOW_UPDATE)
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod behavior;

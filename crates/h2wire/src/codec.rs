@@ -1,5 +1,7 @@
 //! Streaming frame codec: turns a byte stream into frames and back.
 
+// h2check: allow-file(index) — dense wire codec; lengths verified before fixed-offset reads
+
 use bytes::Bytes;
 
 use crate::error::DecodeFrameError;

@@ -1,5 +1,7 @@
 //! Typed frames for all ten RFC 7540 frame types, with encode/decode.
 
+// h2check: allow-file(index) — dense wire codec; lengths verified before fixed-offset reads
+
 use std::fmt;
 
 use bytes::Bytes;
@@ -562,6 +564,14 @@ impl Frame {
                 require_stream(&header)?;
                 let (pad_len, body) = strip_padding(&header, payload)?;
                 let (priority, fragment) = if header.has_flag(flags::PRIORITY) {
+                    // Too short for the priority fields the flag promises:
+                    // a frame size error (RFC 7540 §4.2), not a truncation.
+                    if body.len() < 5 {
+                        return Err(DecodeFrameError::InvalidLength {
+                            kind: kind_byte,
+                            length: header.length,
+                        });
+                    }
                     let spec = PrioritySpec::decode(body)?;
                     (Some(spec), &body[5..])
                 } else {
@@ -615,8 +625,13 @@ impl Frame {
             FrameKind::PushPromise => {
                 require_stream(&header)?;
                 let (pad_len, body) = strip_padding(&header, payload)?;
+                // Too short for the promised stream id: a frame size
+                // error (RFC 7540 §4.2), not a truncation.
                 if body.len() < 4 {
-                    return Err(DecodeFrameError::Truncated);
+                    return Err(DecodeFrameError::InvalidLength {
+                        kind: kind_byte,
+                        length: header.length,
+                    });
                 }
                 let promised = u32::from_be_bytes([body[0], body[1], body[2], body[3]]);
                 Ok(Frame::PushPromise(PushPromiseFrame {

@@ -1,5 +1,7 @@
 //! SETTINGS parameters (RFC 7540 §6.5).
 
+// h2check: allow-file(index) — dense wire codec; lengths verified before fixed-offset reads
+
 use crate::error::DecodeFrameError;
 
 /// Default `SETTINGS_HEADER_TABLE_SIZE` (RFC 7540 §6.5.2).

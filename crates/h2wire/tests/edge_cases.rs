@@ -10,8 +10,10 @@ use h2wire::{
 };
 
 #[test]
-fn headers_with_priority_flag_but_short_payload_is_truncated() {
-    // HEADERS with PRIORITY flag requires >= 5 payload octets.
+fn headers_with_priority_flag_but_short_payload_is_a_size_error() {
+    // HEADERS with PRIORITY flag requires >= 5 payload octets; the flag
+    // promises fields the frame does not carry, so this is a frame size
+    // error (RFC 7540 §4.2), not a mere truncation.
     let mut bytes = Vec::new();
     FrameHeader {
         length: 3,
@@ -21,7 +23,13 @@ fn headers_with_priority_flag_but_short_payload_is_truncated() {
     }
     .encode(&mut bytes);
     bytes.extend_from_slice(&[0, 0, 0]);
-    assert_eq!(decode_one(&bytes, 16_384), Err(DecodeFrameError::Truncated));
+    assert_eq!(
+        decode_one(&bytes, 16_384),
+        Err(DecodeFrameError::InvalidLength {
+            kind: 0x1,
+            length: 3
+        })
+    );
 }
 
 #[test]

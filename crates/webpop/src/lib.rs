@@ -25,6 +25,7 @@
 //! assert!(report.negotiation.h2());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod marginals;

@@ -276,7 +276,7 @@ impl Population {
             .map(|(_, a, b)| if self.spec.second { *b } else { *a })
             .collect();
         let k = self.quota_category(i, dim::FAMILY, &counts);
-        FAMILIES.get(k).map(|(f, _, _)| *f).unwrap_or(Family::Tail)
+        FAMILIES.get(k).map_or(Family::Tail, |(f, _, _)| *f)
     }
 
     fn base_profile(&self, family: Family, i: u64) -> ServerProfile {

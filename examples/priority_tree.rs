@@ -16,8 +16,7 @@ fn name(id: StreamId) -> String {
     NAMES
         .iter()
         .find(|(v, _)| *v == id.value())
-        .map(|(_, n)| (*n).to_string())
-        .unwrap_or_else(|| format!("#{id}"))
+        .map_or_else(|| format!("#{id}"), |(_, n)| (*n).to_string())
 }
 
 fn render(tree: &PriorityTree, node: StreamId, depth: usize, out: &mut String) {

@@ -139,8 +139,7 @@ fn giant_response_headers_split_into_continuations_and_reassemble() {
         .count();
     assert!(
         continuations >= 1,
-        "block must span frames: {} continuations",
-        continuations
+        "block must span frames: {continuations} continuations"
     );
     // The decoded list arrives on the frame that completes the block.
     let decoded = frames
