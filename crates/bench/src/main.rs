@@ -23,12 +23,29 @@
 //!   fig4         Figure 4/5 HPACK ratio CDFs per family
 //!   fig6         Figure 6   RTT by four estimators
 //!   all          everything above (default)
+//!   diff A B     longitudinal diff of two finalized campaign records
+//!                (regenerates the Jul. 2016 → Jan. 2017 comparison from
+//!                disk alone — no rescan)
 //!
 //! FAULT CAMPAIGNS
 //!   --faults PROFILE   scan under impairments: none, lossy, jittery,
 //!                      flaky, byzantine, chaos (default none)
 //!   --seed N           campaign seed; same seed replays the exact same
 //!                      faults at any thread count (default 0)
+//!
+//! CAMPAIGN RECORDS
+//!   --record PATH      persist every scanned site to an append-only
+//!                      campaign record as it finishes; a completed
+//!                      campaign finalizes the record (canonical order +
+//!                      checksum trailer). With --exp both the experiment
+//!                      name is inserted before the extension.
+//!   --resume PATH      validate a partial record against this campaign,
+//!                      preload its rows and scan only the missing sites;
+//!                      the finalized record is byte-identical to an
+//!                      uninterrupted run at any thread count
+//!   --kill-after N     (testing) simulate a crash: stop appending after
+//!                      N durable rows and exit with status 3, leaving
+//!                      the partial record behind for --resume
 //!
 //! OBSERVABILITY
 //!   --metrics          record campaign metrics (frame counters, wire
@@ -38,17 +55,22 @@
 //!                      byte-identical to a --metrics-less run.
 //!   --trace-sites N    additionally keep frame-level event traces for
 //!                      the first N sites of each experiment (default 0)
+//!   --out-dir DIR      route OBS_campaign.json and relative --record /
+//!                      --resume / diff paths into DIR (created if absent)
 //! ```
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use h2fault::FaultProfile;
+use h2fault::{FaultProfile, KillPoint};
 use h2obs::Obs;
+use h2ready_bench::scan::RecordedScan;
 use h2ready_bench::{figures, scan, tables, wild};
 use webpop::{ExperimentSpec, Population};
 
 struct Options {
     command: String,
+    command_args: Vec<String>,
     scale: f64,
     experiments: Vec<ExperimentSpec>,
     threads: usize,
@@ -57,10 +79,14 @@ struct Options {
     seed: u64,
     metrics: bool,
     trace_sites: u64,
+    record: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    kill_after: Option<u64>,
+    out_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Options {
-    let mut command = "all".to_string();
+    let mut positionals: Vec<String> = Vec::new();
     let mut scale = 0.02;
     let mut experiments = vec![ExperimentSpec::first(), ExperimentSpec::second()];
     let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
@@ -69,6 +95,10 @@ fn parse_args() -> Options {
     let mut seed = 0u64;
     let mut metrics = false;
     let mut trace_sites = 0u64;
+    let mut record: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut kill_after: Option<u64> = None;
+    let mut out_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -117,19 +147,53 @@ fn parse_args() -> Options {
                 });
                 metrics = true;
             }
+            "--record" => {
+                record = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--record needs a file path");
+                    std::process::exit(2);
+                })));
+            }
+            "--resume" => {
+                resume = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--resume needs a file path");
+                    std::process::exit(2);
+                })));
+            }
+            "--kill-after" => {
+                kill_after = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--kill-after needs an unsigned row count");
+                    std::process::exit(2);
+                }));
+            }
+            "--out-dir" => {
+                out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out-dir needs a directory path");
+                    std::process::exit(2);
+                })));
+            }
             "--help" | "-h" => {
-                println!("see crate docs: repro [COMMAND] [--scale S] [--exp 1|2|both] [--threads N] [--loads L] [--faults PROFILE] [--seed N] [--metrics] [--trace-sites N]");
+                println!("see crate docs: repro [COMMAND] [--scale S] [--exp 1|2|both] [--threads N] [--loads L] [--faults PROFILE] [--seed N] [--metrics] [--trace-sites N] [--record PATH | --resume PATH] [--kill-after N] [--out-dir DIR] | repro diff A B");
                 std::process::exit(0);
             }
-            other if !other.starts_with('-') => command = other.to_string(),
+            other if !other.starts_with('-') => positionals.push(other.to_string()),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
             }
         }
     }
+    if record.is_some() && resume.is_some() {
+        eprintln!("--record and --resume are mutually exclusive; --resume already appends to (and finalizes) its record");
+        std::process::exit(2);
+    }
+    if kill_after.is_some() && record.is_none() && resume.is_none() {
+        eprintln!("--kill-after only makes sense with --record or --resume (it crashes a persisted campaign)");
+        std::process::exit(2);
+    }
+    let mut positionals = positionals.into_iter();
     Options {
-        command,
+        command: positionals.next().unwrap_or_else(|| "all".to_string()),
+        command_args: positionals.collect(),
         scale,
         experiments,
         threads,
@@ -138,7 +202,67 @@ fn parse_args() -> Options {
         seed,
         metrics,
         trace_sites,
+        record,
+        resume,
+        kill_after,
+        out_dir,
     }
+}
+
+/// Routes a relative path through `--out-dir` (absolute paths and runs
+/// without `--out-dir` are untouched).
+fn resolve(out_dir: Option<&Path>, path: &Path) -> PathBuf {
+    match out_dir {
+        Some(dir) if path.is_relative() => dir.join(path),
+        _ => path.to_path_buf(),
+    }
+}
+
+/// The record path for one experiment: with a single experiment the
+/// user's path is used as-is; with several, the experiment name is
+/// inserted before the extension so each campaign gets its own record.
+fn per_experiment_path(base: &Path, spec_name: &str, multi: bool) -> PathBuf {
+    if !multi {
+        return base.to_path_buf();
+    }
+    match base.extension().and_then(|e| e.to_str()) {
+        Some(ext) => base.with_extension(format!("{spec_name}.{ext}")),
+        None => base.with_extension(spec_name),
+    }
+}
+
+/// `repro diff A B`: regenerate the longitudinal comparison from two
+/// finalized campaign records, no rescan.
+fn run_diff(options: &Options) -> ! {
+    let [a, b] = match options.command_args.as_slice() {
+        [a, b] => [a, b],
+        other => {
+            eprintln!("diff needs exactly two record paths, got {}", other.len());
+            std::process::exit(2);
+        }
+    };
+    let out_dir = options.out_dir.as_deref();
+    let mut stored = Vec::new();
+    for path in [a, b] {
+        let path = resolve(out_dir, Path::new(path));
+        match h2campaign::read(&path) {
+            Ok(record) if record.finalized => stored.push(record),
+            Ok(_) => {
+                eprintln!(
+                    "{} is a partial record (no end| trailer); finish the campaign with --resume before diffing",
+                    path.display()
+                );
+                std::process::exit(2);
+            }
+            Err(err) => {
+                eprintln!("cannot read {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    let diff = h2campaign::diff_records(&stored[0], &stored[1]);
+    print!("{}", h2campaign::render_diff(&diff));
+    std::process::exit(0);
 }
 
 fn needs_scan(command: &str) -> bool {
@@ -162,6 +286,15 @@ fn needs_scan(command: &str) -> bool {
 fn main() {
     let options = parse_args();
     let command = options.command.as_str();
+    if let Some(dir) = &options.out_dir {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --out-dir {}: {err}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    if command == "diff" {
+        run_diff(&options);
+    }
     println!(
         "repro: command={command} scale={} threads={}\n",
         options.scale, options.threads
@@ -186,17 +319,60 @@ fn main() {
         Obs::off()
     };
 
+    let record_base = options.record.as_deref().or(options.resume.as_deref());
     for spec in &options.experiments {
         let population = Population::new(spec.clone(), options.scale);
-        let records = if needs_scan(command) {
+        let records = if needs_scan(command) || record_base.is_some() {
             let started = Instant::now();
-            let records = scan::scan_faulted_with_obs(
-                &population,
-                options.threads,
-                options.faults,
-                options.seed,
-                &obs,
-            );
+            let records = if let Some(base) = record_base {
+                let path = resolve(
+                    options.out_dir.as_deref(),
+                    &per_experiment_path(base, spec.name, options.experiments.len() > 1),
+                );
+                let outcome = scan::scan_recorded(
+                    &population,
+                    options.threads,
+                    options.faults,
+                    options.seed,
+                    &obs,
+                    &path,
+                    options.resume.is_some(),
+                    options.kill_after.map(KillPoint::after),
+                );
+                match outcome {
+                    Ok(RecordedScan::Complete { records, resumed }) => {
+                        if resumed > 0 {
+                            eprintln!(
+                                "[{}] resumed {resumed} sites from {}",
+                                spec.name,
+                                path.display()
+                            );
+                        }
+                        eprintln!("[{}] finalized record {}", spec.name, path.display());
+                        records
+                    }
+                    Ok(RecordedScan::Killed { rows }) => {
+                        eprintln!(
+                            "[{}] simulated crash: {rows} durable rows left in partial record {}",
+                            spec.name,
+                            path.display()
+                        );
+                        std::process::exit(3);
+                    }
+                    Err(err) => {
+                        eprintln!("[{}] campaign record error: {err}", spec.name);
+                        std::process::exit(2);
+                    }
+                }
+            } else {
+                scan::scan_faulted_with_obs(
+                    &population,
+                    options.threads,
+                    options.faults,
+                    options.seed,
+                    &obs,
+                )
+            };
             eprintln!(
                 "[{}] scanned {} h2 sites in {:.1}s",
                 spec.name,
@@ -260,10 +436,10 @@ fn main() {
     // against a --metrics-less run.
     if let Some(snapshot) = obs.snapshot() {
         println!("{}", h2obs::render_table(&snapshot));
-        let path = "OBS_campaign.json";
-        match std::fs::write(path, h2obs::render_json(&snapshot)) {
-            Ok(()) => eprintln!("[obs] wrote {path}"),
-            Err(err) => eprintln!("[obs] failed to write {path}: {err}"),
+        let path = resolve(options.out_dir.as_deref(), Path::new("OBS_campaign.json"));
+        match std::fs::write(&path, h2obs::render_json(&snapshot)) {
+            Ok(()) => eprintln!("[obs] wrote {}", path.display()),
+            Err(err) => eprintln!("[obs] failed to write {}: {err}", path.display()),
         }
     }
 }

@@ -3,15 +3,19 @@
 //! ("we construct a thread pool with configurable number of threads, each
 //! of which will test a web site").
 
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crossbeam::thread;
 
-use h2fault::{splitmix64, FaultPlan, FaultProfile};
+use h2campaign::{CampaignMeta, CampaignRow, RecordError, RecordWriter};
+use h2fault::{splitmix64, FaultPlan, FaultProfile, KillPoint};
 use h2obs::Obs;
 use h2scope::{survey_with_retries, H2Scope, ProbeOutcome, SiteReport};
 use netsim::time::SimDuration;
-use webpop::{Family, Population};
+use webpop::{Family, Population, SiteSample};
 
-use crate::sched::{Slots, WorkQueue};
+use crate::sched::{Slots, SparseQueue, WorkQueue};
 
 /// One scanned site with its generated family (kept alongside the report
 /// so family-conditioned figures don't have to re-parse server strings).
@@ -56,19 +60,9 @@ pub fn scan_with_obs(population: &Population, threads: usize, obs: &Obs) -> Vec<
                 let scope_tool = H2Scope::new();
                 while let Some(range) = queue.claim() {
                     for i in range {
-                        let site = population.site(i);
-                        let site_obs = obs.for_site(i);
-                        let mut target = site.target();
-                        target.obs = site_obs.clone();
-                        let report = scope_tool.survey(&target);
-                        site_obs.finish_site();
                         slots.put(
                             i as usize,
-                            ScanRecord {
-                                index: i,
-                                family: site.family,
-                                report,
-                            },
+                            scan_one(&scope_tool, population, i, None, 0, &obs),
                         );
                     }
                 }
@@ -77,6 +71,67 @@ pub fn scan_with_obs(population: &Population, threads: usize, obs: &Obs) -> Vec<
     })
     .expect("scan workers do not panic");
     slots.into_vec()
+}
+
+/// Surveys one site through the single code path every scan variant
+/// shares — in-memory, recorded, and resumed campaigns must produce
+/// identical reports, so there is exactly one place that builds targets.
+fn survey_one(
+    scope_tool: &H2Scope,
+    site: &SiteSample,
+    plan: Option<&FaultPlan>,
+    seed: u64,
+    site_obs: &Obs,
+) -> SiteReport {
+    let Some(plan) = plan else {
+        let mut target = site.target();
+        target.obs = site_obs.clone();
+        return scope_tool.survey(&target);
+    };
+    survey_with_retries(
+        scope_tool,
+        plan.profile().retry,
+        splitmix64(seed ^ site.index),
+        |attempt| {
+            let injection = plan.injection(site.index, attempt);
+            let mut target = site.target();
+            target.obs = site_obs.clone();
+            target.link = injection.impairment.apply(target.link);
+            target.pipe_faults = injection.impairment.pipe_faults();
+            target.patience = Some(plan.profile().deadline);
+            target.seed ^= injection.seed_salt;
+            if !injection.byzantine.is_noop() {
+                // The rare byzantine attempt is the one place a target's
+                // shared profile is customized; `make_mut` clones only
+                // then, keeping clean attempts at pointer-bump cost.
+                std::sync::Arc::make_mut(&mut target.profile)
+                    .behavior
+                    .byzantine = Some(injection.byzantine);
+            }
+            target
+        },
+    )
+}
+
+/// Scans site `i` end to end: survey (clean or faulted), per-site obs
+/// bookkeeping, record assembly.
+fn scan_one(
+    scope_tool: &H2Scope,
+    population: &Population,
+    i: u64,
+    plan: Option<&FaultPlan>,
+    seed: u64,
+    obs: &Obs,
+) -> ScanRecord {
+    let site = population.site(i);
+    let site_obs = obs.for_site(i);
+    let report = survey_one(scope_tool, &site, plan, seed, &site_obs);
+    site_obs.finish_site();
+    ScanRecord {
+        index: i,
+        family: site.family,
+        report,
+    }
 }
 
 /// Records restricted to HEADERS-returning sites (the denominator of every
@@ -123,46 +178,14 @@ pub fn scan_faulted_with_obs(
     thread::scope(|scope| {
         for _ in 0..threads {
             let obs = obs.clone();
-            let (queue, slots) = (&queue, &slots);
+            let (queue, slots, plan) = (&queue, &slots, &plan);
             scope.spawn(move |_| {
                 let scope_tool = H2Scope::new();
                 while let Some(range) = queue.claim() {
                     for i in range {
-                        let site = population.site(i);
-                        let site_obs = obs.for_site(i);
-                        let report = survey_with_retries(
-                            &scope_tool,
-                            plan.profile().retry,
-                            splitmix64(seed ^ i),
-                            |attempt| {
-                                let injection = plan.injection(i, attempt);
-                                let mut target = site.target();
-                                target.obs = site_obs.clone();
-                                target.link = injection.impairment.apply(target.link);
-                                target.pipe_faults = injection.impairment.pipe_faults();
-                                target.patience = Some(plan.profile().deadline);
-                                target.seed ^= injection.seed_salt;
-                                if !injection.byzantine.is_noop() {
-                                    // The rare byzantine attempt is the one
-                                    // place a target's shared profile is
-                                    // customized; `make_mut` clones only
-                                    // then, keeping clean attempts at
-                                    // pointer-bump cost.
-                                    std::sync::Arc::make_mut(&mut target.profile)
-                                        .behavior
-                                        .byzantine = Some(injection.byzantine);
-                                }
-                                target
-                            },
-                        );
-                        site_obs.finish_site();
                         slots.put(
                             i as usize,
-                            ScanRecord {
-                                index: i,
-                                family: site.family,
-                                report,
-                            },
+                            scan_one(&scope_tool, population, i, Some(plan), seed, &obs),
                         );
                     }
                 }
@@ -171,6 +194,152 @@ pub fn scan_faulted_with_obs(
     })
     .expect("scan workers do not panic");
     slots.into_vec()
+}
+
+/// How a recorded scan ([`scan_recorded`]) ended.
+#[derive(Debug)]
+pub enum RecordedScan {
+    /// The campaign completed and the record on disk was finalized.
+    Complete {
+        /// All records, in index order.
+        records: Vec<ScanRecord>,
+        /// Sites preloaded from a partial record instead of scanned.
+        resumed: u64,
+    },
+    /// A [`KillPoint`] fired: the journal holds `rows` durable rows and
+    /// no `end|` trailer — the on-disk state of a crashed campaign.
+    Killed {
+        /// Rows persisted before the simulated crash.
+        rows: u64,
+    },
+}
+
+/// [`scan_faulted_with_obs`] with persistence: every finished site is
+/// appended (and flushed) to the campaign record at `path` before the
+/// worker moves on, so a killed process loses at most its in-flight
+/// sites. With `resume`, a partial record at `path` is validated against
+/// this campaign's configuration, its rows are preloaded, and only the
+/// missing sites are scanned. Either way a completed campaign finalizes
+/// the record into canonical index order — which is why a resumed
+/// campaign's final record is byte-identical to an uninterrupted one at
+/// any thread count: rows depend only on `(population, index)` and the
+/// final bytes only on `(meta, row set)`.
+///
+/// # Errors
+///
+/// [`RecordError`] on I/O failure, a malformed record, or a resume
+/// against a record from a different campaign configuration.
+#[allow(clippy::too_many_arguments)] // the CLI's one call site names them all
+pub fn scan_recorded(
+    population: &Population,
+    threads: usize,
+    profile: FaultProfile,
+    seed: u64,
+    obs: &Obs,
+    path: &Path,
+    resume: bool,
+    kill: Option<KillPoint>,
+) -> Result<RecordedScan, RecordError> {
+    let threads = threads.max(1);
+    let total = population.h2_count();
+    let meta = CampaignMeta::describe(population, profile.name, seed);
+
+    let mut preloaded: Vec<CampaignRow> = Vec::new();
+    if resume {
+        let stored = h2campaign::read(path)?;
+        meta.ensure_matches(&stored.meta)?;
+        if stored.finalized {
+            // Nothing to do — surface the stored campaign unchanged.
+            obs.sites_resumed(stored.rows.len() as u64);
+            let records = stored
+                .rows
+                .into_iter()
+                .map(|row| ScanRecord {
+                    index: row.index,
+                    family: row.family,
+                    report: row.report,
+                })
+                .collect();
+            return Ok(RecordedScan::Complete {
+                records,
+                resumed: total,
+            });
+        }
+        preloaded = stored.rows;
+    }
+
+    let slots = Slots::new(total as usize);
+    let mut present = vec![false; total as usize];
+    let resumed = preloaded.len() as u64;
+    for row in preloaded {
+        present[row.index as usize] = true;
+        slots.put(
+            row.index as usize,
+            ScanRecord {
+                index: row.index,
+                family: row.family,
+                report: row.report,
+            },
+        );
+    }
+    obs.sites_resumed(resumed);
+    let writer = if resume {
+        RecordWriter::append_to(path, resumed)?
+    } else {
+        RecordWriter::create(path, &meta)?
+    };
+    let missing: Vec<u64> = (0..total).filter(|&i| !present[i as usize]).collect();
+    let queue = SparseQueue::new(missing);
+    let killed = AtomicBool::new(false);
+    let plan = (!profile.is_none()).then(|| FaultPlan::new(profile, seed));
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            let obs = obs.clone();
+            let (queue, slots, writer, killed, plan) = (&queue, &slots, &writer, &killed, &plan);
+            scope.spawn(move |_| {
+                let scope_tool = H2Scope::new();
+                'claims: while let Some(chunk) = queue.claim() {
+                    for &i in chunk {
+                        if killed.load(Ordering::Relaxed) {
+                            break 'claims;
+                        }
+                        let record =
+                            scan_one(&scope_tool, population, i, plan.as_ref(), seed, &obs);
+                        let row = CampaignRow {
+                            index: record.index,
+                            family: record.family,
+                            report: record.report.clone(),
+                        };
+                        // A record that cannot persist its rows has lost
+                        // its crash-safety contract; stop the campaign.
+                        let written = writer.append(&row).expect("campaign record append");
+                        slots.put(i as usize, record);
+                        if kill.is_some_and(|k| written >= k.after_rows) {
+                            killed.store(true, Ordering::Relaxed);
+                            break 'claims;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("scan workers do not panic");
+    if killed.load(Ordering::Relaxed) {
+        return Ok(RecordedScan::Killed {
+            rows: writer.rows_written(),
+        });
+    }
+    let records = slots.into_vec();
+    let rows: Vec<CampaignRow> = records
+        .iter()
+        .map(|r| CampaignRow {
+            index: r.index,
+            family: r.family,
+            report: r.report.clone(),
+        })
+        .collect();
+    h2campaign::finalize(path, &meta, &rows)?;
+    Ok(RecordedScan::Complete { records, resumed })
 }
 
 /// The scan report's resilience section: outcome histogram plus
@@ -338,7 +507,7 @@ mod tests {
         let (table8, json8) = run(8);
         assert_eq!(table1, table8);
         assert_eq!(json1, json8);
-        assert!(json1.contains("\"schema\": \"h2obs-campaign-v1\""));
+        assert!(json1.contains("\"schema\": \"h2obs-campaign-v2\""));
     }
 
     #[test]

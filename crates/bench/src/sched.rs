@@ -57,6 +57,49 @@ impl WorkQueue {
     }
 }
 
+/// Chunked atomic claiming over an arbitrary (sparse) index list — the
+/// resume path's work queue. A resumed campaign only re-scans the sites
+/// missing from the partial record, which is rarely a contiguous range:
+/// workers were writing rows out of order when the process died. Same
+/// claim discipline as [`WorkQueue`] (one `fetch_add` per [`CHUNK`]),
+/// but over an explicit index list instead of `0..total`.
+#[derive(Debug)]
+pub struct SparseQueue {
+    indices: Vec<u64>,
+    next: AtomicU64,
+}
+
+impl SparseQueue {
+    /// A queue handing out the given indices (claim order = list order).
+    pub fn new(indices: Vec<u64>) -> SparseQueue {
+        SparseQueue {
+            indices,
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// How many indices the queue was created with.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` when the queue was created empty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Claims the next unclaimed slice of at most [`CHUNK`] indices, or
+    /// `None` when the list is exhausted. Slices never overlap.
+    pub fn claim(&self) -> Option<&[u64]> {
+        let start = self.next.fetch_add(CHUNK, Ordering::Relaxed) as usize;
+        if start >= self.indices.len() {
+            return None;
+        }
+        let end = (start + CHUNK as usize).min(self.indices.len());
+        Some(&self.indices[start..end])
+    }
+}
+
 /// Pre-sized, index-addressed result collection.
 ///
 /// Each slot is a [`OnceLock`], so concurrent workers can fill disjoint
@@ -127,6 +170,25 @@ mod tests {
     #[test]
     fn empty_queue_yields_nothing() {
         let queue = WorkQueue::new(0);
+        assert_eq!(queue.claim(), None);
+    }
+
+    #[test]
+    fn sparse_claims_cover_the_list_exactly_once() {
+        let indices: Vec<u64> = (0..217).filter(|i| i % 3 != 0).collect();
+        let queue = SparseQueue::new(indices.clone());
+        assert_eq!(queue.len(), indices.len());
+        let mut claimed = Vec::new();
+        while let Some(chunk) = queue.claim() {
+            claimed.extend_from_slice(chunk);
+        }
+        assert_eq!(claimed, indices);
+    }
+
+    #[test]
+    fn empty_sparse_queue_yields_nothing() {
+        let queue = SparseQueue::new(Vec::new());
+        assert!(queue.is_empty());
         assert_eq!(queue.claim(), None);
     }
 

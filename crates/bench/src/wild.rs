@@ -9,12 +9,32 @@ use h2scope::{ProbeOutcome, ProbeStats, Reaction};
 use webpop::Population;
 
 use crate::scan::{headers_records, ScanRecord};
-use crate::stats::{fmt_count, spark_cdf};
+use crate::stats::{apportion, fmt_count, spark_cdf};
 
-/// Scales a measured count back up to paper scale for side-by-side
-/// comparison.
+/// Scales one *independent* measured count back up to paper scale for
+/// side-by-side comparison. Only for counters that don't share a column
+/// total (adoption funnels, standalone aggregates) — rows that partition
+/// a total go through [`upscaled_rows`], which keeps the column sum
+/// exact.
 fn upscaled(count: usize, scale: f64) -> u64 {
     (count as f64 / scale).round() as u64
+}
+
+/// Upscales a group of rows that partition (a subset of) `total` sites.
+/// Independent per-row rounding lets the upscaled rows drift from the
+/// upscaled total at scale < 1 (each row rounds on its own); instead the
+/// rows — plus an implicit remainder row covering the sites the table
+/// doesn't print — are apportioned against `upscaled(total)` by largest
+/// remainder ([`apportion`]), so printed rows + unprinted remainder sum
+/// exactly to the upscaled column total at every scale.
+fn upscaled_rows(counts: &[u64], total: u64, scale: f64) -> Vec<u64> {
+    let listed: u64 = counts.iter().sum();
+    debug_assert!(listed <= total, "rows exceed their column total");
+    let mut with_remainder = counts.to_vec();
+    with_remainder.push(total.saturating_sub(listed));
+    let mut shares = apportion(&with_remainder, upscaled(total as usize, scale));
+    shares.pop();
+    shares
 }
 
 /// Future work made runnable: a monthly adoption-trend series between
@@ -134,6 +154,7 @@ pub fn table4(records: &[ScanRecord], population: &Population) -> String {
         *counts.entry(family).or_default() += 1;
     }
     let distinct = counts.len();
+    let headers_total: u64 = counts.values().map(|&c| c as u64).sum();
     let mut rows: Vec<(String, usize)> = counts.into_iter().collect();
     rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
@@ -162,15 +183,28 @@ pub fn table4(records: &[ScanRecord], population: &Population) -> String {
         "Server", "measured", "paper-scale", "paper"
     )
     .unwrap();
-    for (name, exp1, exp2) in paper {
-        let measured = rows.iter().find(|(n, _)| n == name).map_or(0, |(_, c)| *c);
+    // The listed families are disjoint slices of the headers-returning
+    // sites, so their paper-scale column is apportioned against the
+    // upscaled headers total rather than rounded row by row.
+    let measured_rows: Vec<u64> = paper
+        .iter()
+        .map(|(name, _, _)| {
+            rows.iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, c)| *c as u64)
+        })
+        .collect();
+    let scaled_rows = upscaled_rows(&measured_rows, headers_total, scale);
+    for (((name, exp1, exp2), measured), scaled) in
+        paper.iter().zip(&measured_rows).zip(scaled_rows)
+    {
         let paper_count = if second { *exp2 } else { *exp1 };
         writeln!(
             out,
             "  {:<22}{:>10}{:>14}{:>10}",
             name,
-            fmt_count(measured as u64),
-            fmt_count(upscaled(measured, scale)),
+            fmt_count(*measured),
+            fmt_count(scaled),
             fmt_count(paper_count)
         )
         .unwrap();
@@ -201,15 +235,25 @@ fn settings_table(
         "Value", "measured", "paper-scale", "paper"
     )
     .unwrap();
-    for (value, exp1, exp2) in paper_rows {
-        let measured = counts.get(value).copied().unwrap_or(0);
+    // Each listed value is a distinct key, so the rows partition (a
+    // subset of) the headers-returning sites: apportion the paper-scale
+    // column so it stays consistent with the upscaled total.
+    let total: u64 = counts.values().map(|&c| c as u64).sum();
+    let measured_rows: Vec<u64> = paper_rows
+        .iter()
+        .map(|(value, _, _)| counts.get(value).copied().unwrap_or(0) as u64)
+        .collect();
+    let scaled_rows = upscaled_rows(&measured_rows, total, scale);
+    for (((value, exp1, exp2), measured), scaled) in
+        paper_rows.iter().zip(&measured_rows).zip(scaled_rows)
+    {
         let paper_count = if second { *exp2 } else { *exp1 };
         writeln!(
             out,
             "  {:<16}{:>10}{:>14}{:>10}",
             render_value(*value),
-            fmt_count(measured as u64),
-            fmt_count(upscaled(measured, scale)),
+            fmt_count(*measured),
+            fmt_count(scaled),
             fmt_count(paper_count)
         )
         .unwrap();
@@ -331,16 +375,24 @@ pub fn flow_control(records: &[ScanRecord], population: &Population) -> String {
         }
     }
     writeln!(out, "  [V-D1] SETTINGS_INITIAL_WINDOW_SIZE = 1:").unwrap();
-    for (label, measured, paper) in [
+    let d1_scaled = upscaled_rows(
+        &[one_byte, zero_len, no_resp],
+        with_headers.len() as u64,
+        scale,
+    );
+    for ((label, measured, paper), scaled) in [
         ("1-byte DATA", one_byte, spec.small_window_one_byte),
         ("zero-length DATA", zero_len, spec.small_window_zero_len),
         ("no response", no_resp, spec.small_window_no_response),
-    ] {
+    ]
+    .into_iter()
+    .zip(d1_scaled)
+    {
         writeln!(
             out,
             "    {label:<18} measured {:>8}  paper-scale {:>9}  paper {:>9}",
             fmt_count(measured),
-            fmt_count(upscaled(measured as usize, scale)),
+            fmt_count(scaled),
             fmt_count(paper)
         )
         .unwrap();
@@ -367,13 +419,23 @@ pub fn flow_control(records: &[ScanRecord], population: &Population) -> String {
                 )
             })
             .count();
-        writeln!(
-            out,
-            "    no-response rows: {} timeout-derived (deadline expired), {} quirk-derived",
-            timeout_derived,
-            (no_resp as usize).saturating_sub(timeout_derived)
-        )
-        .unwrap();
+        // A timeout-derived row is by construction also a no-response
+        // row, so the subtraction cannot underflow — but the previous
+        // `saturating_sub` would have silently printed "0 quirk-derived"
+        // if that invariant ever broke, hiding the accounting bug.
+        // Surface it in the report instead.
+        match no_resp.checked_sub(timeout_derived as u64) {
+            Some(quirk_derived) => writeln!(
+                out,
+                "    no-response rows: {timeout_derived} timeout-derived (deadline expired), {quirk_derived} quirk-derived"
+            )
+            .unwrap(),
+            None => writeln!(
+                out,
+                "    ACCOUNTING ERROR: {timeout_derived} timeout-derived rows exceed the {no_resp} no-response rows observed"
+            )
+            .unwrap(),
+        }
     }
 
     // V-D2: HEADERS at a zero window.
@@ -415,7 +477,12 @@ pub fn flow_control(records: &[ScanRecord], population: &Population) -> String {
         }
     }
     writeln!(out, "  [V-D3] zero WINDOW_UPDATE on a stream:").unwrap();
-    for (label, measured, paper) in [
+    let d3_scaled = upscaled_rows(
+        &[rst, ignored, goaway, debug],
+        with_headers.len() as u64,
+        scale,
+    );
+    for ((label, measured, paper), scaled) in [
         ("RST_STREAM", rst, spec.zero_update_stream.rst),
         ("ignored", ignored, spec.zero_update_stream.ignored),
         ("GOAWAY", goaway, spec.zero_update_stream.goaway),
@@ -424,12 +491,15 @@ pub fn flow_control(records: &[ScanRecord], population: &Population) -> String {
             debug,
             spec.zero_update_stream.goaway_debug,
         ),
-    ] {
+    ]
+    .into_iter()
+    .zip(d3_scaled)
+    {
         writeln!(
             out,
             "    {label:<18} measured {:>8}  paper-scale {:>9}  paper {:>9}",
             fmt_count(measured),
-            fmt_count(upscaled(measured as usize, scale)),
+            fmt_count(scaled),
             fmt_count(paper)
         )
         .unwrap();
@@ -550,16 +620,24 @@ pub fn priority(records: &[ScanRecord], population: &Population) -> String {
         .unwrap();
     }
     writeln!(out, "  self-dependent stream reactions:").unwrap();
-    for (label, measured, paper) in [
+    let self_scaled = upscaled_rows(
+        &[self_rst, self_goaway, self_ignore],
+        with_headers.len() as u64,
+        scale,
+    );
+    for ((label, measured, paper), scaled) in [
         ("RST_STREAM", self_rst, spec.self_dependency.rst),
         ("GOAWAY", self_goaway, spec.self_dependency.goaway),
         ("ignored", self_ignore, spec.self_dependency.ignored),
-    ] {
+    ]
+    .into_iter()
+    .zip(self_scaled)
+    {
         writeln!(
             out,
             "    {label:<20} measured {:>7}  paper-scale {:>8}  paper {:>8}",
             fmt_count(measured),
-            fmt_count(upscaled(measured as usize, scale)),
+            fmt_count(scaled),
             fmt_count(paper)
         )
         .unwrap();
@@ -660,4 +738,113 @@ pub fn hpack_figure(records: &[ScanRecord], population: &Population) -> String {
     )
     .unwrap();
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webpop::ExperimentSpec;
+
+    /// Scales exercised by the consistency tests: the paper's own 1.0
+    /// plus the fractional scales where independent per-row rounding
+    /// used to drift from the rounded column total.
+    const SCALES: [f64; 7] = [1.0, 0.5, 0.25, 0.1, 0.04, 0.01, 0.003];
+
+    /// First number after `key` on the first line of `text` containing
+    /// `marker`, with thousands separators stripped.
+    fn num_after(text: &str, marker: &str, key: &str) -> u64 {
+        let line = text
+            .lines()
+            .find(|l| l.contains(marker))
+            .unwrap_or_else(|| panic!("no line matching {marker:?}"));
+        let rest = line.split(key).nth(1).unwrap_or_else(|| {
+            panic!("no {key:?} on line {line:?}");
+        });
+        let token = rest.split_whitespace().next().expect("value after key");
+        token.replace(',', "").parse().expect("numeric token")
+    }
+
+    /// Every value in the table's paper-scale column, in row order.
+    fn scaled_column(table: &str) -> Vec<u64> {
+        table
+            .lines()
+            .skip(2) // title + column header
+            .filter_map(|l| {
+                let mut fields = l.split_whitespace().rev();
+                let _paper = fields.next()?;
+                Some(fields.next()?.replace(',', "").parse().expect("count"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn upscaled_rows_sum_exactly_when_rows_partition_the_total() {
+        let counts = [317u64, 204, 96, 83];
+        let total: u64 = counts.iter().sum();
+        for scale in SCALES {
+            let shares = upscaled_rows(&counts, total, scale);
+            assert_eq!(
+                shares.iter().sum::<u64>(),
+                upscaled(total as usize, scale),
+                "scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn upscaled_rows_leave_room_for_the_unlisted_remainder() {
+        let counts = [317u64, 204, 96];
+        let total = 700u64; // 83 sites not listed by the table
+        for scale in SCALES {
+            let shares = upscaled_rows(&counts, total, scale);
+            let listed: u64 = shares.iter().sum();
+            let column_total = upscaled(total as usize, scale);
+            assert!(listed <= column_total, "scale {scale}");
+            // The implicit remainder row absorbs exactly the rest.
+            let full = upscaled_rows(&[317, 204, 96, 83], total, scale);
+            assert_eq!(full.iter().sum::<u64>(), column_total, "scale {scale}");
+            // Apportionment stays within one unit of naive rounding.
+            for (share, &count) in shares.iter().zip(&counts) {
+                let naive = upscaled(count as usize, scale);
+                assert!(share.abs_diff(naive) <= 1, "scale {scale}");
+            }
+        }
+    }
+
+    #[test]
+    fn settings_table_scaled_column_sums_to_the_upscaled_headers_total() {
+        // Table V's rows cover every generated value, so its paper-scale
+        // column must sum to the upscaled headers total exactly — the
+        // consistency independent per-row rounding could not guarantee.
+        for scale in [0.05, 0.01, 0.003] {
+            let population = Population::new(ExperimentSpec::first(), scale);
+            let records = crate::scan::scan(&population, 2);
+            let headers = headers_records(&records).len();
+            let column = scaled_column(&table5(&records, &population));
+            assert_eq!(
+                column.iter().sum::<u64>(),
+                upscaled(headers, scale),
+                "scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_no_response_split_accounts_for_every_row() {
+        let population = Population::new(ExperimentSpec::first(), 0.01);
+        let records = crate::scan::scan_faulted(&population, 2, h2fault::FaultProfile::flaky(), 7);
+        let report = flow_control(&records, &population);
+        assert!(
+            !report.contains("ACCOUNTING ERROR"),
+            "timeout-derived rows exceeded observed no-response rows:\n{report}"
+        );
+        assert!(
+            report.contains("no-response rows:"),
+            "faulted split missing"
+        );
+        let no_resp = num_after(&report, "no response", "measured");
+        let timeout_derived = num_after(&report, "no-response rows:", "no-response rows:");
+        let quirk_derived = num_after(&report, "no-response rows:", "(deadline expired),");
+        assert_eq!(timeout_derived + quirk_derived, no_resp);
+    }
 }

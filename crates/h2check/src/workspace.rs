@@ -7,7 +7,7 @@
 //! | `panic` / `index` | non-test code of the five protocol crates (`h2wire`, `h2hpack`, `h2conn`, `h2server`, `h2scope`) |
 //! | `wallclock` | every crate except `bench` (the one consumer of real time) |
 //! | `lockorder` | the thread-sharing modules: `bench::sched`, `h2obs`, `netsim::pipe` |
-//! | `unsafe` | `#![forbid(unsafe_code)]` attestation in the seven protocol-adjacent crates |
+//! | `unsafe` | `#![forbid(unsafe_code)]` attestation in the eight protocol-adjacent crates |
 //! | registries + drift | the spec tables of [`crate::spec`] vs the implementations |
 
 use std::path::{Path, PathBuf};
@@ -23,7 +23,14 @@ pub const PANIC_FREE_CRATES: &[&str] = &["h2wire", "h2hpack", "h2conn", "h2serve
 
 /// Crates that must carry `#![forbid(unsafe_code)]`.
 pub const FORBID_UNSAFE_CRATES: &[&str] = &[
-    "h2wire", "h2hpack", "h2conn", "h2server", "h2scope", "webpop", "h2fault",
+    "h2wire",
+    "h2hpack",
+    "h2conn",
+    "h2server",
+    "h2scope",
+    "webpop",
+    "h2fault",
+    "h2campaign",
 ];
 
 /// Modules whose lock acquisitions feed the lock-order graph.

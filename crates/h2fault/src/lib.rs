@@ -435,6 +435,42 @@ impl FaultPlan {
     }
 }
 
+/// A deterministic mid-campaign crash, for exercising the persistence
+/// layer's resume path: once `after_rows` per-site records have been
+/// durably appended to the campaign record, the scan stops claiming work
+/// and the process abandons the campaign *without* finalizing it — the
+/// same on-disk state a `kill -9` leaves behind, minus the timing races.
+/// Pairing a kill point with `--resume` lets tests and CI verify the
+/// resume invariant (final record byte-identical to an uninterrupted
+/// run) without actually killing anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillPoint {
+    /// Stop claiming new sites once this many rows are persisted.
+    pub after_rows: u64,
+}
+
+impl KillPoint {
+    /// A kill point firing after `n` persisted rows.
+    pub fn after(n: u64) -> KillPoint {
+        KillPoint { after_rows: n }
+    }
+
+    /// Three seeded kill points spread across a campaign of `total`
+    /// sites — early, midway, and one row short of complete — the spots
+    /// where resume bookkeeping is most likely to be wrong. `seed`
+    /// perturbs the early point so different campaigns don't all crash
+    /// on the same row.
+    pub fn seeded(total: u64, seed: u64) -> [KillPoint; 3] {
+        let early_max = (total / 4).max(1);
+        let early = 1 + splitmix64(seed ^ 0x4b11) % early_max;
+        [
+            KillPoint::after(early),
+            KillPoint::after((total / 2).max(1)),
+            KillPoint::after(total.saturating_sub(1).max(1)),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

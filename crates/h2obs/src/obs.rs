@@ -116,6 +116,9 @@ pub struct MetricsRegistry {
     pub site_latency: Histogram,
     /// Sites fully surveyed.
     pub sites_finished: AtomicU64,
+    /// Sites whose reports were preloaded from a persisted campaign
+    /// record instead of being scanned (`repro --resume`).
+    pub sites_resumed: AtomicU64,
 }
 
 impl Default for MetricsRegistry {
@@ -143,6 +146,7 @@ impl MetricsRegistry {
             probe_latency: std::array::from_fn(|_| Histogram::new()),
             site_latency: Histogram::new(),
             sites_finished: AtomicU64::new(0),
+            sites_resumed: AtomicU64::new(0),
         }
     }
 }
@@ -387,6 +391,17 @@ impl Obs {
         }
     }
 
+    /// Records `n` sites restored from a persisted campaign record
+    /// rather than scanned. Resumed sites deliberately do **not** count
+    /// as surveyed (`finish_site`): their latency was spent by the
+    /// process that died, not this one, so folding them into the
+    /// histograms would make resumed and uninterrupted runs disagree.
+    pub fn sites_resumed(&self, n: u64) {
+        if let Some(shared) = &self.inner {
+            shared.metrics.sites_resumed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Takes a campaign snapshot, or `None` when the handle is off.
     /// Traces are sorted by site index so the result is independent of
     /// worker scheduling.
@@ -414,6 +429,7 @@ impl Obs {
                 .collect(),
             site_latency: m.site_latency.snapshot(),
             sites_finished: m.sites_finished.load(Ordering::Relaxed),
+            sites_resumed: m.sites_resumed.load(Ordering::Relaxed),
             traces,
         })
     }
@@ -452,6 +468,8 @@ pub struct CampaignSnapshot {
     pub site_latency: HistogramSnapshot,
     /// Sites fully surveyed.
     pub sites_finished: u64,
+    /// Sites preloaded from a persisted record (`repro --resume`).
+    pub sites_resumed: u64,
     /// Frame-level traces for sites under the `--trace-sites` limit,
     /// sorted by site index.
     pub traces: Vec<SiteTrace>,

@@ -49,6 +49,13 @@ pub fn render_table(snap: &CampaignSnapshot) -> String {
     out.push_str(TABLE_MARKER);
     out.push('\n');
     let _ = writeln!(out, "sites surveyed        {}", snap.sites_finished);
+    if snap.sites_resumed > 0 {
+        let _ = writeln!(
+            out,
+            "sites resumed         {} (preloaded from the campaign record)",
+            snap.sites_resumed
+        );
+    }
     let _ = writeln!(out, "connections opened    {}", snap.conns_opened);
     let _ = writeln!(
         out,
@@ -156,8 +163,9 @@ fn json_hist(h: &HistogramSnapshot) -> String {
 /// so the output is byte-identical at any worker thread count.
 pub fn render_json(snap: &CampaignSnapshot) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"h2obs-campaign-v1\",\n");
+    out.push_str("{\n  \"schema\": \"h2obs-campaign-v2\",\n");
     let _ = writeln!(out, "  \"sites_finished\": {},", snap.sites_finished);
+    let _ = writeln!(out, "  \"sites_resumed\": {},", snap.sites_resumed);
     let _ = writeln!(out, "  \"conns_opened\": {},", snap.conns_opened);
     let _ = writeln!(
         out,
@@ -270,7 +278,8 @@ mod tests {
         let a = render_json(&snap);
         let b = render_json(&snap);
         assert_eq!(a, b);
-        assert!(a.contains("\"schema\": \"h2obs-campaign-v1\""));
+        assert!(a.contains("\"schema\": \"h2obs-campaign-v2\""));
+        assert!(a.contains("\"sites_resumed\": 0"));
         assert!(a.contains("\"client_sent\":{\"SETTINGS\":1}"));
         assert!(a.contains("\"ev\":\"retry\""));
         // Balanced braces as a cheap well-formedness proxy.
@@ -280,6 +289,26 @@ mod tests {
         let sq_open = a.matches('[').count();
         let sq_close = a.matches(']').count();
         assert_eq!(sq_open, sq_close);
+    }
+
+    #[test]
+    fn resumed_sites_render_in_table_and_json() {
+        let obs = Obs::campaign(0);
+        let site = obs.for_site(0);
+        site.conn_opened();
+        site.finish_site();
+        obs.sites_resumed(41);
+        let snap = obs.snapshot().expect("on");
+        assert_eq!(snap.sites_resumed, 41);
+        let table = render_table(&snap);
+        assert!(table.contains("sites resumed         41"));
+        assert!(render_json(&snap).contains("\"sites_resumed\": 41,"));
+        // The resumed line is elided entirely on non-resumed campaigns,
+        // keeping pre-resume table output byte-stable.
+        let fresh = Obs::campaign(0);
+        fresh.for_site(0).finish_site();
+        let fresh_table = render_table(&fresh.snapshot().expect("on"));
+        assert!(!fresh_table.contains("sites resumed"));
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub use client::{ProbeConn, TimedFrame};
 pub use h2obs::{Obs, ProbeKind};
 pub use probes::Reaction;
 pub use report::{ServerCharacterization, SiteReport};
-pub use resilient::{survey_with_retries, FaultLog, ProbeFailure, ProbeOutcome, ProbeStats};
+pub use resilient::{
+    survey_with_retries, FaultLog, ProbeFailure, ProbeOutcome, ProbeStats, MAX_RETRY_BACKOFF,
+};
 pub use scope::{H2Scope, ScopeConfig};
 pub use target::testbed;
 pub use target::Target;

@@ -125,6 +125,15 @@ impl FaultLog {
     }
 }
 
+/// Hard ceiling on a single retry pause, regardless of what the
+/// [`RetryPolicy`] asks for. A policy is campaign input (profiles are
+/// user-configurable), so a degenerate budget — huge base, huge
+/// multiplier, `max_backoff` near `u64::MAX` — must not be able to
+/// overflow the per-site backoff accounting or stall a scan for
+/// simulated centuries. One minute per pause is already far beyond any
+/// useful scan patience.
+pub const MAX_RETRY_BACKOFF: SimDuration = SimDuration::from_secs(60);
+
 /// Surveys a site with bounded retries: `target_for_attempt(n)` supplies
 /// the (possibly re-impaired) target for attempt `n`; a survey whose
 /// fault log stayed empty is accepted, otherwise the next attempt starts
@@ -153,8 +162,8 @@ pub fn survey_with_retries(
             break;
         }
         if attempt + 1 < max_attempts {
-            let pause = policy.backoff(attempt + 1, seed);
-            backoff = backoff + pause;
+            let pause = policy.backoff(attempt + 1, seed).min(MAX_RETRY_BACKOFF);
+            backoff = backoff.saturating_add(pause);
             // Retry telemetry: attempt numbers are 1-based (the retry that
             // is about to run), stamped at the accumulated backoff offset.
             target
@@ -293,6 +302,47 @@ mod tests {
             patient_target(profile.clone())
         });
         assert_eq!(report.probe.outcome, ProbeOutcome::Timeout);
+    }
+
+    #[test]
+    fn degenerate_retry_budget_cannot_overflow_backoff() {
+        // Regression: the backoff accumulator used unchecked `+` and no
+        // per-pause ceiling, so a pathological policy (the budget
+        // boundary: every field maxed) overflowed u64 nanoseconds after a
+        // handful of retries. Every pause must clamp to
+        // MAX_RETRY_BACKOFF and the total must saturate, not wrap.
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            base_backoff: SimDuration::from_nanos(u64::MAX / 2),
+            multiplier: u32::MAX,
+            max_backoff: SimDuration::from_nanos(u64::MAX),
+        };
+        let scope = H2Scope::new();
+        let report = survey_with_retries(&scope, policy, 9, |_| {
+            let mut target = patient_target(ServerProfile::nginx());
+            target.pipe_faults = PipeFaults {
+                stall_after_bytes: Some(0),
+                ..PipeFaults::none()
+            };
+            target
+        });
+        assert_eq!(report.probe.outcome, ProbeOutcome::GaveUpAfterRetries);
+        assert_eq!(report.probe.attempts, 16);
+        // 15 pauses, each clamped: the total is bounded and non-zero.
+        assert!(report.probe.backoff > SimDuration::ZERO);
+        assert!(report.probe.backoff <= MAX_RETRY_BACKOFF.saturating_mul(15));
+    }
+
+    #[test]
+    fn standard_policy_pauses_are_unaffected_by_the_clamp() {
+        // The documented ceiling sits far above RetryPolicy::standard()'s
+        // own 8 s cap, so existing campaigns keep their exact timings.
+        let policy = RetryPolicy::standard();
+        for retry in 1..=8 {
+            for seed in [0u64, 9, 0xfa17] {
+                assert!(policy.backoff(retry, seed) < MAX_RETRY_BACKOFF);
+            }
+        }
     }
 
     #[test]

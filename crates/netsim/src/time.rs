@@ -50,6 +50,13 @@ impl SimDuration {
     pub fn saturating_mul(self, k: u64) -> SimDuration {
         SimDuration(self.0.saturating_mul(k))
     }
+
+    /// Saturating add — for accumulators fed by unbounded inputs (retry
+    /// backoff totals, fault budgets), where `u64::MAX` nanoseconds is a
+    /// better answer than a wrap or a panic.
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
 }
 
 impl Add for SimDuration {
@@ -134,6 +141,16 @@ mod tests {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
         assert_eq!(SimDuration::from_micros(5).as_nanos(), 5_000);
         assert!((SimDuration::from_millis(2).as_millis_f64() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        let max = SimDuration::from_nanos(u64::MAX);
+        assert_eq!(max.saturating_add(SimDuration::from_secs(1)), max);
+        assert_eq!(
+            SimDuration::from_millis(1).saturating_add(SimDuration::from_millis(2)),
+            SimDuration::from_millis(3)
+        );
     }
 
     #[test]

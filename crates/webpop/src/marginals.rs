@@ -106,6 +106,41 @@ pub enum Family {
     Tail,
 }
 
+impl Family {
+    /// Every family, in Table IV order (tail last).
+    pub const ALL: [Family; 8] = [
+        Family::Litespeed,
+        Family::Nginx,
+        Family::Gse,
+        Family::Tengine,
+        Family::CloudflareNginx,
+        Family::IdeaWeb,
+        Family::TengineAserver,
+        Family::Tail,
+    ];
+
+    /// Stable short code used in persisted campaign records. Codes are
+    /// part of the `h2campaign-v1` on-disk schema: renaming one is a
+    /// format break and requires a schema bump.
+    pub fn code(self) -> &'static str {
+        match self {
+            Family::Litespeed => "litespeed",
+            Family::Nginx => "nginx",
+            Family::Gse => "gse",
+            Family::Tengine => "tengine",
+            Family::CloudflareNginx => "cf-nginx",
+            Family::IdeaWeb => "ideaweb",
+            Family::TengineAserver => "tengine-aserver",
+            Family::Tail => "tail",
+        }
+    }
+
+    /// Inverse of [`Family::code`].
+    pub fn parse_code(code: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.code() == code)
+    }
+}
+
 /// Table IV (plus the residual tail so each column sums to the
 /// experiment's headers-returning site count).
 pub const FAMILIES: &[(Family, u64, u64)] = &[
@@ -219,5 +254,17 @@ mod tests {
             let u = i as f64 / 500.0;
             let _ = draw_non_null(MAX_HEADER_LIST_SIZE, true, u);
         }
+    }
+
+    #[test]
+    fn family_codes_round_trip_and_are_distinct() {
+        for family in Family::ALL {
+            assert_eq!(Family::parse_code(family.code()), Some(family));
+        }
+        let mut codes: Vec<&str> = Family::ALL.iter().map(|f| f.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), Family::ALL.len());
+        assert_eq!(Family::parse_code("apache"), None);
     }
 }

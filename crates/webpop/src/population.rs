@@ -480,8 +480,17 @@ impl Population {
         };
     }
 
+    /// The site's stable, campaign-independent identity. Hostnames derive
+    /// from the site's rank in the (shared) top-1M list — not from the
+    /// campaign generation — so persisted records from different
+    /// campaigns can be joined site-by-site, which is what the paper's
+    /// Jul-2016 → Jan-2017 longitudinal comparison does.
+    pub fn authority(i: u64) -> String {
+        format!("site-{i}.top1m")
+    }
+
     fn site_spec(&self, i: u64, push_site: bool, rng: &mut StdRng) -> SiteSpec {
-        let mut site = SiteSpec::new(format!("site-{i}.{}", self.spec.name));
+        let mut site = SiteSpec::new(Population::authority(i));
         let page_size = rng.gen_range(8_192..=30_000);
         site.add(Resource::synthetic("/", "text/html", page_size));
         let body = big_body();
