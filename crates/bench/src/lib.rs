@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod abuse;
 pub mod figures;
 pub mod scan;
 pub mod sched;

@@ -26,6 +26,16 @@
 //!   diff A B     longitudinal diff of two finalized campaign records
 //!                (regenerates the Jul. 2016 → Jan. 2017 comparison from
 //!                disk alone — no rescan)
+//!   abuse        §VI        mixed benign+attack campaign: robustness
+//!                matrix, per-vector defense counts, detector confusion
+//!                matrix; writes ABUSE_campaign.json (schema h2attack-v1)
+//!
+//! ABUSE CAMPAIGNS
+//!   --vectors A,B,...  restrict the attack rotation (names: rapid-reset,
+//!                      continuation-flood, slow-read, slow-post,
+//!                      settings-flood, table-thrash, priority-churn;
+//!                      default all)
+//!   --mix B:A          benign:attack traffic shares (default 3:1)
 //!
 //! FAULT CAMPAIGNS
 //!   --faults PROFILE   scan under impairments: none, lossy, jittery,
@@ -65,7 +75,7 @@ use std::time::Instant;
 use h2fault::{FaultProfile, KillPoint};
 use h2obs::Obs;
 use h2ready_bench::scan::RecordedScan;
-use h2ready_bench::{figures, scan, tables, wild};
+use h2ready_bench::{abuse, figures, scan, tables, wild};
 use webpop::{ExperimentSpec, Population};
 
 struct Options {
@@ -79,6 +89,8 @@ struct Options {
     seed: u64,
     metrics: bool,
     trace_sites: u64,
+    vectors: Vec<h2attack::AttackVector>,
+    mix: (u64, u64),
     record: Option<PathBuf>,
     resume: Option<PathBuf>,
     kill_after: Option<u64>,
@@ -95,6 +107,8 @@ fn parse_args() -> Options {
     let mut seed = 0u64;
     let mut metrics = false;
     let mut trace_sites = 0u64;
+    let mut vectors = h2attack::AttackVector::ALL.to_vec();
+    let mut mix = (3u64, 1u64);
     let mut record: Option<PathBuf> = None;
     let mut resume: Option<PathBuf> = None;
     let mut kill_after: Option<u64> = None;
@@ -147,6 +161,43 @@ fn parse_args() -> Options {
                 });
                 metrics = true;
             }
+            "--vectors" => {
+                let list = args.next().unwrap_or_default();
+                vectors = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|name| {
+                        h2attack::AttackVector::parse(name.trim()).unwrap_or_else(|| {
+                            eprintln!(
+                                "unknown attack vector {name:?}; known vectors: {}",
+                                h2attack::AttackVector::ALL
+                                    .iter()
+                                    .map(|v| v.name())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            );
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                if vectors.is_empty() {
+                    eprintln!("--vectors needs at least one vector name");
+                    std::process::exit(2);
+                }
+            }
+            "--mix" => {
+                let spec = args.next().unwrap_or_default();
+                let parsed = spec
+                    .split_once(':')
+                    .and_then(|(b, a)| Some((b.trim().parse().ok()?, a.trim().parse().ok()?)));
+                mix = match parsed {
+                    Some((b, a)) if b + a > 0 => (b, a),
+                    _ => {
+                        eprintln!("--mix needs BENIGN:ATTACK shares, e.g. 3:1");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--record" => {
                 record = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--record needs a file path");
@@ -172,7 +223,7 @@ fn parse_args() -> Options {
                 })));
             }
             "--help" | "-h" => {
-                println!("see crate docs: repro [COMMAND] [--scale S] [--exp 1|2|both] [--threads N] [--loads L] [--faults PROFILE] [--seed N] [--metrics] [--trace-sites N] [--record PATH | --resume PATH] [--kill-after N] [--out-dir DIR] | repro diff A B");
+                println!("see crate docs: repro [COMMAND] [--scale S] [--exp 1|2|both] [--threads N] [--loads L] [--faults PROFILE] [--seed N] [--metrics] [--trace-sites N] [--record PATH | --resume PATH] [--kill-after N] [--out-dir DIR] | repro diff A B | repro abuse [--vectors A,B] [--mix B:A]");
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => positionals.push(other.to_string()),
@@ -202,6 +253,8 @@ fn parse_args() -> Options {
         seed,
         metrics,
         trace_sites,
+        vectors,
+        mix,
         record,
         resume,
         kill_after,
@@ -265,6 +318,45 @@ fn run_diff(options: &Options) -> ! {
     std::process::exit(0);
 }
 
+/// `repro abuse`: the §VI mixed benign+attack campaign — robustness
+/// matrix, per-vector defense counts, detector confusion matrix, plus
+/// the machine-readable `ABUSE_campaign.json`.
+fn run_abuse(options: &Options) -> ! {
+    let abuse_options = abuse::AbuseOptions {
+        vectors: options.vectors.clone(),
+        benign_share: options.mix.0,
+        attack_share: options.mix.1,
+        seed: options.seed,
+        scale: options.scale,
+        threads: options.threads,
+    };
+    println!(
+        "repro: command=abuse scale={} threads={} seed={} mix={}:{}\n",
+        abuse_options.scale,
+        abuse_options.threads,
+        abuse_options.seed,
+        abuse_options.benign_share,
+        abuse_options.attack_share
+    );
+    let started = Instant::now();
+    let campaign = abuse::run_campaign(&abuse_options);
+    eprintln!(
+        "[abuse] ran {} connections in {:.1}s",
+        campaign.outcomes.len(),
+        started.elapsed().as_secs_f64()
+    );
+    println!("{}", abuse::render_report(&campaign));
+    let path = resolve(options.out_dir.as_deref(), Path::new("ABUSE_campaign.json"));
+    match std::fs::write(&path, abuse::render_json(&abuse_options, &campaign)) {
+        Ok(()) => eprintln!("[abuse] wrote {}", path.display()),
+        Err(err) => {
+            eprintln!("[abuse] failed to write {}: {err}", path.display());
+            std::process::exit(2);
+        }
+    }
+    std::process::exit(0);
+}
+
 fn needs_scan(command: &str) -> bool {
     matches!(
         command,
@@ -294,6 +386,9 @@ fn main() {
     }
     if command == "diff" {
         run_diff(&options);
+    }
+    if command == "abuse" {
+        run_abuse(&options);
     }
     println!(
         "repro: command={command} scale={} threads={}\n",

@@ -657,6 +657,17 @@ fn predict(action: QuirkAction, on_stream: bool, debug: bool) -> Reaction {
     }
 }
 
+/// The reaction the abuse-hardening matrix predicts for a volumetric
+/// probe: a configured budget/cap/timeout tears the connection down
+/// with an explanatory GOAWAY; no limit means the abuse is absorbed.
+fn predict_abuse(limit_configured: bool) -> Reaction {
+    if limit_configured {
+        Reaction::GoawayWithDebug
+    } else {
+        Reaction::Ignored
+    }
+}
+
 fn check_dynamic_quirks(report: &mut Report) {
     const FILE: &str = "crates/h2server/src/profiles.rs";
     let mut total = 0;
@@ -727,6 +738,38 @@ fn check_dynamic_quirks(report: &mut Report) {
                 "ping.supported",
                 format!("{}", probes::ping::probe(&target, 1).supported),
                 format!("{}", b.ping),
+            ),
+            (
+                "abuse.rst_rate",
+                format!("{:?}", probes::abuse::rst_rate(&target)),
+                format!("{:?}", predict_abuse(b.rst_rate_limit.is_some())),
+            ),
+            (
+                "abuse.settings_rate",
+                format!("{:?}", probes::abuse::settings_rate(&target)),
+                format!("{:?}", predict_abuse(b.settings_rate_limit.is_some())),
+            ),
+            (
+                "abuse.continuation_bound",
+                format!("{:?}", probes::abuse::continuation_bound(&target)),
+                format!("{:?}", predict_abuse(b.continuation_cap.is_some())),
+            ),
+            (
+                "abuse.stalled_stream",
+                format!("{:?}", probes::abuse::stalled_stream(&target)),
+                format!("{:?}", predict_abuse(b.stall_timeout.is_some())),
+            ),
+            (
+                "abuse.header_list_bound",
+                format!("{:?}", probes::abuse::header_list_bound(&target)),
+                format!(
+                    "{:?}",
+                    if b.header_list_limit.is_some() {
+                        predict(b.oversized_header_list, true, false)
+                    } else {
+                        Reaction::Ignored
+                    }
+                ),
             ),
         ];
         for (what, observed, predicted) in checks {

@@ -522,7 +522,7 @@ use RuleBasis::{Modeling, Spec};
 
 /// Every spec rule the workspace's quirk matrices and probe
 /// classifiers are allowed to cite.
-pub const RULES: [Rule; 18] = [
+pub const RULES: [Rule; 23] = [
     rule(
         "stream-states",
         Spec("5.1"),
@@ -613,6 +613,31 @@ pub const RULES: [Rule; 18] = [
         Spec("3.2"),
         "cleartext h2 starts with an HTTP/1.1 Upgrade",
     ),
+    rule(
+        "rst-rate",
+        Spec("10.5"),
+        "an endpoint may police abusive RST_STREAM churn",
+    ),
+    rule(
+        "settings-rate",
+        Spec("10.5"),
+        "an endpoint may police SETTINGS frames extorting acks",
+    ),
+    rule(
+        "continuation-cap",
+        Spec("10.5"),
+        "an endpoint may cap an unbounded header block",
+    ),
+    rule(
+        "abuse-timeout",
+        Spec("10.5"),
+        "an endpoint may reap connections stalled past patience",
+    ),
+    rule(
+        "max-header-list-size",
+        Spec("10.5.1"),
+        "a header list above the limit should be a stream error",
+    ),
 ];
 
 /// The `modeling` pseudo-rule id used by quirks that shape the testbed
@@ -660,6 +685,12 @@ pub const QUIRK_RULES: &[(&str, &str)] = &[
     ("h2c_upgrade", "h2c-upgrade"),
     ("honor_peer_header_table_size", "header-table-size"),
     ("byzantine", "modeling"),
+    ("rst_rate_limit", "rst-rate"),
+    ("settings_rate_limit", "settings-rate"),
+    ("continuation_cap", "continuation-cap"),
+    ("stall_timeout", "abuse-timeout"),
+    ("header_list_limit", "max-header-list-size"),
+    ("oversized_header_list", "max-header-list-size"),
 ];
 
 /// Every public probe entry point in `h2scope::probes` (functions
@@ -695,6 +726,21 @@ pub const PROBE_RULES: &[(&str, &[&str])] = &[
     ("priority::self_dependency", &["self-dependency"]),
     ("push::probe", &["push"]),
     ("settings::probe", &["settings-bounds"]),
+    ("abuse::rst_rate", &["rst-rate"]),
+    ("abuse::settings_rate", &["settings-rate"]),
+    ("abuse::continuation_bound", &["continuation-cap"]),
+    ("abuse::stalled_stream", &["abuse-timeout"]),
+    ("abuse::header_list_bound", &["max-header-list-size"]),
+    (
+        "abuse::probe",
+        &[
+            "rst-rate",
+            "settings-rate",
+            "continuation-cap",
+            "abuse-timeout",
+            "max-header-list-size",
+        ],
+    ),
 ];
 
 #[cfg(test)]

@@ -43,9 +43,9 @@ fn cross_validation_counts_are_pinned() {
         "§6 frame rules: 10/10",
         "§7 error taxonomy: 9/9",
         "settings bounds: 10/10 boundary probes, 7/7 profile announcements",
-        "quirk registry: 25/25",
-        "probe registry: 17/17",
-        "dynamic quirks: 63/63",
+        "quirk registry: 31/31",
+        "probe registry: 23/23",
+        "dynamic quirks: 98/98",
     ] {
         assert!(
             drift.contains(expected),

@@ -81,6 +81,16 @@ impl HeaderAssembler {
         self.pending.is_some()
     }
 
+    /// Octets accumulated so far in the open block (0 when idle).
+    ///
+    /// RFC 7540 never bounds a header block: a peer may stream
+    /// CONTINUATION fragments forever while the receiver buffers them
+    /// (the CONTINUATION-flood vector). Policy layers read this to decide
+    /// when to give up on an unbounded block.
+    pub fn accumulated(&self) -> usize {
+        self.pending.as_ref().map_or(0, |p| p.block.fragment.len())
+    }
+
     /// Starts a block from an initiating HEADERS/PUSH_PROMISE frame.
     ///
     /// # Errors

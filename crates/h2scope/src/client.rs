@@ -120,6 +120,13 @@ impl ProbeConn {
         self.pipe.now()
     }
 
+    /// Advances the virtual clock without sending traffic (think
+    /// `sleep`). Abuse probes use this to model a client that goes
+    /// quiet mid-request and waits out the server's patience.
+    pub fn advance(&mut self, d: netsim::time::SimDuration) {
+        self.pipe.advance(d);
+    }
+
     /// Access to the server under probe (testbed-mode inspection).
     pub fn server(&self) -> &H2Server {
         self.pipe.server()
@@ -170,6 +177,44 @@ impl ProbeConn {
             priority,
             pad_len: None,
         }));
+        len
+    }
+
+    /// Encodes `headers` through the connection's HPACK context and
+    /// sends the block as HEADERS plus however many CONTINUATION frames
+    /// the fragment needs (split at 16 000 octets, under the default
+    /// SETTINGS_MAX_FRAME_SIZE). Returns the total block size in octets.
+    ///
+    /// Unlike [`ProbeConn::get`] this takes an arbitrary header list, so
+    /// probes can build oversized lists (SETTINGS_MAX_HEADER_LIST_SIZE
+    /// probing) or bodied requests (slow-POST) on any stream.
+    pub fn send_header_block(
+        &mut self,
+        stream: u32,
+        headers: &[Header],
+        end_stream: bool,
+    ) -> usize {
+        const FRAGMENT: usize = 16_000;
+        let block: Bytes = self.hpack_encoder.encode_block(headers).into();
+        let len = block.len();
+        let mut offset = len.min(FRAGMENT);
+        self.send(Frame::Headers(HeadersFrame {
+            stream_id: StreamId::new(stream),
+            fragment: block.slice(..offset),
+            end_stream,
+            end_headers: offset == len,
+            priority: None,
+            pad_len: None,
+        }));
+        while offset < len {
+            let next = len.min(offset + FRAGMENT);
+            self.send(Frame::Continuation(h2wire::ContinuationFrame {
+                stream_id: StreamId::new(stream),
+                fragment: block.slice(offset..next),
+                end_headers: next == len,
+            }));
+            offset = next;
+        }
         len
     }
 

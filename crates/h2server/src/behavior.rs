@@ -142,6 +142,39 @@ pub struct ServerBehavior {
     /// Injected byzantine misbehavior (fault campaigns only; `None` for
     /// every testbed profile). See [`h2fault::ByzantineSpec`].
     pub byzantine: Option<ByzantineSpec>,
+    // ----- abuse-hardening quirks (robustness matrix, §VI) --------------
+    //
+    // RFC 7540 §10.5 only *permits* an endpoint to treat excessive
+    // resource demand as ENHANCE_YOUR_CALM; it mandates nothing. Whether
+    // a server bounds RST churn, CONTINUATION growth, SETTINGS floods or
+    // stalled windows is therefore an implementation quirk exactly like
+    // the Table III reactions — and the robustness probes re-measure it.
+    /// Client RST_STREAM budget per connection: once exceeded the server
+    /// sends GOAWAY(ENHANCE_YOUR_CALM). `None` = unbounded churn allowed
+    /// (the rapid-reset exposure).
+    pub rst_rate_limit: Option<u32>,
+    /// Non-ack SETTINGS budget per connection, each of which costs the
+    /// server an ack. `None` = unbounded (the SETTINGS-flood exposure).
+    pub settings_rate_limit: Option<u32>,
+    /// Cap on the octets buffered for one in-progress header block across
+    /// HEADERS + CONTINUATION fragments; exceeding it tears the
+    /// connection down. `None` = unbounded assembly (the
+    /// CONTINUATION-flood exposure; §4.3 never bounds a block).
+    pub continuation_cap: Option<u32>,
+    /// How long a response may sit flow-control-blocked (or a request
+    /// body may trickle) before the server gives up on the connection
+    /// with GOAWAY(ENHANCE_YOUR_CALM). `None` = waits forever (the
+    /// slow-read / slow-POST exposure).
+    pub stall_timeout: Option<SimDuration>,
+    /// Bound on a received request header list, measured as RFC 7540
+    /// §6.5.2 defines `SETTINGS_MAX_HEADER_LIST_SIZE` (name + value + 32
+    /// per field). Enforced internally rather than announced, matching
+    /// the advisory nature of the setting. `None` = unbounded.
+    pub header_list_limit: Option<u32>,
+    /// Reaction when [`ServerBehavior::header_list_limit`] is exceeded
+    /// (§10.5.1 leaves the choice open: stream error or connection
+    /// error). Meaningless while the limit is `None`.
+    pub oversized_header_list: QuirkAction,
 }
 
 impl ServerBehavior {
@@ -176,6 +209,15 @@ impl ServerBehavior {
             h2c_upgrade: true,
             honor_peer_header_table_size: false,
             byzantine: None,
+            // The reference endpoint implements RFC 7540 and nothing
+            // more: the spec requires none of the abuse bounds, so the
+            // reference has none — itself a row of the robustness matrix.
+            rst_rate_limit: None,
+            settings_rate_limit: None,
+            continuation_cap: None,
+            stall_timeout: None,
+            header_list_limit: None,
+            oversized_header_list: QuirkAction::Ignore,
         }
     }
 
@@ -207,6 +249,21 @@ mod tests {
         assert_eq!(b.self_dependency, QuirkAction::RstStream);
         assert!(b.hpack_index_responses);
         assert!(b.ping);
+    }
+
+    #[test]
+    fn rfc_reference_has_no_abuse_hardening() {
+        // RFC 7540 mandates none of the abuse bounds (§10.5 is entirely
+        // permissive), so the reference column of the robustness matrix
+        // is all "no" — the finding that conformance alone does not
+        // imply robustness.
+        let b = ServerBehavior::rfc7540();
+        assert_eq!(b.rst_rate_limit, None);
+        assert_eq!(b.settings_rate_limit, None);
+        assert_eq!(b.continuation_cap, None);
+        assert_eq!(b.stall_timeout, None);
+        assert_eq!(b.header_list_limit, None);
+        assert_eq!(b.oversized_header_list, QuirkAction::Ignore);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 // h2check: allow-file(index) — queue indices bounded by the scan loops; byte offsets length-checked
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -30,6 +30,14 @@ fn find_double_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// `true` when a request head announces a body (POST/PUT-style methods);
+/// such requests are answered only after END_STREAM.
+fn has_request_body(headers: &[Header]) -> bool {
+    headers
+        .iter()
+        .any(|h| h.name == ":method" && h.value != "GET" && h.value != "HEAD")
+}
+
 #[derive(Debug)]
 struct QueuedResponse {
     stream: StreamId,
@@ -41,6 +49,18 @@ struct QueuedResponse {
     seq: u64,
     /// A zero-length DATA marker has been emitted while blocked.
     sent_zero_marker: bool,
+    /// Virtual time the response was queued — the stall-timeout clock.
+    enqueued_at: SimTime,
+}
+
+/// A request whose body has not finished arriving (slow-POST tracking):
+/// the response is deferred until END_STREAM, and the held state is
+/// exactly what the attack pins.
+#[derive(Debug)]
+struct PendingPost {
+    headers: Vec<Header>,
+    /// Virtual time the request head arrived — the stall-timeout clock.
+    started: SimTime,
 }
 
 impl QueuedResponse {
@@ -95,6 +115,16 @@ pub struct H2Server {
     /// place (reusing each `String`'s capacity) instead of allocating a
     /// fresh list per response.
     hdr_pool: Vec<Vec<Header>>,
+    /// Latest virtual time observed from the transport (drives the
+    /// stall-timeout quirk; frozen at ZERO until traffic arrives).
+    now: SimTime,
+    /// Client RST_STREAM frames received (rapid-reset accounting).
+    rst_seen: u32,
+    /// Non-ack SETTINGS frames received (SETTINGS-flood accounting).
+    settings_seen: u32,
+    /// Requests whose bodies are still arriving, by stream id (BTreeMap
+    /// for deterministic sweep order).
+    pending_posts: BTreeMap<u32, PendingPost>,
 }
 
 impl H2Server {
@@ -140,6 +170,10 @@ impl H2Server {
             reset_pending: false,
             frame_scratch: Vec::new(),
             hdr_pool: Vec::new(),
+            now: SimTime::ZERO,
+            rst_seen: 0,
+            settings_seen: 0,
+            pending_posts: BTreeMap::new(),
         }
     }
 
@@ -198,6 +232,17 @@ impl H2Server {
     /// table (the HPACK memory-pressure metric).
     pub fn encoder_table_octets(&self) -> u64 {
         u64::from(self.core.hpack_encoder().table().size())
+    }
+
+    /// Requests whose bodies have not finished arriving — the state a
+    /// slow-POST attacker pins (header lists held per open request).
+    pub fn pending_request_count(&self) -> usize {
+        self.pending_posts.len()
+    }
+
+    /// Client RST_STREAM frames seen so far (rapid-reset accounting).
+    pub fn rst_frames_seen(&self) -> u32 {
+        self.rst_seen
     }
 
     fn goaway(&mut self, code: ErrorCode, debug: Option<&str>, out: &mut Vec<Frame>) {
@@ -360,8 +405,33 @@ impl H2Server {
             offset: 0,
             seq: self.next_seq,
             sent_zero_marker: false,
+            enqueued_at: self.now,
         });
         self.queue.sort_by_key(|q| q.seq);
+    }
+
+    /// The stall-timeout quirk: a server that reaps connections whose
+    /// responses have sat flow-control-blocked (or whose request bodies
+    /// have trickled) past its patience. Checked whenever traffic gives
+    /// the engine a chance to observe the clock — which is exactly how
+    /// event-driven servers implement it.
+    fn check_stalls(&mut self, out: &mut Vec<Frame>) {
+        let Some(timeout) = self.behavior().stall_timeout else {
+            return;
+        };
+        let now = self.now;
+        let stalled = self.queue.iter().any(|q| now >= q.enqueued_at + timeout)
+            || self
+                .pending_posts
+                .values()
+                .any(|p| now >= p.started + timeout);
+        if stalled {
+            self.goaway(
+                ErrorCode::EnhanceYourCalm,
+                Some("connection stalled beyond patience"),
+                out,
+            );
+        }
     }
 
     /// Estimated wire size of a header list (upper bound, used only for
@@ -389,6 +459,10 @@ impl H2Server {
     }
 
     fn pump_once(&mut self, out: &mut Vec<Frame>) {
+        if self.closed {
+            return;
+        }
+        self.check_stalls(out);
         if self.closed {
             return;
         }
@@ -645,6 +719,13 @@ impl H2Server {
         for event in events {
             match event {
                 CoreEvent::RemoteSettings { .. } => {
+                    self.settings_seen = self.settings_seen.saturating_add(1);
+                    if let Some(limit) = self.behavior().settings_rate_limit {
+                        if self.settings_seen > limit {
+                            self.goaway(ErrorCode::EnhanceYourCalm, Some("settings flood"), out);
+                            continue;
+                        }
+                    }
                     out.push(Frame::Settings(SettingsFrame::ack()));
                 }
                 CoreEvent::ConcurrencyExceeded { stream } => {
@@ -652,9 +733,57 @@ impl H2Server {
                     self.rst(stream, ErrorCode::RefusedStream, out);
                 }
                 CoreEvent::HeadersReceived {
-                    stream, headers, ..
+                    stream,
+                    headers,
+                    end_stream,
+                    ..
                 } => {
-                    self.handle_request(stream, &headers, out);
+                    if let Some(limit) = self.behavior().header_list_limit {
+                        // §6.5.2's size definition: name + value + 32
+                        // per field.
+                        let size: u64 = headers
+                            .iter()
+                            .map(|h| (h.name.len() + h.value.len() + 32) as u64)
+                            .sum();
+                        if size > u64::from(limit) {
+                            self.rejected.insert(stream.value());
+                            self.apply_quirk(
+                                self.behavior().oversized_header_list,
+                                WindowScope::Stream(stream),
+                                ErrorCode::EnhanceYourCalm,
+                                None,
+                                out,
+                            );
+                            continue;
+                        }
+                    }
+                    // A request announcing a body (no END_STREAM on the
+                    // head) cannot be answered yet: the server holds its
+                    // state until the body completes — the very state a
+                    // slow-POST attacker pins. Benign GETs always carry
+                    // END_STREAM and take the immediate path.
+                    if !end_stream && has_request_body(&headers) {
+                        self.pending_posts.insert(
+                            stream.value(),
+                            PendingPost {
+                                headers,
+                                started: self.now,
+                            },
+                        );
+                    } else {
+                        self.handle_request(stream, &headers, out);
+                    }
+                }
+                CoreEvent::HeaderBlockProgress { accumulated, .. } => {
+                    if let Some(cap) = self.behavior().continuation_cap {
+                        if accumulated > cap {
+                            self.goaway(
+                                ErrorCode::EnhanceYourCalm,
+                                Some("header block exceeds continuation cap"),
+                                out,
+                            );
+                        }
+                    }
                 }
                 CoreEvent::PingReceived { payload } => {
                     if self.behavior().ping {
@@ -692,12 +821,20 @@ impl H2Server {
                 }
                 CoreEvent::RstStreamReceived { stream, .. } => {
                     self.queue.retain(|q| q.stream != stream);
+                    self.pending_posts.remove(&stream.value());
+                    self.rst_seen = self.rst_seen.saturating_add(1);
+                    if let Some(limit) = self.behavior().rst_rate_limit {
+                        if self.rst_seen > limit {
+                            self.goaway(ErrorCode::EnhanceYourCalm, Some("rst flood"), out);
+                        }
+                    }
                 }
                 CoreEvent::GoawayReceived { .. } => {
                     self.closed = true;
                 }
                 CoreEvent::DataReceived {
                     stream,
+                    end_stream,
                     flow_controlled_len,
                     ..
                 } => {
@@ -705,6 +842,11 @@ impl H2Server {
                         self.core
                             .replenish_recv_windows(stream, flow_controlled_len),
                     );
+                    if end_stream {
+                        if let Some(pending) = self.pending_posts.remove(&stream.value()) {
+                            self.handle_request(stream, &pending.headers, out);
+                        }
+                    }
                 }
                 CoreEvent::FlowViolation { .. } => {
                     self.goaway(ErrorCode::FlowControlError, None, out);
@@ -725,7 +867,8 @@ impl H2Server {
 const GARBAGE_GREETING: [u8; 14] = [0, 0, 5, 0x04, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5];
 
 impl ByteEndpoint for H2Server {
-    fn on_connect(&mut self, _now: SimTime, out: &mut Vec<u8>) {
+    fn on_connect(&mut self, now: SimTime, out: &mut Vec<u8>) {
+        self.now = now;
         let byz = self.byz();
         if byz.handshake_stall {
             // Accepts the connection, never speaks.
@@ -746,13 +889,14 @@ impl ByteEndpoint for H2Server {
         self.shape_output(out, start);
     }
 
-    fn on_bytes(&mut self, _now: SimTime, bytes: &[u8], out: &mut Vec<u8>) {
+    fn on_bytes(&mut self, now: SimTime, bytes: &[u8], out: &mut Vec<u8>) {
+        self.now = now;
         if self.byz().handshake_stall || self.silenced {
             self.last_delay = SimDuration::ZERO;
             return;
         }
         let start = out.len();
-        self.on_bytes_inner(_now, bytes, out);
+        self.on_bytes_inner(now, bytes, out);
         self.shape_output(out, start);
     }
 
@@ -1438,6 +1582,209 @@ mod tests {
         let b = shaped.on_bytes_vec(SimTime::ZERO, &client_b.request(1, "/"));
         assert_eq!(a, b);
         assert!(!plain.wants_reset() && !shaped.wants_reset());
+    }
+
+    #[test]
+    fn rst_flood_past_budget_draws_enhance_your_calm() {
+        // H2O budgets 400 client resets; nginx has no budget.
+        let (mut server, mut client) = serve(ServerProfile::h2o());
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+        let mut bytes = Vec::new();
+        for k in 0..401u32 {
+            Frame::RstStream(RstStreamFrame {
+                stream_id: StreamId::new(1 + 2 * k),
+                code: ErrorCode::Cancel,
+            })
+            .encode(&mut bytes);
+        }
+        let reply = server.on_bytes_vec(SimTime::ZERO, &bytes);
+        let frames = client.parse(&reply);
+        assert!(frames.iter().any(|f| matches!(f, Frame::Goaway(g)
+            if g.code == ErrorCode::EnhanceYourCalm)));
+
+        let (mut server, _client) = serve(ServerProfile::nginx());
+        server.on_bytes_vec(SimTime::ZERO, &TestClient::new().preface_and_settings());
+        let reply = server.on_bytes_vec(SimTime::ZERO, &bytes);
+        assert!(reply.is_empty(), "nginx ignores unbounded RST churn");
+        assert_eq!(server.rst_frames_seen(), 401);
+    }
+
+    #[test]
+    fn settings_flood_past_budget_stops_the_ack_train() {
+        // Apache budgets 100 SETTINGS; each costs the server an ack, the
+        // flood's amplification.
+        let (mut server, mut client) = serve(ServerProfile::apache());
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+        let mut bytes = Vec::new();
+        for _ in 0..120 {
+            Frame::Settings(SettingsFrame::from(Settings::new())).encode(&mut bytes);
+        }
+        let reply = server.on_bytes_vec(SimTime::ZERO, &bytes);
+        let frames = client.parse(&reply);
+        let acks = frames
+            .iter()
+            .filter(|f| matches!(f, Frame::Settings(s) if s.ack))
+            .count();
+        assert!(frames.iter().any(|f| matches!(f, Frame::Goaway(g)
+            if g.code == ErrorCode::EnhanceYourCalm)));
+        assert!(acks <= 100, "acks stop once the budget is spent: {acks}");
+    }
+
+    #[test]
+    fn continuation_flood_past_cap_tears_the_connection_down() {
+        // Apache caps an in-progress header block at 16 KiB; Tengine
+        // (which dropped its parent's bound) buffers forever.
+        let flood = || {
+            let mut bytes = Frame::Headers(h2wire::HeadersFrame {
+                stream_id: StreamId::new(1),
+                fragment: Bytes::from(vec![0u8; 1_024]),
+                end_stream: false,
+                end_headers: false,
+                priority: None,
+                pad_len: None,
+            })
+            .to_bytes();
+            for _ in 0..20 {
+                Frame::Continuation(h2wire::ContinuationFrame {
+                    stream_id: StreamId::new(1),
+                    fragment: Bytes::from(vec![0u8; 1_024]),
+                    end_headers: false,
+                })
+                .encode(&mut bytes);
+            }
+            bytes
+        };
+        let (mut server, mut client) = serve(ServerProfile::apache());
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+        let reply = server.on_bytes_vec(SimTime::ZERO, &flood());
+        let frames = client.parse(&reply);
+        assert!(frames.iter().any(|f| matches!(f, Frame::Goaway(g)
+            if g.code == ErrorCode::EnhanceYourCalm)));
+
+        let (mut server, _client) = serve(ServerProfile::tengine());
+        server.on_bytes_vec(SimTime::ZERO, &TestClient::new().preface_and_settings());
+        let reply = server.on_bytes_vec(SimTime::ZERO, &flood());
+        assert!(reply.is_empty(), "tengine buffers the open block silently");
+    }
+
+    #[test]
+    fn post_response_waits_for_the_request_body() {
+        let (mut server, mut client) = serve(ServerProfile::rfc7540());
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+        let headers = vec![
+            Header::new(":method", "POST"),
+            Header::new(":scheme", "https"),
+            Header::new(":path", "/"),
+            Header::new(":authority", "testbed.example"),
+        ];
+        let frames = client
+            .core
+            .encode_headers(StreamId::new(1), &headers, false, None);
+        let reply = server.on_bytes_vec(SimTime::ZERO, &h2wire::encode_all(&frames));
+        let frames = client.parse(&reply);
+        assert!(
+            !frames.iter().any(|f| matches!(f, Frame::Headers(_))),
+            "no response until the body completes: {frames:?}"
+        );
+        assert_eq!(server.pending_request_count(), 1);
+        let body = Frame::Data(h2wire::DataFrame {
+            stream_id: StreamId::new(1),
+            data: Bytes::from_static(b"a=1"),
+            end_stream: true,
+            pad_len: None,
+        })
+        .to_bytes();
+        let reply = server.on_bytes_vec(SimTime::ZERO, &body);
+        let frames = client.parse(&reply);
+        assert!(frames.iter().any(|f| matches!(f, Frame::Headers(_))));
+        assert_eq!(server.pending_request_count(), 0);
+    }
+
+    #[test]
+    fn stalled_post_is_reaped_after_the_timeout() {
+        // Apache's 30-second patience; nghttpd waits forever.
+        let open_post = |client: &mut TestClient| {
+            let headers = vec![
+                Header::new(":method", "POST"),
+                Header::new(":scheme", "https"),
+                Header::new(":path", "/"),
+                Header::new(":authority", "testbed.example"),
+            ];
+            let frames = client
+                .core
+                .encode_headers(StreamId::new(1), &headers, false, None);
+            h2wire::encode_all(&frames)
+        };
+        let later = SimTime::ZERO + SimDuration::from_secs(31);
+        let ping = Frame::Ping(PingFrame::request([7; 8])).to_bytes();
+
+        let (mut server, mut client) = serve(ServerProfile::apache());
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+        server.on_bytes_vec(SimTime::ZERO, &open_post(&mut client));
+        let reply = server.on_bytes_vec(later, &ping);
+        let frames = client.parse(&reply);
+        assert!(frames.iter().any(|f| matches!(f, Frame::Goaway(g)
+            if g.code == ErrorCode::EnhanceYourCalm)));
+
+        let (mut server, mut client) = serve(ServerProfile::nghttpd());
+        server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+        server.on_bytes_vec(SimTime::ZERO, &open_post(&mut client));
+        let reply = server.on_bytes_vec(later, &ping);
+        let frames = client.parse(&reply);
+        assert!(frames.iter().any(|f| matches!(f, Frame::Ping(p) if p.ack)));
+        assert!(!frames.iter().any(|f| matches!(f, Frame::Goaway(_))));
+    }
+
+    #[test]
+    fn oversized_header_list_reactions_differ() {
+        // ~17 KiB list: above every configured limit. Apache resets the
+        // stream; nginx tears the connection down; LiteSpeed (no limit)
+        // answers normally.
+        let big_request = |client: &mut TestClient| {
+            let mut headers = vec![
+                Header::new(":method", "GET"),
+                Header::new(":scheme", "https"),
+                Header::new(":path", "/"),
+                Header::new(":authority", "testbed.example"),
+            ];
+            for i in 0..36 {
+                headers.push(Header::new(
+                    format!("x-padding-{i:02}"),
+                    "abc123xyz".repeat(49),
+                ));
+            }
+            let frames = client
+                .core
+                .encode_headers(StreamId::new(1), &headers, true, None);
+            h2wire::encode_all(&frames)
+        };
+        for (profile, expect) in [
+            (ServerProfile::apache(), "rst"),
+            (ServerProfile::nginx(), "goaway"),
+            (ServerProfile::litespeed(), "answer"),
+        ] {
+            let name = profile.name.clone();
+            let (mut server, mut client) = serve(profile);
+            server.on_bytes_vec(SimTime::ZERO, &client.preface_and_settings());
+            let reply = server.on_bytes_vec(SimTime::ZERO, &big_request(&mut client));
+            let frames = client.parse(&reply);
+            match expect {
+                "rst" => assert!(
+                    frames.iter().any(|f| matches!(f, Frame::RstStream(r)
+                        if r.code == ErrorCode::EnhanceYourCalm)),
+                    "{name}: {frames:?}"
+                ),
+                "goaway" => assert!(
+                    frames.iter().any(|f| matches!(f, Frame::Goaway(g)
+                        if g.code == ErrorCode::EnhanceYourCalm)),
+                    "{name}"
+                ),
+                _ => assert!(
+                    frames.iter().any(|f| matches!(f, Frame::Headers(_))),
+                    "{name} has no limit and answers"
+                ),
+            }
+        }
     }
 
     #[test]

@@ -54,6 +54,13 @@ impl ServerProfile {
             .with(SettingId::MaxFrameSize, 16_384);
         b.zero_window_then_update = Some(65_535);
         b.h2c_upgrade = false; // stock nginx 1.9 had no h2c upgrade path
+                               // Robustness row: nginx bounds header growth and reaps stalled
+                               // connections (http2_recv_timeout-style), but has no RST or
+                               // SETTINGS budget — the rapid-reset exposure.
+        b.continuation_cap = Some(32_768);
+        b.stall_timeout = Some(SimDuration::from_secs(60));
+        b.header_list_limit = Some(8_192);
+        b.oversized_header_list = QuirkAction::Goaway;
         ServerProfile {
             name: "Nginx".into(),
             version: "1.9.15".into(),
@@ -78,6 +85,9 @@ impl ServerProfile {
             .with(SettingId::InitialWindowSize, 65_536)
             .with(SettingId::MaxFrameSize, 16_384);
         b.h2c_upgrade = false;
+        // Robustness row: LiteSpeed only reaps stalled connections;
+        // everything else is unbounded.
+        b.stall_timeout = Some(SimDuration::from_secs(45));
         ServerProfile {
             name: "LiteSpeed".into(),
             version: "5.0.11".into(),
@@ -100,6 +110,11 @@ impl ServerProfile {
             .with(SettingId::MaxConcurrentStreams, 100)
             .with(SettingId::InitialWindowSize, 16_777_216)
             .with(SettingId::MaxFrameSize, 16_384);
+        // Robustness row: H2O budgets client resets and bounds request
+        // header lists per stream, but never reaps stalled windows.
+        b.rst_rate_limit = Some(400);
+        b.header_list_limit = Some(10_240);
+        b.oversized_header_list = QuirkAction::RstStream;
         ServerProfile {
             name: "H2O".into(),
             version: "1.6.2".into(),
@@ -122,6 +137,14 @@ impl ServerProfile {
             .with(SettingId::MaxConcurrentStreams, 100)
             .with(SettingId::InitialWindowSize, 65_535)
             .with(SettingId::MaxFrameSize, 16_384);
+        // Robustness row: nghttpd is the most hardened testbed server —
+        // generous but real budgets on resets, SETTINGS churn, header
+        // block growth and list size (nghttp2's rate-limit lineage).
+        b.rst_rate_limit = Some(1_000);
+        b.settings_rate_limit = Some(1_000);
+        b.continuation_cap = Some(65_536);
+        b.header_list_limit = Some(10_240);
+        b.oversized_header_list = QuirkAction::Goaway;
         ServerProfile {
             name: "nghttpd".into(),
             version: "1.12.0".into(),
@@ -135,6 +158,9 @@ impl ServerProfile {
         profile.name = "Tengine".into();
         profile.version = "2.1.2".into();
         profile.behavior.server_name = "Tengine/2.1.2".into();
+        // Robustness row: the fork predates nginx's CONTINUATION bound,
+        // so Tengine differs from its parent on exactly that cell.
+        profile.behavior.continuation_cap = None;
         ServerProfile { ..profile }
     }
 
@@ -153,6 +179,14 @@ impl ServerProfile {
             .with(SettingId::MaxConcurrentStreams, 100)
             .with(SettingId::InitialWindowSize, 65_535)
             .with(SettingId::MaxFrameSize, 16_384);
+        // Robustness row: Apache hardens everything except RST churn —
+        // tight header caps, a SETTINGS budget and the shortest stalled-
+        // connection timeout in the testbed.
+        b.settings_rate_limit = Some(100);
+        b.continuation_cap = Some(16_384);
+        b.stall_timeout = Some(SimDuration::from_secs(30));
+        b.header_list_limit = Some(8_192);
+        b.oversized_header_list = QuirkAction::RstStream;
         ServerProfile {
             name: "Apache".into(),
             version: "2.4.23".into(),
@@ -186,6 +220,9 @@ impl ServerProfile {
             .with(SettingId::MaxFrameSize, 16_777_215)
             .with(SettingId::MaxHeaderListSize, 16_384);
         b.h2c_upgrade = false;
+        // GSE actually enforces the header-list bound it announces.
+        b.header_list_limit = Some(16_384);
+        b.oversized_header_list = QuirkAction::RstStream;
         ServerProfile {
             name: "GSE".into(),
             version: "-".into(),
@@ -330,6 +367,67 @@ mod tests {
                 "{}",
                 profile.name
             );
+        }
+    }
+
+    #[test]
+    fn robustness_rows_genuinely_differ() {
+        // The abuse-hardening matrix must discriminate: every testbed
+        // profile has a distinct (rst, settings, continuation, stall,
+        // header-list) row, and the RFC reference has none at all.
+        let mut rows = Vec::new();
+        for profile in ServerProfile::testbed() {
+            let b = &profile.behavior;
+            rows.push((
+                b.rst_rate_limit,
+                b.settings_rate_limit,
+                b.continuation_cap,
+                b.stall_timeout,
+                b.header_list_limit,
+                b.oversized_header_list,
+            ));
+        }
+        for (i, a) in rows.iter().enumerate() {
+            for (j, b) in rows.iter().enumerate() {
+                if i < j {
+                    assert_ne!(a, b, "rows {i} and {j} are identical");
+                }
+            }
+        }
+        let rfc = ServerProfile::rfc7540().behavior;
+        assert!(
+            rfc.rst_rate_limit.is_none()
+                && rfc.settings_rate_limit.is_none()
+                && rfc.continuation_cap.is_none()
+                && rfc.stall_timeout.is_none()
+                && rfc.header_list_limit.is_none(),
+            "the reference column is all-no"
+        );
+    }
+
+    #[test]
+    fn hardening_limits_stay_under_the_probe_volumes() {
+        // The abuse probes send fixed volumes (1,200 resets, 1,200
+        // SETTINGS, ~98 KiB of CONTINUATION, a 120 s stall, a ~17 KiB
+        // header list); every configured limit must sit below those
+        // volumes or the probe cannot discriminate yes from no.
+        for profile in ServerProfile::testbed() {
+            let b = &profile.behavior;
+            if let Some(limit) = b.rst_rate_limit {
+                assert!(limit < 1_200, "{}", profile.name);
+            }
+            if let Some(limit) = b.settings_rate_limit {
+                assert!(limit < 1_200, "{}", profile.name);
+            }
+            if let Some(cap) = b.continuation_cap {
+                assert!(cap < 98_304, "{}", profile.name);
+            }
+            if let Some(timeout) = b.stall_timeout {
+                assert!(timeout < SimDuration::from_secs(120), "{}", profile.name);
+            }
+            if let Some(limit) = b.header_list_limit {
+                assert!(limit < 17_000, "{}", profile.name);
+            }
         }
     }
 
