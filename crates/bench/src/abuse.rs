@@ -215,7 +215,7 @@ pub fn run_campaign(options: &AbuseOptions) -> AbuseCampaign {
     profiles.push(ServerProfile::rfc7540());
     // Trace every site: the detector consumes the frame-level traces.
     let obs = Obs::campaign(total);
-    let queue = WorkQueue::new(total);
+    let queue = WorkQueue::new(total, threads);
     let slots = Slots::new(total as usize);
     thread::scope(|scope| {
         for _ in 0..threads {

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod abuse;
+pub mod cputime;
 pub mod figures;
 pub mod scan;
 pub mod sched;

@@ -2,11 +2,20 @@
 //! thread pool, the reproduction of the paper's §IV-B scanning loop
 //! ("we construct a thread pool with configurable number of threads, each
 //! of which will test a web site").
+//!
+//! Every scan variant — plain, faulted, recorded, resumed — runs on a
+//! [`ScanPool`] of persistent workers. Each worker is a shared-nothing
+//! simulator shard: it owns its [`H2Scope`] scratch state, an
+//! [`Obs::worker_shard`] counter registry, and (per connection) a
+//! private netsim event loop, touching shared state only to claim the
+//! next chunk of site indices and to deposit finished records into
+//! index-addressed [`Slots`]. Because every record depends only on
+//! `(population, index, fault plan, seed)` — never on which worker ran
+//! it or when — all outputs are byte-identical at any thread count.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-
-use crossbeam::thread;
+use std::sync::Arc;
 
 use h2campaign::{CampaignMeta, CampaignRow, RecordError, RecordWriter};
 use h2fault::{splitmix64, FaultPlan, FaultProfile, KillPoint};
@@ -15,7 +24,7 @@ use h2scope::{survey_with_retries, H2Scope, ProbeOutcome, SiteReport};
 use netsim::time::SimDuration;
 use webpop::{Family, Population, SiteSample};
 
-use crate::sched::{Slots, SparseQueue, WorkQueue};
+use crate::sched::{ScanPool, Slots, SparseQueue, WorkQueue};
 
 /// One scanned site with its generated family (kept alongside the report
 /// so family-conditioned figures don't have to re-parse server strings).
@@ -31,46 +40,251 @@ pub struct ScanRecord {
 
 /// Scans every h2 site of the population with `threads` worker threads,
 /// returning records in index order.
+///
+/// Convenience wrapper that spins up a transient [`ScanPool`]; callers
+/// running repeated campaigns (benchmarks, the coming `repro serve`
+/// daemon) should hold a pool and call [`ScanPool::scan`] to amortize
+/// worker spawning.
 pub fn scan(population: &Population, threads: usize) -> Vec<ScanRecord> {
-    scan_with_obs(population, threads, &Obs::off())
+    ScanPool::new(threads).scan(population)
 }
 
 /// [`scan`] with an observability handle: per-site metrics and (for sites
 /// under the `--trace-sites` limit) frame-level traces are recorded into
 /// `obs`. With `Obs::off()` this is exactly [`scan`].
-///
-/// Workers *borrow* the population through the scoped threads — an earlier
-/// version cloned the whole `Population` into every worker, which is
-/// O(threads × population) memory at campaign scale. Work is distributed
-/// by chunked claiming ([`WorkQueue`]) rather than static striding, and
-/// records land directly in index-addressed [`Slots`], so no channel, no
-/// final sort, and a slow site never stalls sites assigned to other
-/// workers' chunks. Every record still depends only on
-/// `(population, index)`, so results are identical at any thread count.
 pub fn scan_with_obs(population: &Population, threads: usize, obs: &Obs) -> Vec<ScanRecord> {
-    let threads = threads.max(1);
-    let total = population.h2_count();
-    let queue = WorkQueue::new(total);
-    let slots = Slots::new(total as usize);
-    thread::scope(|scope| {
-        for _ in 0..threads {
-            let obs = obs.clone();
-            let (queue, slots) = (&queue, &slots);
-            scope.spawn(move |_| {
+    ScanPool::new(threads).scan_with_obs(population, obs)
+}
+
+/// Scans the population under a fault profile: every site's probes run
+/// against an impaired link (and possibly a byzantine server) derived
+/// deterministically from `(seed, site index, attempt)`, with deadlines
+/// and retry/backoff from the profile. With the `none` profile this is
+/// exactly [`scan`] — same code path, bit-identical records.
+pub fn scan_faulted(
+    population: &Population,
+    threads: usize,
+    profile: FaultProfile,
+    seed: u64,
+) -> Vec<ScanRecord> {
+    ScanPool::new(threads).scan_faulted(population, profile, seed)
+}
+
+/// [`scan_faulted`] with an observability handle (see [`scan_with_obs`]).
+/// All of a site's retry attempts share one per-site context, so retry
+/// telemetry and trace events accumulate across attempts.
+pub fn scan_faulted_with_obs(
+    population: &Population,
+    threads: usize,
+    profile: FaultProfile,
+    seed: u64,
+    obs: &Obs,
+) -> Vec<ScanRecord> {
+    ScanPool::new(threads).scan_faulted_with_obs(population, profile, seed, obs)
+}
+
+impl ScanPool {
+    /// Scans every h2 site of the population on this pool's workers,
+    /// returning records in index order.
+    pub fn scan(&mut self, population: &Population) -> Vec<ScanRecord> {
+        self.scan_with_obs(population, &Obs::off())
+    }
+
+    /// [`ScanPool::scan`] with an observability handle; each worker
+    /// records through its own [`Obs::worker_shard`].
+    pub fn scan_with_obs(&mut self, population: &Population, obs: &Obs) -> Vec<ScanRecord> {
+        self.run_campaign(population, None, 0, obs)
+    }
+
+    /// Scans under a fault profile (see [`scan_faulted`]).
+    pub fn scan_faulted(
+        &mut self,
+        population: &Population,
+        profile: FaultProfile,
+        seed: u64,
+    ) -> Vec<ScanRecord> {
+        self.scan_faulted_with_obs(population, profile, seed, &Obs::off())
+    }
+
+    /// Scans under a fault profile with an observability handle.
+    pub fn scan_faulted_with_obs(
+        &mut self,
+        population: &Population,
+        profile: FaultProfile,
+        seed: u64,
+        obs: &Obs,
+    ) -> Vec<ScanRecord> {
+        let plan = (!profile.is_none()).then(|| FaultPlan::new(profile, seed));
+        self.run_campaign(population, plan, seed, obs)
+    }
+
+    /// The one in-memory scan loop: broadcast a queue-draining job to
+    /// every worker, collect the slots.
+    ///
+    /// Workers receive the population behind an `Arc` (a `Population` is
+    /// a spec + scale, so the clone is O(1) — sites are generated on
+    /// demand from `(spec, index)`), claim adaptively-sized index chunks
+    /// from a shared [`WorkQueue`], and deposit records into shared
+    /// [`Slots`]. Everything else a worker touches is its own.
+    fn run_campaign(
+        &mut self,
+        population: &Population,
+        plan: Option<FaultPlan>,
+        seed: u64,
+        obs: &Obs,
+    ) -> Vec<ScanRecord> {
+        let total = population.h2_count();
+        let queue = Arc::new(WorkQueue::new(total, self.threads()));
+        let slots = Arc::new(Slots::new(total as usize));
+        let shared = Arc::new((population.clone(), plan));
+        let obs = obs.clone();
+        {
+            let queue = Arc::clone(&queue);
+            let slots = Arc::clone(&slots);
+            let shared = Arc::clone(&shared);
+            self.broadcast(move |_worker| {
+                let (population, plan) = &*shared;
                 let scope_tool = H2Scope::new();
+                let obs = obs.worker_shard();
                 while let Some(range) = queue.claim() {
                     for i in range {
                         slots.put(
                             i as usize,
-                            scan_one(&scope_tool, population, i, None, 0, &obs),
+                            scan_one(&scope_tool, population, i, plan.as_ref(), seed, &obs),
                         );
                     }
                 }
             });
         }
-    })
-    .expect("scan workers do not panic");
-    slots.into_vec()
+        Arc::into_inner(slots)
+            .expect("broadcast returns only after every job dropped its state")
+            .into_vec()
+    }
+
+    /// [`ScanPool::scan_faulted_with_obs`] with persistence (see the
+    /// free [`scan_recorded`] for the full contract).
+    ///
+    /// # Errors
+    ///
+    /// [`RecordError`] on I/O failure, a malformed record, or a resume
+    /// against a record from a different campaign configuration.
+    #[allow(clippy::too_many_arguments)] // the CLI's one call site names them all
+    pub fn scan_recorded(
+        &mut self,
+        population: &Population,
+        profile: FaultProfile,
+        seed: u64,
+        obs: &Obs,
+        path: &Path,
+        resume: bool,
+        kill: Option<KillPoint>,
+    ) -> Result<RecordedScan, RecordError> {
+        let total = population.h2_count();
+        let meta = CampaignMeta::describe(population, profile.name, seed);
+
+        let mut preloaded: Vec<CampaignRow> = Vec::new();
+        if resume {
+            let stored = h2campaign::read(path)?;
+            meta.ensure_matches(&stored.meta)?;
+            if stored.finalized {
+                // Nothing to do — surface the stored campaign unchanged.
+                obs.sites_resumed(stored.rows.len() as u64);
+                let records = stored
+                    .rows
+                    .into_iter()
+                    .map(|row| ScanRecord {
+                        index: row.index,
+                        family: row.family,
+                        report: row.report,
+                    })
+                    .collect();
+                return Ok(RecordedScan::Complete {
+                    records,
+                    resumed: total,
+                });
+            }
+            preloaded = stored.rows;
+        }
+
+        let slots = Arc::new(Slots::new(total as usize));
+        let mut present = vec![false; total as usize];
+        let resumed = preloaded.len() as u64;
+        for row in preloaded {
+            present[row.index as usize] = true;
+            slots.put(
+                row.index as usize,
+                ScanRecord {
+                    index: row.index,
+                    family: row.family,
+                    report: row.report,
+                },
+            );
+        }
+        obs.sites_resumed(resumed);
+        let writer = Arc::new(if resume {
+            RecordWriter::append_to(path, resumed)?
+        } else {
+            RecordWriter::create(path, &meta)?
+        });
+        let missing: Vec<u64> = (0..total).filter(|&i| !present[i as usize]).collect();
+        let queue = Arc::new(SparseQueue::new(missing, self.threads()));
+        let killed = Arc::new(AtomicBool::new(false));
+        let plan = (!profile.is_none()).then(|| FaultPlan::new(profile, seed));
+        let shared = Arc::new((population.clone(), plan));
+        let obs_handle = obs.clone();
+        {
+            let queue = Arc::clone(&queue);
+            let slots = Arc::clone(&slots);
+            let writer = Arc::clone(&writer);
+            let killed = Arc::clone(&killed);
+            let shared = Arc::clone(&shared);
+            self.broadcast(move |_worker| {
+                let (population, plan) = &*shared;
+                let scope_tool = H2Scope::new();
+                let obs = obs_handle.worker_shard();
+                'claims: while let Some(chunk) = queue.claim() {
+                    for &i in chunk {
+                        if killed.load(Ordering::Relaxed) {
+                            break 'claims;
+                        }
+                        let record =
+                            scan_one(&scope_tool, population, i, plan.as_ref(), seed, &obs);
+                        let row = CampaignRow {
+                            index: record.index,
+                            family: record.family,
+                            report: record.report.clone(),
+                        };
+                        // A record that cannot persist its rows has lost
+                        // its crash-safety contract; stop the campaign.
+                        let written = writer.append(&row).expect("campaign record append");
+                        slots.put(i as usize, record);
+                        if kill.is_some_and(|k| written >= k.after_rows) {
+                            killed.store(true, Ordering::Relaxed);
+                            break 'claims;
+                        }
+                    }
+                }
+            });
+        }
+        if killed.load(Ordering::Relaxed) {
+            return Ok(RecordedScan::Killed {
+                rows: writer.rows_written(),
+            });
+        }
+        let records = Arc::into_inner(slots)
+            .expect("broadcast returns only after every job dropped its state")
+            .into_vec();
+        let rows: Vec<CampaignRow> = records
+            .iter()
+            .map(|r| CampaignRow {
+                index: r.index,
+                family: r.family,
+                report: r.report.clone(),
+            })
+            .collect();
+        h2campaign::finalize(path, &meta, &rows)?;
+        Ok(RecordedScan::Complete { records, resumed })
+    }
 }
 
 /// Surveys one site through the single code path every scan variant
@@ -143,59 +357,6 @@ pub fn headers_records(records: &[ScanRecord]) -> Vec<&ScanRecord> {
         .collect()
 }
 
-/// Scans the population under a fault profile: every site's probes run
-/// against an impaired link (and possibly a byzantine server) derived
-/// deterministically from `(seed, site index, attempt)`, with deadlines
-/// and retry/backoff from the profile. With the `none` profile this is
-/// exactly [`scan`] — same code path, bit-identical records.
-pub fn scan_faulted(
-    population: &Population,
-    threads: usize,
-    profile: FaultProfile,
-    seed: u64,
-) -> Vec<ScanRecord> {
-    scan_faulted_with_obs(population, threads, profile, seed, &Obs::off())
-}
-
-/// [`scan_faulted`] with an observability handle (see [`scan_with_obs`]).
-/// All of a site's retry attempts share one per-site context, so retry
-/// telemetry and trace events accumulate across attempts.
-pub fn scan_faulted_with_obs(
-    population: &Population,
-    threads: usize,
-    profile: FaultProfile,
-    seed: u64,
-    obs: &Obs,
-) -> Vec<ScanRecord> {
-    if profile.is_none() {
-        return scan_with_obs(population, threads, obs);
-    }
-    let plan = FaultPlan::new(profile, seed);
-    let threads = threads.max(1);
-    let total = population.h2_count();
-    let queue = WorkQueue::new(total);
-    let slots = Slots::new(total as usize);
-    thread::scope(|scope| {
-        for _ in 0..threads {
-            let obs = obs.clone();
-            let (queue, slots, plan) = (&queue, &slots, &plan);
-            scope.spawn(move |_| {
-                let scope_tool = H2Scope::new();
-                while let Some(range) = queue.claim() {
-                    for i in range {
-                        slots.put(
-                            i as usize,
-                            scan_one(&scope_tool, population, i, Some(plan), seed, &obs),
-                        );
-                    }
-                }
-            });
-        }
-    })
-    .expect("scan workers do not panic");
-    slots.into_vec()
-}
-
 /// How a recorded scan ([`scan_recorded`]) ended.
 #[derive(Debug)]
 pub enum RecordedScan {
@@ -240,106 +401,7 @@ pub fn scan_recorded(
     resume: bool,
     kill: Option<KillPoint>,
 ) -> Result<RecordedScan, RecordError> {
-    let threads = threads.max(1);
-    let total = population.h2_count();
-    let meta = CampaignMeta::describe(population, profile.name, seed);
-
-    let mut preloaded: Vec<CampaignRow> = Vec::new();
-    if resume {
-        let stored = h2campaign::read(path)?;
-        meta.ensure_matches(&stored.meta)?;
-        if stored.finalized {
-            // Nothing to do — surface the stored campaign unchanged.
-            obs.sites_resumed(stored.rows.len() as u64);
-            let records = stored
-                .rows
-                .into_iter()
-                .map(|row| ScanRecord {
-                    index: row.index,
-                    family: row.family,
-                    report: row.report,
-                })
-                .collect();
-            return Ok(RecordedScan::Complete {
-                records,
-                resumed: total,
-            });
-        }
-        preloaded = stored.rows;
-    }
-
-    let slots = Slots::new(total as usize);
-    let mut present = vec![false; total as usize];
-    let resumed = preloaded.len() as u64;
-    for row in preloaded {
-        present[row.index as usize] = true;
-        slots.put(
-            row.index as usize,
-            ScanRecord {
-                index: row.index,
-                family: row.family,
-                report: row.report,
-            },
-        );
-    }
-    obs.sites_resumed(resumed);
-    let writer = if resume {
-        RecordWriter::append_to(path, resumed)?
-    } else {
-        RecordWriter::create(path, &meta)?
-    };
-    let missing: Vec<u64> = (0..total).filter(|&i| !present[i as usize]).collect();
-    let queue = SparseQueue::new(missing);
-    let killed = AtomicBool::new(false);
-    let plan = (!profile.is_none()).then(|| FaultPlan::new(profile, seed));
-    thread::scope(|scope| {
-        for _ in 0..threads {
-            let obs = obs.clone();
-            let (queue, slots, writer, killed, plan) = (&queue, &slots, &writer, &killed, &plan);
-            scope.spawn(move |_| {
-                let scope_tool = H2Scope::new();
-                'claims: while let Some(chunk) = queue.claim() {
-                    for &i in chunk {
-                        if killed.load(Ordering::Relaxed) {
-                            break 'claims;
-                        }
-                        let record =
-                            scan_one(&scope_tool, population, i, plan.as_ref(), seed, &obs);
-                        let row = CampaignRow {
-                            index: record.index,
-                            family: record.family,
-                            report: record.report.clone(),
-                        };
-                        // A record that cannot persist its rows has lost
-                        // its crash-safety contract; stop the campaign.
-                        let written = writer.append(&row).expect("campaign record append");
-                        slots.put(i as usize, record);
-                        if kill.is_some_and(|k| written >= k.after_rows) {
-                            killed.store(true, Ordering::Relaxed);
-                            break 'claims;
-                        }
-                    }
-                }
-            });
-        }
-    })
-    .expect("scan workers do not panic");
-    if killed.load(Ordering::Relaxed) {
-        return Ok(RecordedScan::Killed {
-            rows: writer.rows_written(),
-        });
-    }
-    let records = slots.into_vec();
-    let rows: Vec<CampaignRow> = records
-        .iter()
-        .map(|r| CampaignRow {
-            index: r.index,
-            family: r.family,
-            report: r.report.clone(),
-        })
-        .collect();
-    h2campaign::finalize(path, &meta, &rows)?;
-    Ok(RecordedScan::Complete { records, resumed })
+    ScanPool::new(threads).scan_recorded(population, profile, seed, obs, path, resume, kill)
 }
 
 /// The scan report's resilience section: outcome histogram plus
@@ -404,10 +466,35 @@ mod tests {
         let population = Population::new(ExperimentSpec::first(), 0.0005);
         let a = scan(&population, 1);
         let b = scan(&population, 7);
+        let c = scan(&population, 16);
         assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
+        assert_eq!(a.len(), c.len());
+        for ((x, y), z) in a.iter().zip(&b).zip(&c) {
             assert_eq!(x.index, y.index);
             assert_eq!(x.report, y.report);
+            assert_eq!(x.report, z.report, "16 threads diverged");
+        }
+    }
+
+    #[test]
+    fn reused_pool_matches_fresh_pools() {
+        // A persistent pool run back-to-back (the benchmark's steady
+        // state) must produce exactly what transient pools produce —
+        // worker reuse cannot leak state between campaigns.
+        let population = Population::new(ExperimentSpec::first(), 0.0005);
+        let fresh_plain = scan(&population, 4);
+        let fresh_faulted = scan_faulted(&population, 4, FaultProfile::flaky(), 0xfa17);
+        let mut pool = ScanPool::new(4);
+        for _round in 0..2 {
+            let plain = pool.scan(&population);
+            let faulted = pool.scan_faulted(&population, FaultProfile::flaky(), 0xfa17);
+            assert_eq!(plain.len(), fresh_plain.len());
+            for (x, y) in plain.iter().zip(&fresh_plain) {
+                assert_eq!(x.report, y.report);
+            }
+            for (x, y) in faulted.iter().zip(&fresh_faulted) {
+                assert_eq!(x.report, y.report);
+            }
         }
     }
 
@@ -421,12 +508,14 @@ mod tests {
         let a = scan_faulted(&population, 1, profile, 0xfa17);
         let b = scan_faulted(&population, 4, profile, 0xfa17);
         let c = scan_faulted(&population, 8, profile, 0xfa17);
+        let d = scan_faulted(&population, 16, profile, 0xfa17);
         let serialize = |records: &[ScanRecord]| {
             h2scope::storage::write_reports(records.iter().map(|r| &r.report))
         };
-        let (sa, sb, sc) = (serialize(&a), serialize(&b), serialize(&c));
+        let (sa, sb, sc, sd) = (serialize(&a), serialize(&b), serialize(&c), serialize(&d));
         assert_eq!(sa, sb, "1 vs 4 threads");
         assert_eq!(sb, sc, "4 vs 8 threads");
+        assert_eq!(sc, sd, "8 vs 16 threads");
         // The campaign actually exercised the impairments: some probes
         // resolved to degraded outcomes, and some sites burned retries.
         assert!(
@@ -493,9 +582,10 @@ mod tests {
 
     #[test]
     fn obs_snapshot_is_identical_across_thread_counts() {
-        // Counters are order-independent sums and traces are flushed as
-        // per-site batches, so the whole rendered snapshot — table and
-        // JSON — must not depend on worker scheduling.
+        // Counters are order-independent sums folded across per-worker
+        // shards, and traces are flushed as per-site batches, so the
+        // whole rendered snapshot — table and JSON — must not depend on
+        // worker scheduling or shard count.
         let population = Population::new(ExperimentSpec::first(), 0.0005);
         let run = |threads: usize| {
             let obs = Obs::campaign(3);
@@ -505,8 +595,11 @@ mod tests {
         };
         let (table1, json1) = run(1);
         let (table8, json8) = run(8);
+        let (table16, json16) = run(16);
         assert_eq!(table1, table8);
         assert_eq!(json1, json8);
+        assert_eq!(table8, table16);
+        assert_eq!(json8, json16);
         assert!(json1.contains("\"schema\": \"h2obs-campaign-v2\""));
     }
 

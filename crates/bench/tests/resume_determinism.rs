@@ -10,6 +10,7 @@ use std::path::{Path, PathBuf};
 use h2fault::{FaultProfile, KillPoint};
 use h2obs::Obs;
 use h2ready_bench::scan::{self, RecordedScan};
+use h2ready_bench::sched::ScanPool;
 use webpop::{ExperimentSpec, Population};
 
 const SCALE: f64 = 0.004;
@@ -156,6 +157,121 @@ fn resuming_a_finalized_record_is_a_no_op() {
         "record untouched"
     );
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sharded_scan_is_byte_identical_to_single_thread_for_every_campaign_kind() {
+    // The sharding contract, pinned at the byte level: per-worker
+    // simulators, RNG streams, obs shards and buffer pools may never
+    // leak into what a campaign produces. Every campaign kind the
+    // engine supports is compared against its single-thread run.
+    let population = population();
+    let serialize = |records: &[scan::ScanRecord]| {
+        h2scope::storage::write_reports(records.iter().map(|r| &r.report))
+    };
+
+    let plain_1t = serialize(&scan::scan(&population, 1));
+    for threads in [2, 8, 16] {
+        assert_eq!(
+            plain_1t,
+            serialize(&scan::scan(&population, threads)),
+            "plain scan diverged at {threads} threads"
+        );
+    }
+
+    let faulted_1t = serialize(&scan::scan_faulted(
+        &population,
+        1,
+        FaultProfile::flaky(),
+        SEED,
+    ));
+    for threads in [2, 8, 16] {
+        assert_eq!(
+            faulted_1t,
+            serialize(&scan::scan_faulted(
+                &population,
+                threads,
+                FaultProfile::flaky(),
+                SEED
+            )),
+            "faulted scan diverged at {threads} threads"
+        );
+    }
+
+    let golden_path = scratch("shard-golden");
+    record_uninterrupted(&golden_path, 1);
+    let recorded_1t = std::fs::read(&golden_path).expect("golden bytes");
+    for threads in [2, 8, 16] {
+        let path = scratch(&format!("shard-{threads}t"));
+        record_uninterrupted(&path, threads);
+        assert_eq!(
+            recorded_1t,
+            std::fs::read(&path).expect("sharded bytes"),
+            "recorded campaign diverged at {threads} threads"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_file(&golden_path).ok();
+}
+
+#[test]
+fn a_reused_pool_records_kills_and_resumes_byte_identically() {
+    // The persistent-pool contract: workers that already ran other
+    // campaigns (warmed thread-local buffer pools, consumed RNG
+    // streams, dirty scratch state) must record and resume exactly like
+    // freshly spawned single-thread workers.
+    let golden_path = scratch("pool-golden");
+    record_uninterrupted(&golden_path, 1);
+    let golden = std::fs::read(&golden_path).expect("golden bytes");
+
+    let population = population();
+    let mut pool = ScanPool::new(3);
+    // Dirty the pool with unrelated campaigns first.
+    pool.scan(&population);
+    pool.scan_faulted(&population, FaultProfile::flaky(), SEED ^ 0xdead);
+
+    let kill = KillPoint::seeded(population.h2_count(), SEED)[1];
+    let path = scratch("pool-reuse");
+    let outcome = pool
+        .scan_recorded(
+            &population,
+            FaultProfile::flaky(),
+            SEED,
+            &Obs::off(),
+            &path,
+            false,
+            Some(kill),
+        )
+        .expect("killed scan");
+    assert!(
+        matches!(outcome, RecordedScan::Killed { .. }),
+        "kill point did not fire"
+    );
+
+    // Resume on the SAME pool the crash happened on.
+    let resumed = pool
+        .scan_recorded(
+            &population,
+            FaultProfile::flaky(),
+            SEED,
+            &Obs::off(),
+            &path,
+            true,
+            None,
+        )
+        .expect("resumed scan");
+    let RecordedScan::Complete { records, resumed } = resumed else {
+        panic!("resume had no kill point");
+    };
+    assert!(resumed >= kill.after_rows);
+    assert_eq!(records.len() as u64, population.h2_count());
+    assert_eq!(
+        std::fs::read(&path).expect("resumed bytes"),
+        golden,
+        "pool reuse across record→resume diverged from a fresh run"
+    );
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&golden_path).ok();
 }
 
 #[test]

@@ -92,6 +92,22 @@ impl HistogramSnapshot {
         self.count == 0
     }
 
+    /// Folds another snapshot into this one. Addition over buckets,
+    /// count and sum plus min/max lattice joins — commutative and
+    /// associative, so per-worker histogram shards merge to the same
+    /// result in any order (the snapshot-time guarantee behind
+    /// thread-count-independent metrics output). An empty snapshot is
+    /// the identity: its `min` is `u64::MAX` and everything else 0.
+    pub fn absorb(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Mean sample value, rounded down (0 when empty).
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
@@ -187,6 +203,32 @@ impl FrameCounters {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_absorb_is_a_commutative_sum() {
+        let a = Histogram::new();
+        for v in [1u64, 8, 1000] {
+            a.record(v);
+        }
+        let b = Histogram::new();
+        for v in [2u64, 4, 1_000_000] {
+            b.record(v);
+        }
+        let combined = Histogram::new();
+        for v in [1u64, 8, 1000, 2, 4, 1_000_000] {
+            combined.record(v);
+        }
+        let mut ab = a.snapshot();
+        ab.absorb(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.absorb(&a.snapshot());
+        assert_eq!(ab, ba, "absorb must be commutative");
+        assert_eq!(ab, combined.snapshot(), "fold equals single registry");
+        // Empty is the identity.
+        let mut with_empty = a.snapshot();
+        with_empty.absorb(&Histogram::new().snapshot());
+        assert_eq!(with_empty, a.snapshot());
+    }
 
     #[test]
     fn histogram_percentiles_bracket_samples() {

@@ -154,6 +154,9 @@ impl MetricsRegistry {
 #[derive(Debug)]
 struct ObsShared {
     metrics: MetricsRegistry,
+    /// Per-worker counter shards (see [`Obs::worker_shard`]), folded
+    /// into the campaign totals at snapshot time.
+    shards: Mutex<Vec<Arc<MetricsRegistry>>>,
     traces: Mutex<Vec<SiteTrace>>,
     /// Sites with population index below this limit get an event ring.
     trace_limit: u64,
@@ -182,9 +185,16 @@ impl SiteCtx {
 
 /// Cheap observability handle. Cloning shares the underlying campaign
 /// registry and per-site context; `Obs::off()` handles record nothing.
+///
+/// A handle derived with [`Obs::worker_shard`] routes its counter
+/// traffic to a private [`MetricsRegistry`] instead of the shared
+/// campaign one — scan workers each take a shard so the hot path never
+/// contends on shared counter cache lines — and [`Obs::snapshot`] folds
+/// every shard back into the campaign totals.
 #[derive(Debug, Clone)]
 pub struct Obs {
     inner: Option<Arc<ObsShared>>,
+    shard: Option<Arc<MetricsRegistry>>,
     site: Arc<SiteCtx>,
 }
 
@@ -199,6 +209,7 @@ impl Obs {
     pub fn off() -> Obs {
         Obs {
             inner: None,
+            shard: None,
             site: SiteCtx::detached(),
         }
     }
@@ -209,9 +220,11 @@ impl Obs {
         Obs {
             inner: Some(Arc::new(ObsShared {
                 metrics: MetricsRegistry::new(),
+                shards: Mutex::new(Vec::new()),
                 traces: Mutex::new(Vec::new()),
                 trace_limit: trace_sites,
             })),
+            shard: None,
             site: SiteCtx::detached(),
         }
     }
@@ -221,8 +234,33 @@ impl Obs {
         self.inner.is_some()
     }
 
+    /// Derives a handle whose counters land in a fresh private registry
+    /// (registered with the campaign and folded back in at
+    /// [`Obs::snapshot`] time). One shard per scan worker keeps the
+    /// counter cache lines thread-local; because every fold operation is
+    /// a commutative sum (or a min/max lattice join), the folded
+    /// snapshot is identical at any thread count and any shard-to-site
+    /// assignment. On an off handle this stays off.
+    pub fn worker_shard(&self) -> Obs {
+        let Some(shared) = &self.inner else {
+            return Obs::off();
+        };
+        let shard = Arc::new(MetricsRegistry::new());
+        shared
+            .shards
+            .lock()
+            .expect("shard list poisoned")
+            .push(Arc::clone(&shard));
+        Obs {
+            inner: Some(Arc::clone(shared)),
+            shard: Some(shard),
+            site: SiteCtx::detached(),
+        }
+    }
+
     /// Derives the handle for site `index`, attaching a trace ring when
-    /// the site falls under the campaign's `--trace-sites` limit.
+    /// the site falls under the campaign's `--trace-sites` limit. A
+    /// worker-shard handle passes its shard on to the site handle.
     pub fn for_site(&self, index: u64) -> Obs {
         let Some(shared) = &self.inner else {
             return Obs::off();
@@ -234,6 +272,7 @@ impl Obs {
         };
         Obs {
             inner: Some(Arc::clone(shared)),
+            shard: self.shard.clone(),
             site: Arc::new(SiteCtx {
                 index,
                 probe: AtomicU8::new(ProbeKind::Other as u8),
@@ -241,6 +280,12 @@ impl Obs {
                 ring,
             }),
         }
+    }
+
+    /// The registry this handle's counters land in: its worker shard
+    /// when it has one, the shared campaign registry otherwise.
+    fn registry<'a>(&'a self, shared: &'a ObsShared) -> &'a MetricsRegistry {
+        self.shard.as_deref().unwrap_or(&shared.metrics)
     }
 
     /// Marks subsequent connections as belonging to `probe`.
@@ -269,7 +314,7 @@ impl Obs {
     /// Records a frame written by the probe client.
     pub fn frame_sent(&self, kind: u8, at_nanos: u64) {
         if let Some(shared) = &self.inner {
-            shared.metrics.client_sent.bump(kind);
+            self.registry(shared).client_sent.bump(kind);
             self.trace(at_nanos, EventKind::Send(kind));
         }
     }
@@ -277,7 +322,7 @@ impl Obs {
     /// Records a frame observed arriving at the probe client.
     pub fn frame_received(&self, kind: u8, at_nanos: u64) {
         if let Some(shared) = &self.inner {
-            shared.metrics.client_received.bump(kind);
+            self.registry(shared).client_received.bump(kind);
             self.trace(at_nanos, EventKind::Recv(kind));
         }
     }
@@ -285,17 +330,18 @@ impl Obs {
     /// Records a frame handled by a simulated server core.
     pub fn server_frame(&self, kind: u8) {
         if let Some(shared) = &self.inner {
-            shared.metrics.server_handled.bump(kind);
+            self.registry(shared).server_handled.bump(kind);
         }
     }
 
     /// Records bytes delivered across a pipe in the given direction.
     pub fn wire_bytes(&self, to_server: bool, n: u64) {
         if let Some(shared) = &self.inner {
+            let m = self.registry(shared);
             let counter = if to_server {
-                &shared.metrics.bytes_to_server
+                &m.bytes_to_server
             } else {
-                &shared.metrics.bytes_to_client
+                &m.bytes_to_client
             };
             counter.fetch_add(n, Ordering::Relaxed);
         }
@@ -305,8 +351,7 @@ impl Obs {
     pub fn hpack_evictions(&self, delta: u64) {
         if let Some(shared) = &self.inner {
             if delta > 0 {
-                shared
-                    .metrics
+                self.registry(shared)
                     .hpack_evictions
                     .fetch_add(delta, Ordering::Relaxed);
             }
@@ -316,7 +361,9 @@ impl Obs {
     /// Records a simulated connection being opened.
     pub fn conn_opened(&self) {
         if let Some(shared) = &self.inner {
-            shared.metrics.conns_opened.fetch_add(1, Ordering::Relaxed);
+            self.registry(shared)
+                .conns_opened
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -325,7 +372,7 @@ impl Obs {
     pub fn conn_finished(&self, nanos: u64) {
         if let Some(shared) = &self.inner {
             let probe = self.current_probe();
-            shared.metrics.probe_latency[probe as usize].record(nanos);
+            self.registry(shared).probe_latency[probe as usize].record(nanos);
             self.site.nanos.fetch_add(nanos, Ordering::Relaxed);
         }
     }
@@ -333,8 +380,9 @@ impl Obs {
     /// Records a retry of probe attempt `attempt` after a backoff pause.
     pub fn retry(&self, attempt: u32, pause_nanos: u64, at_nanos: u64) {
         if let Some(shared) = &self.inner {
-            shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
-            shared.metrics.backoff_nanos.record(pause_nanos);
+            let m = self.registry(shared);
+            m.retries.fetch_add(1, Ordering::Relaxed);
+            m.backoff_nanos.record(pause_nanos);
             self.trace(at_nanos, EventKind::Retry(attempt));
         }
     }
@@ -342,7 +390,9 @@ impl Obs {
     /// Records a probe attempt expiring at its patience deadline.
     pub fn timeout(&self, at_nanos: u64) {
         if let Some(shared) = &self.inner {
-            shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.registry(shared)
+                .timeouts
+                .fetch_add(1, Ordering::Relaxed);
             self.trace(at_nanos, EventKind::Timeout);
         }
     }
@@ -350,7 +400,7 @@ impl Obs {
     /// Records a probe attempt dying to a connection reset.
     pub fn reset(&self, at_nanos: u64) {
         if let Some(shared) = &self.inner {
-            shared.metrics.resets.fetch_add(1, Ordering::Relaxed);
+            self.registry(shared).resets.fetch_add(1, Ordering::Relaxed);
             self.trace(at_nanos, EventKind::Reset);
         }
     }
@@ -358,7 +408,9 @@ impl Obs {
     /// Records a probe attempt aborting on malformed peer bytes.
     pub fn malformed(&self, at_nanos: u64) {
         if let Some(shared) = &self.inner {
-            shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+            self.registry(shared)
+                .malformed
+                .fetch_add(1, Ordering::Relaxed);
             self.trace(at_nanos, EventKind::Malformed);
         }
     }
@@ -369,14 +421,10 @@ impl Obs {
         let Some(shared) = &self.inner else {
             return;
         };
-        shared
-            .metrics
-            .site_latency
+        let m = self.registry(shared);
+        m.site_latency
             .record(self.site.nanos.load(Ordering::Relaxed));
-        shared
-            .metrics
-            .sites_finished
-            .fetch_add(1, Ordering::Relaxed);
+        m.sites_finished.fetch_add(1, Ordering::Relaxed);
         if let Some(ring) = &self.site.ring {
             let (events, dropped) = ring.lock().expect("trace ring poisoned").drain();
             shared
@@ -398,40 +446,55 @@ impl Obs {
     /// histograms would make resumed and uninterrupted runs disagree.
     pub fn sites_resumed(&self, n: u64) {
         if let Some(shared) = &self.inner {
-            shared.metrics.sites_resumed.fetch_add(n, Ordering::Relaxed);
+            self.registry(shared)
+                .sites_resumed
+                .fetch_add(n, Ordering::Relaxed);
         }
     }
 
     /// Takes a campaign snapshot, or `None` when the handle is off.
-    /// Traces are sorted by site index so the result is independent of
-    /// worker scheduling.
+    /// Worker shards are folded into the campaign totals (a pure
+    /// commutative sum, so the result is the same at any thread count)
+    /// and traces are sorted by site index, so nothing in the snapshot
+    /// depends on worker scheduling.
     pub fn snapshot(&self) -> Option<CampaignSnapshot> {
         let shared = self.inner.as_ref()?;
-        let m = &shared.metrics;
+        let shards: Vec<Arc<MetricsRegistry>> =
+            shared.shards.lock().expect("shard list poisoned").clone();
+        let mut snap = registry_snapshot(&shared.metrics, Vec::new());
+        for shard in &shards {
+            snap.absorb_registry(shard);
+        }
         let mut traces = shared.traces.lock().expect("trace store poisoned").clone();
         traces.sort_by_key(|t| t.site);
-        Some(CampaignSnapshot {
-            client_sent: m.client_sent.snapshot(),
-            client_received: m.client_received.snapshot(),
-            server_handled: m.server_handled.snapshot(),
-            bytes_to_server: m.bytes_to_server.load(Ordering::Relaxed),
-            bytes_to_client: m.bytes_to_client.load(Ordering::Relaxed),
-            hpack_evictions: m.hpack_evictions.load(Ordering::Relaxed),
-            conns_opened: m.conns_opened.load(Ordering::Relaxed),
-            retries: m.retries.load(Ordering::Relaxed),
-            backoff_nanos: m.backoff_nanos.snapshot(),
-            timeouts: m.timeouts.load(Ordering::Relaxed),
-            resets: m.resets.load(Ordering::Relaxed),
-            malformed: m.malformed.load(Ordering::Relaxed),
-            probe_latency: ProbeKind::ALL
-                .iter()
-                .map(|&p| (p, m.probe_latency[p as usize].snapshot()))
-                .collect(),
-            site_latency: m.site_latency.snapshot(),
-            sites_finished: m.sites_finished.load(Ordering::Relaxed),
-            sites_resumed: m.sites_resumed.load(Ordering::Relaxed),
-            traces,
-        })
+        snap.traces = traces;
+        Some(snap)
+    }
+}
+
+/// Snapshots one registry into a [`CampaignSnapshot`] shell.
+fn registry_snapshot(m: &MetricsRegistry, traces: Vec<SiteTrace>) -> CampaignSnapshot {
+    CampaignSnapshot {
+        client_sent: m.client_sent.snapshot(),
+        client_received: m.client_received.snapshot(),
+        server_handled: m.server_handled.snapshot(),
+        bytes_to_server: m.bytes_to_server.load(Ordering::Relaxed),
+        bytes_to_client: m.bytes_to_client.load(Ordering::Relaxed),
+        hpack_evictions: m.hpack_evictions.load(Ordering::Relaxed),
+        conns_opened: m.conns_opened.load(Ordering::Relaxed),
+        retries: m.retries.load(Ordering::Relaxed),
+        backoff_nanos: m.backoff_nanos.snapshot(),
+        timeouts: m.timeouts.load(Ordering::Relaxed),
+        resets: m.resets.load(Ordering::Relaxed),
+        malformed: m.malformed.load(Ordering::Relaxed),
+        probe_latency: ProbeKind::ALL
+            .iter()
+            .map(|&p| (p, m.probe_latency[p as usize].snapshot()))
+            .collect(),
+        site_latency: m.site_latency.snapshot(),
+        sites_finished: m.sites_finished.load(Ordering::Relaxed),
+        sites_resumed: m.sites_resumed.load(Ordering::Relaxed),
+        traces,
     }
 }
 
@@ -473,6 +536,37 @@ pub struct CampaignSnapshot {
     /// Frame-level traces for sites under the `--trace-sites` limit,
     /// sorted by site index.
     pub traces: Vec<SiteTrace>,
+}
+
+impl CampaignSnapshot {
+    /// Folds one worker-shard registry into these totals. Every field is
+    /// an addition or a min/max join, so folding is commutative and the
+    /// result is independent of shard order (i.e. of worker scheduling).
+    fn absorb_registry(&mut self, m: &MetricsRegistry) {
+        fn add_frames(mine: &mut [u64; FRAME_KINDS], theirs: [u64; FRAME_KINDS]) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+        add_frames(&mut self.client_sent, m.client_sent.snapshot());
+        add_frames(&mut self.client_received, m.client_received.snapshot());
+        add_frames(&mut self.server_handled, m.server_handled.snapshot());
+        self.bytes_to_server += m.bytes_to_server.load(Ordering::Relaxed);
+        self.bytes_to_client += m.bytes_to_client.load(Ordering::Relaxed);
+        self.hpack_evictions += m.hpack_evictions.load(Ordering::Relaxed);
+        self.conns_opened += m.conns_opened.load(Ordering::Relaxed);
+        self.retries += m.retries.load(Ordering::Relaxed);
+        self.backoff_nanos.absorb(&m.backoff_nanos.snapshot());
+        self.timeouts += m.timeouts.load(Ordering::Relaxed);
+        self.resets += m.resets.load(Ordering::Relaxed);
+        self.malformed += m.malformed.load(Ordering::Relaxed);
+        for (probe, hist) in &mut self.probe_latency {
+            hist.absorb(&m.probe_latency[*probe as usize].snapshot());
+        }
+        self.site_latency.absorb(&m.site_latency.snapshot());
+        self.sites_finished += m.sites_finished.load(Ordering::Relaxed);
+        self.sites_resumed += m.sites_resumed.load(Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -522,6 +616,55 @@ mod tests {
         assert_eq!(snap.traces.len(), 1);
         assert_eq!(snap.traces[0].site, 0);
         assert_eq!(snap.traces[0].events.len(), 2);
+    }
+
+    #[test]
+    fn worker_shards_fold_into_campaign_totals() {
+        // The same event stream recorded (a) straight into the campaign
+        // registry and (b) split across two worker shards must snapshot
+        // identically — the guarantee that lets scan workers go
+        // shared-nothing without changing any rendered output.
+        let record = |handles: &[&Obs]| {
+            let a = handles[0].for_site(0);
+            a.enter_probe(ProbeKind::Headers);
+            a.frame_sent(0x1, 5);
+            a.conn_opened();
+            a.conn_finished(1_000);
+            a.finish_site();
+            let b = handles[handles.len() - 1].for_site(3);
+            b.frame_received(0x4, 7);
+            b.timeout(9);
+            b.conn_finished(4_000);
+            b.retry(1, 250, 11);
+            b.finish_site();
+        };
+        let direct = Obs::campaign(1);
+        record(&[&direct, &direct]);
+        let sharded = Obs::campaign(1);
+        let w0 = sharded.worker_shard();
+        let w1 = sharded.worker_shard();
+        record(&[&w0, &w1]);
+        let a = direct.snapshot().expect("on");
+        let b = sharded.snapshot().expect("on");
+        assert_eq!(a.client_sent, b.client_sent);
+        assert_eq!(a.client_received, b.client_received);
+        assert_eq!(a.timeouts, b.timeouts);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.conns_opened, b.conns_opened);
+        assert_eq!(a.sites_finished, b.sites_finished);
+        assert_eq!(a.backoff_nanos, b.backoff_nanos);
+        assert_eq!(a.site_latency, b.site_latency);
+        assert_eq!(a.probe_latency, b.probe_latency);
+        assert_eq!(a.traces.len(), b.traces.len());
+    }
+
+    #[test]
+    fn worker_shard_of_off_handle_stays_off() {
+        let off = Obs::off();
+        let shard = off.worker_shard();
+        assert!(!shard.is_on());
+        shard.conn_opened();
+        assert!(shard.snapshot().is_none());
     }
 
     #[test]

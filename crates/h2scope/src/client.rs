@@ -73,6 +73,9 @@ impl Drop for ProbeConn {
         // every probe opens a fresh connection at t=0 and drops it when
         // done, so `now()` at drop is the whole exchange.
         self.obs.conn_finished(self.pipe.now().as_nanos());
+        // Hand the warmed buffer pool back to this worker thread so the
+        // next connection starts allocation-free.
+        crate::target::reclaim_pool(self.pipe.take_pool());
     }
 }
 

@@ -1,13 +1,37 @@
 //! Probe targets: something H2Scope can open HTTP/2 connections to.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use h2obs::Obs;
 use h2server::{H2Server, ServerProfile, SiteSpec};
+use netsim::pipe::BytesPool;
 use netsim::time::SimDuration;
 use netsim::{LinkSpec, Pipe, PipeFaults, TlsConfig};
 
 use crate::resilient::FaultLog;
+
+thread_local! {
+    /// Per-thread warmed buffer pool, carried from one probe connection
+    /// to the next. A scan worker surveys thousands of sites with ~8
+    /// connections each; seeding every [`Pipe`] with the previous
+    /// connection's buffers keeps the transport path allocation-free in
+    /// steady state — with zero cross-thread sharing, because the pool
+    /// follows the worker thread, never the (shared) `Target`. Pooled
+    /// buffers are cleared on return, so reuse cannot change any bytes a
+    /// probe observes.
+    static WORKER_POOL: RefCell<BytesPool> = RefCell::new(BytesPool::default());
+}
+
+/// Takes the calling thread's warmed pool (leaving an empty one).
+pub(crate) fn lease_pool() -> BytesPool {
+    WORKER_POOL.with(|pool| std::mem::take(&mut *pool.borrow_mut()))
+}
+
+/// Returns a connection's pool to the calling thread for reuse.
+pub(crate) fn reclaim_pool(pool: BytesPool) {
+    WORKER_POOL.with(|cell| cell.borrow_mut().absorb(pool));
+}
 
 /// A probe target: a server profile, its site content, and the network
 /// path to it. In testbed mode the link is a clean LAN; in scan mode
@@ -72,7 +96,7 @@ impl Target {
         // `Arc` clones: no profile/site deep copy on the per-probe path.
         let mut server = H2Server::new(Arc::clone(&self.profile), Arc::clone(&self.site));
         server.set_obs(self.obs.clone());
-        let mut pipe = Pipe::connect(server, self.link, self.seed ^ conn_seed);
+        let mut pipe = Pipe::connect_pooled(server, self.link, self.seed ^ conn_seed, lease_pool());
         pipe.set_faults(self.pipe_faults);
         pipe.set_obs(self.obs.clone());
         self.obs.conn_opened();

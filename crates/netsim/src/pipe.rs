@@ -82,6 +82,29 @@ impl BytesPool {
             self.free.push(buf);
         }
     }
+
+    /// Buffers currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when no buffers are pooled.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Drains another pool's buffers into this one (up to the depth
+    /// cap). Lets a connection's warmed pool outlive the connection:
+    /// a scan worker seeds each new [`Pipe`] with the previous pipe's
+    /// pool instead of re-growing allocations from nothing.
+    pub fn absorb(&mut self, other: BytesPool) {
+        for buf in other.free {
+            if self.free.len() >= Self::MAX_POOLED {
+                break;
+            }
+            self.free.push(buf);
+        }
+    }
 }
 
 /// Transport-level fault injection: scheduled connection cuts and
@@ -200,12 +223,31 @@ impl<E: ByteEndpoint> Pipe<E> {
         Pipe::connect_asymmetric(server, link, link, seed)
     }
 
+    /// [`Pipe::connect`] seeded with an existing (typically warmed)
+    /// buffer pool — see [`BytesPool::absorb`]. The pool's buffers are
+    /// all cleared ([`BytesPool::put`] clears on return), so a warmed
+    /// pool changes allocation behavior only, never delivered bytes.
+    pub fn connect_pooled(server: E, link: LinkSpec, seed: u64, pool: BytesPool) -> Pipe<E> {
+        Pipe::connect_asymmetric_pooled(server, link, link, seed, pool)
+    }
+
     /// Connects with distinct uplink/downlink characteristics.
     pub fn connect_asymmetric(
         server: E,
         uplink: LinkSpec,
         downlink: LinkSpec,
         seed: u64,
+    ) -> Pipe<E> {
+        Pipe::connect_asymmetric_pooled(server, uplink, downlink, seed, BytesPool::default())
+    }
+
+    /// [`Pipe::connect_asymmetric`] seeded with an existing buffer pool.
+    pub fn connect_asymmetric_pooled(
+        server: E,
+        uplink: LinkSpec,
+        downlink: LinkSpec,
+        seed: u64,
+        pool: BytesPool,
     ) -> Pipe<E> {
         let mut pipe = Pipe {
             server,
@@ -220,7 +262,7 @@ impl<E: ByteEndpoint> Pipe<E> {
             down_last_arrival: SimTime::ZERO,
             rng: StdRng::seed_from_u64(seed),
             inbox: Vec::new(),
-            pool: BytesPool::default(),
+            pool,
             faults: PipeFaults::default(),
             reset: false,
             obs: Obs::off(),
@@ -305,6 +347,13 @@ impl<E: ByteEndpoint> Pipe<E> {
     /// next delivery reuses the allocation.
     pub fn recycle(&mut self, bytes: Vec<u8>) {
         self.pool.put(bytes);
+    }
+
+    /// Takes the pipe's buffer pool, leaving an empty one behind — called
+    /// when tearing a connection down so the warmed buffers can seed the
+    /// worker's next connection (see [`Pipe::connect_pooled`]).
+    pub fn take_pool(&mut self) -> BytesPool {
+        std::mem::take(&mut self.pool)
     }
 
     /// Runs the delivery loop until no deliveries remain, returning every

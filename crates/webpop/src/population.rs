@@ -17,7 +17,7 @@
 //!   Table V/VI/VII marginals (independently of family, a documented
 //!   simplification: the paper does not publish the joint distribution).
 
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -133,13 +133,21 @@ fn permuted_position(i: u64, n: u64, dimension: u64, seed: u64) -> u64 {
 
 /// The shared large-object body (96 KiB — comfortably above the 65,535
 /// connection window so Algorithm 1's drain works on any wild site).
+///
+/// Cached per *thread*, not per process: every site references this body
+/// 8 times, and `Bytes` clones bump a reference count, so a process-wide
+/// body would have every scan worker hammering one shared cache line.
+/// A per-worker copy costs 96 KiB of memory per thread and removes the
+/// cross-core refcount traffic entirely; the bytes are identical on
+/// every thread, so generated sites don't change.
 fn big_body() -> Bytes {
-    static BODY: OnceLock<Bytes> = OnceLock::new();
-    BODY.get_or_init(|| {
-        let body: Vec<u8> = (0..96 * 1024).map(|i| (i % 251) as u8).collect();
-        Bytes::from(body)
-    })
-    .clone()
+    thread_local! {
+        static BODY: Bytes = {
+            let body: Vec<u8> = (0..96 * 1024).map(|i| (i % 251) as u8).collect();
+            Bytes::from(body)
+        };
+    }
+    BODY.with(Bytes::clone)
 }
 
 impl Population {
